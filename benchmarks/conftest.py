@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one figure of the paper's evaluation and prints
+the series the paper plots.  Default parameters are scaled down so the
+whole suite finishes in minutes; set ``REPRO_FULL=1`` for paper-length
+runs (60 s simulations, 500-instance solver averages).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show_table(capsys):
+    """Print an ExperimentTable so it survives pytest's capture."""
+
+    def _show(table):
+        with capsys.disabled():
+            table.show()
+        return table
+
+    return _show

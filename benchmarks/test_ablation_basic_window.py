@@ -1,0 +1,44 @@
+"""Ablation: basic-window granularity b (paper Section 4.1.1).
+
+The paper argues qualitatively that small basic windows capture the time
+correlations better while too-small ones add configuration and
+bookkeeping overhead.  This bench sweeps b at a fixed overload and prints
+the achieved output rate; the assertion is deliberately loose (some
+mid-range b should beat the coarsest setting, which cannot localize the
+match mass at all).
+"""
+
+from dataclasses import replace
+
+from repro.experiments import (
+    ExperimentTable,
+    calibrate_capacity,
+    default_config,
+    nonaligned_spec,
+    run_grubjoin,
+)
+
+BASIC_WINDOWS = (1.0, 2.0, 4.0, 10.0)
+
+
+def run_ablation() -> ExperimentTable:
+    config = default_config()
+    base = nonaligned_spec(rate=100.0)
+    capacity = calibrate_capacity(base, 100.0, config)
+    table = ExperimentTable(
+        title="Ablation — basic window size b (nonaligned, rate=200/s)",
+        headers=["b", "segments n", "grubjoin output/s"],
+    )
+    for b in BASIC_WINDOWS:
+        spec = replace(nonaligned_spec(rate=200.0), basic_window=b)
+        result, op = run_grubjoin(spec, capacity, config)
+        table.add(b, op.segments[0], result.output_rate)
+    return table
+
+
+def test_ablation_basic_window(benchmark, show_table):
+    table = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    show_table(table)
+    rates = dict(zip(table.column("b"), table.column("grubjoin output/s")))
+    fine = max(rates[1.0], rates[2.0])
+    assert fine > rates[10.0]  # coarse windows cannot localize the mass

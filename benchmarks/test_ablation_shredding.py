@@ -1,0 +1,46 @@
+"""Ablation: the window-shredding sampling rate omega.
+
+Shredding is pure overhead for output but the only unbiased signal for
+learning the time correlations.  Too little and the scores go stale /
+never form; too much and learning eats the harvesting budget.  The paper
+fixes omega = 0.1; this bench sweeps it.
+"""
+
+from repro.experiments import (
+    ExperimentTable,
+    calibrate_capacity,
+    default_config,
+    nonaligned_spec,
+    run_grubjoin,
+)
+
+OMEGAS = (0.02, 0.1, 0.3)
+
+
+def run_ablation() -> ExperimentTable:
+    config = default_config()
+    capacity = calibrate_capacity(nonaligned_spec(rate=100.0), 100.0, config)
+    table = ExperimentTable(
+        title="Ablation — shredding rate omega (nonaligned, rate=200/s)",
+        headers=["omega", "output/s", "shredded frac"],
+    )
+    for omega in OMEGAS:
+        spec = nonaligned_spec(rate=200.0)
+        result, op = run_grubjoin(spec, capacity, config, sampling=omega)
+        shredded = (
+            op.tuples_shredded / op.tuples_processed
+            if op.tuples_processed
+            else 0.0
+        )
+        table.add(omega, result.output_rate, shredded)
+    return table
+
+
+def test_ablation_shredding(benchmark, show_table):
+    table = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    show_table(table)
+    assert all(v > 0 for v in table.column("output/s"))
+    # the sampler hits its target rate
+    for omega, frac in zip(table.column("omega"),
+                           table.column("shredded frac")):
+        assert abs(frac - omega) < 0.05

@@ -1,0 +1,25 @@
+"""Fig. 10 — output rate vs adaptation period under stepped input rates.
+
+Paper's shape: frequent adaptation pays off when rates fluctuate; the best
+Delta grows with m because the O(n * m^4) reconfiguration cost rises
+(paper: ~0.5 s for m=3, ~1 s for m=4, ~3 s for m=5).
+"""
+
+import numpy as np
+
+from repro.experiments import fig10_adaptation
+
+
+def test_fig10_adaptation(benchmark, show_table):
+    table = benchmark.pedantic(
+        fig10_adaptation.run, rounds=1, iterations=1
+    )
+    show_table(table)
+    deltas = np.asarray(table.column("delta"), dtype=float)
+    m3 = np.asarray(table.column("grub m=3"), dtype=float)
+    assert (m3 > 0).all()
+    # under fluctuating rates, frequent adaptation beats the sluggish
+    # paper-default Delta = 5+ for the cheap m=3 reconfiguration
+    fast = m3[deltas <= 1.0].max()
+    slow = m3[deltas >= 5.0].min()
+    assert fast > slow * 0.8

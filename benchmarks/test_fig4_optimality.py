@@ -1,0 +1,23 @@
+"""Fig. 4 — optimality of the greedy evaluation metrics vs throttle z.
+
+Paper's shape: BDOpDC >= 0.98 everywhere and optimal for z >= 0.4; BOpC
+good only for small z; BO good only for large z.
+"""
+
+import numpy as np
+
+from repro.experiments import fig4_optimality
+
+
+def test_fig4_optimality(benchmark, show_table):
+    table = benchmark.pedantic(
+        fig4_optimality.run, rounds=1, iterations=1
+    )
+    show_table(table)
+    bdopdc = np.asarray(table.column("BDOpDC"), dtype=float)
+    # the paper's headline: BDOpDC within 0.98 of optimal everywhere
+    assert bdopdc.min() > 0.9
+    assert bdopdc.mean() > 0.97
+    # BDOpDC dominates the others on average
+    assert bdopdc.mean() >= np.mean(table.column("BO")) - 1e-9
+    assert bdopdc.mean() >= np.mean(table.column("BOpC")) - 1e-9

@@ -1,0 +1,32 @@
+"""Fig. 5 — solver running time vs number of basic windows n.
+
+Paper's shape: the exhaustive solver is orders of magnitude slower than the
+greedy one and explodes with n; greedy grows mildly with n and with m.
+"""
+
+import math
+
+from repro.experiments import fig5_solver_runtime
+
+
+def test_fig5_solver_runtime(benchmark, show_table):
+    table = benchmark.pedantic(
+        fig5_solver_runtime.run, rounds=1, iterations=1
+    )
+    show_table(table)
+    greedy_m3 = table.column("greedy m=3")
+    greedy_m5 = table.column("greedy m=5")
+    exhaustive = [v for v in table.column("exhaustive m=3")
+                  if not math.isnan(v)]
+    ns = table.column("n")
+    # exhaustive orders of magnitude slower wherever it was run
+    paired = [
+        (e, g)
+        for e, g in zip(table.column("exhaustive m=3"), greedy_m3)
+        if not math.isnan(e)
+    ]
+    assert all(e > 10 * g for e, g in paired[1:])
+    # greedy grows with m
+    assert greedy_m5[-1] > greedy_m3[-1]
+    # exhaustive grows explosively with n
+    assert exhaustive[-1] > 5 * exhaustive[0]

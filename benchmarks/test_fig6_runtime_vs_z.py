@@ -1,0 +1,22 @@
+"""Fig. 6 — greedy running time vs throttle fraction z.
+
+Paper's shape: greedy time grows with z (more steps) and with m; the
+double-sided variant avoids the large-z blowup by switching to the reverse
+greedy.
+"""
+
+from repro.experiments import fig6_runtime_vs_z
+
+
+def test_fig6_runtime_vs_z(benchmark, show_table):
+    table = benchmark.pedantic(
+        fig6_runtime_vs_z.run, rounds=1, iterations=1
+    )
+    show_table(table)
+    for m in (3, 4, 5):
+        col = table.column(f"greedy m={m}")
+        assert col[-1] > col[0]  # z=1 slower than z=0.1
+    # double-sided stays cheap at z = 1 relative to plain greedy
+    assert (
+        table.column("2-sided m=5")[-1] < table.column("greedy m=5")[-1]
+    )

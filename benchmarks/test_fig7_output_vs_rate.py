@@ -1,0 +1,24 @@
+"""Fig. 7 — output rate vs input rate, GrubJoin vs RandomDrop.
+
+Paper's shape: both identical below the knee (100 tuples/sec); beyond it
+GrubJoin increasingly superior, with a larger margin in the nonaligned
+scenario (paper: up to +65 % aligned, +150 % nonaligned on their testbed).
+"""
+
+from repro.experiments import fig7_output_vs_rate
+
+
+def test_fig7_output_vs_rate(benchmark, show_table):
+    table = benchmark.pedantic(
+        fig7_output_vs_rate.run, rounds=1, iterations=1
+    )
+    show_table(table)
+    rates = table.column("rate")
+    impr_aligned = dict(zip(rates, table.column("impr% aligned")))
+    impr_non = dict(zip(rates, table.column("impr% nonaligned")))
+    # near/below the knee the two approaches are comparable
+    assert abs(impr_aligned[50.0]) < 60
+    # deep overload: GrubJoin clearly superior in both scenarios
+    deep = max(rates)
+    assert impr_aligned[deep] > 25
+    assert impr_non[deep] > 50

@@ -1,0 +1,21 @@
+"""Fig. 9 — output rate and improvement vs the number of streams m.
+
+Paper's shape: GrubJoin's improvement over RandomDrop grows with m
+(roughly linearly, up to ~700 % at m = 5 nonaligned): costlier joins make
+intelligent shedding matter more.
+"""
+
+from repro.experiments import fig9_output_vs_m
+
+
+def test_fig9_output_vs_m(benchmark, show_table):
+    table = benchmark.pedantic(
+        fig9_output_vs_m.run, rounds=1, iterations=1
+    )
+    show_table(table)
+    ms = table.column("m")
+    impr_non = dict(zip(ms, table.column("impr% nonaligned")))
+    # GrubJoin ahead at every m in the nonaligned scenario
+    assert all(v > 0 for v in impr_non.values())
+    # and the margin at m=5 exceeds the margin at m=3
+    assert impr_non[5] > impr_non[3]

@@ -1,0 +1,87 @@
+"""Extension bench: GrubJoin at m=2 vs its CIKM'05 predecessor vs
+RandomDrop.
+
+At m = 2 the combinatorial machinery GrubJoin adds (join orders, the
+m-way cost model, the greedy solver) reduces to nearly the CIKM'05
+selective-processing scheme, so the two should perform comparably — and
+both should beat tuple dropping when a lag concentrates the matches.
+"""
+
+from repro.engine import CpuModel, Simulation, SimulationConfig
+from repro.core import GrubJoinOperator
+from repro.experiments import ExperimentTable
+from repro.joins import (
+    AdaptiveTwoWayJoin,
+    EpsilonJoin,
+    MJoinOperator,
+    RandomDropShedder,
+)
+from repro.streams import (
+    ConstantRate,
+    LinearDriftProcess,
+    StreamSource,
+    TraceSource,
+)
+
+WINDOW = 10.0
+BASIC = 1.0
+LAG = 4.0
+RATES = (60.0, 120.0)
+
+
+def make_traces(rate, duration=30.0, seed=3):
+    sources = [
+        StreamSource(
+            i,
+            ConstantRate(rate, phase=i * 1e-3),
+            LinearDriftProcess(lag=LAG * i, deviation=1.0, rng=seed + i),
+        )
+        for i in range(2)
+    ]
+    return [TraceSource(i, s.generate(duration)) for i, s in
+            enumerate(sources)]
+
+
+def calibrate(cfg) -> float:
+    cpu = CpuModel(1e15)
+    op = MJoinOperator(EpsilonJoin(1.0), [WINDOW] * 2, BASIC)
+    Simulation(make_traces(30.0), op, cpu, cfg).run()
+    return cpu.busy_time * 1e15 / cfg.duration
+
+
+def run_bench() -> ExperimentTable:
+    cfg = SimulationConfig(duration=30.0, warmup=10.0,
+                           adaptation_interval=2.0)
+    capacity = calibrate(cfg)
+    table = ExperimentTable(
+        title="2-way baselines — output rate vs input rate "
+        f"(lag {LAG:g}s, knee at 30/s)",
+        headers=["rate", "grubjoin m=2", "cikm05 2-way", "randomdrop"],
+    )
+    for rate in RATES:
+        grub = GrubJoinOperator(EpsilonJoin(1.0), [WINDOW] * 2, BASIC,
+                                rng=1)
+        res_g = Simulation(make_traces(rate), grub, CpuModel(capacity),
+                           cfg).run()
+        two = AdaptiveTwoWayJoin(EpsilonJoin(1.0), [WINDOW] * 2, BASIC,
+                                 rng=1)
+        res_t = Simulation(make_traces(rate), two, CpuModel(capacity),
+                           cfg).run()
+        mj = MJoinOperator(EpsilonJoin(1.0), [WINDOW] * 2, BASIC)
+        shed = RandomDropShedder(mj, capacity, rng=2)
+        res_r = Simulation(make_traces(rate), mj, CpuModel(capacity), cfg,
+                           admission=shed.filters).run()
+        table.add(rate, res_g.output_rate, res_t.output_rate,
+                  res_r.output_rate)
+    return table
+
+
+def test_two_way_baseline(benchmark, show_table):
+    table = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    show_table(table)
+    grub = table.column("grubjoin m=2")
+    cikm = table.column("cikm05 2-way")
+    drop = table.column("randomdrop")
+    # both correlation-aware schemes beat tuple dropping under overload
+    assert grub[-1] > drop[-1]
+    assert cikm[-1] > drop[-1]

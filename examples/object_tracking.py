@@ -1,0 +1,92 @@
+"""Paper Example 1: tracking objects across multiple camera streams.
+
+Objects move down a corridor of three cameras; each camera emits a noisy
+appearance feature vector per sighting, roughly one transit time apart —
+the *nonaligned* time-correlation case of the paper.  A distance-based
+similarity join across the camera streams re-identifies objects seen by
+all three cameras.
+
+GrubJoin's window harvesting concentrates on the window segments one
+transit-time apart, so under CPU pressure it keeps re-identifying objects
+while tuple dropping's output collapses cubically with its drop rate.
+
+Run:  python examples/object_tracking.py
+"""
+
+import numpy as np
+
+from repro import (
+    CpuModel,
+    GrubJoinOperator,
+    MJoinOperator,
+    RandomDropShedder,
+    Simulation,
+    SimulationConfig,
+    TraceSource,
+    VectorDistanceJoin,
+)
+from repro.streams import ObjectWorld
+
+WINDOW = 15.0
+BASIC = 1.5
+TRANSIT = 4.0      # seconds between consecutive cameras
+FEATURES = 4
+DURATION = 40.0
+
+
+def make_traces(seed: int = 9) -> list[TraceSource]:
+    world = ObjectWorld(
+        num_streams=3,
+        object_rate=20.0,
+        transit=TRANSIT,
+        feature_dim=FEATURES,
+        noise=0.05,
+        rng=seed,
+    )
+    return [TraceSource(i, t) for i, t in enumerate(world.generate(DURATION))]
+
+
+def main() -> None:
+    predicate = VectorDistanceJoin(epsilon=1.0, dim=FEATURES)
+    traces = make_traces()
+    config = SimulationConfig(duration=DURATION, warmup=10.0,
+                              adaptation_interval=2.0)
+
+    # measure the full join's CPU need, then grant 40 %
+    cpu = CpuModel(1e15)
+    probe = MJoinOperator(predicate, [WINDOW] * 3, BASIC)
+    Simulation(traces, probe, cpu, config).run()
+    full_need = cpu.busy_time * 1e15 / DURATION
+    capacity = 0.4 * full_need
+    print(f"full join needs {full_need:,.0f} units/sec; granting "
+          f"{capacity:,.0f} (40%)\n")
+
+    grub = GrubJoinOperator(predicate, [WINDOW] * 3, BASIC, rng=1)
+    grub_res = Simulation(
+        traces, grub, CpuModel(capacity), config
+    ).run()
+
+    mjoin = MJoinOperator(predicate, [WINDOW] * 3, BASIC)
+    shedder = RandomDropShedder(mjoin, capacity, rng=2)
+    drop_res = Simulation(
+        traces, mjoin, CpuModel(capacity), config,
+        admission=shedder.filters,
+    ).run()
+
+    print(f"GrubJoin   re-identifications/sec: {grub_res.output_rate:8.1f}")
+    print(f"RandomDrop re-identifications/sec: {drop_res.output_rate:8.1f}")
+
+    print("\nlearned camera-to-camera transit times "
+          "(offset vs camera 1, seconds; true transit ~ "
+          f"{TRANSIT:.0f} s per hop):")
+    for cam in (1, 2):
+        hist = grub.histograms[cam]
+        probs = hist.probabilities()
+        top = np.argsort(probs)[-3:][::-1]
+        modes = ", ".join(f"{hist.bucket_center(int(k)):+.1f}s" for k in top)
+        print(f"  camera {cam + 1}: top offset buckets: {modes} "
+              f"(expected ~ +/-{TRANSIT * cam:.0f} s)")
+
+
+if __name__ == "__main__":
+    main()

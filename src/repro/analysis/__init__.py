@@ -1,0 +1,22 @@
+"""Measurement analytics: bootstrap intervals, permutation tests and
+throttle-trajectory (control-loop) statistics for experiment results."""
+
+from .ascii_plots import bar_chart, series_plot, sparkline
+from .bootstrap import bootstrap_ci, relative_improvement_ci
+from .control import overshoot, settling_time, steady_state_stats
+from .correlation import OffsetProfile, offset_match_profile
+from .significance import permutation_test
+
+__all__ = [
+    "OffsetProfile",
+    "bar_chart",
+    "bootstrap_ci",
+    "offset_match_profile",
+    "overshoot",
+    "permutation_test",
+    "relative_improvement_ci",
+    "series_plot",
+    "settling_time",
+    "sparkline",
+    "steady_state_stats",
+]

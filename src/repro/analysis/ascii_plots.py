@@ -1,0 +1,91 @@
+"""Terminal-friendly plots: sparklines and bar charts, no plotting deps.
+
+The examples and the CLI print their measurements; these helpers render
+time series (throttle trajectories, queue depths) and distributions
+(offset histograms) legibly in a terminal without pulling in matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """One-line unicode sparkline of a series.
+
+    Args:
+        values: the series.
+        width: optional number of characters; the series is re-sampled
+            (block means) when longer than ``width``.
+
+    Example:
+        >>> sparkline([0, 1, 2, 3])
+        '▁▃▆█'
+        >>> sparkline([5, 5, 5])
+        '▁▁▁'
+    """
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return ""
+    if width is not None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if v.size > width:
+            edges = np.linspace(0, v.size, width + 1).astype(int)
+            v = np.array(
+                [v[a:b].mean() if b > a else v[min(a, v.size - 1)]
+                 for a, b in zip(edges[:-1], edges[1:])]
+            )
+    lo, hi = float(v.min()), float(v.max())
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[0] * v.size
+    scaled = ((v - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)).round()
+    return "".join(_SPARK_LEVELS[int(s)] for s in scaled)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with aligned labels and values."""
+    if len(labels) != len(values):
+        raise ValueError("one label per value required")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        return ""
+    peak = float(v.max())
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, v):
+        bar = "#" * (int(round(width * value / peak)) if peak > 0 else 0)
+        lines.append(
+            f"{str(label):>{label_width}}  {bar:<{width}} "
+            f"{value:,.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_plot(
+    times: Sequence[float],
+    values: Sequence[float],
+    width: int = 60,
+    label: str = "",
+) -> str:
+    """A sparkline annotated with its time range and value range."""
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.size == 0:
+        return f"{label} (empty)"
+    spark = sparkline(v, width=width)
+    return (
+        f"{label} [{t[0]:g}s..{t[-1]:g}s] "
+        f"min={v.min():g} max={v.max():g}\n  {spark}"
+    )

@@ -1,0 +1,76 @@
+"""Control-loop analytics for the throttle trajectory.
+
+The operator-throttling controller (Section 3) is a multiplicative
+feedback loop; these helpers quantify its behaviour from the recorded
+``z`` series: how long it takes to settle after a disturbance, how far it
+overshoots, and how much it rattles at steady state — the quantities
+behind Fig. 10's "smaller Delta adapts faster" story.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def settling_time(
+    times: Sequence[float],
+    values: Sequence[float],
+    band: float = 0.1,
+    start: float = 0.0,
+) -> float | None:
+    """Time (from ``start``) after which the series stays within
+    ``+/- band`` (relative) of its final value.
+
+    Returns None when the series never settles (or is empty).
+    """
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.size == 0:
+        return None
+    mask = t >= start
+    t, v = t[mask], v[mask]
+    if t.size == 0:
+        return None
+    final = v[-1]
+    tolerance = band * max(abs(final), 1e-12)
+    outside = np.abs(v - final) > tolerance
+    if not outside.any():
+        return 0.0
+    last_outside = int(np.flatnonzero(outside)[-1])
+    # the final sample is trivially within the band of itself; demand at
+    # least two trailing in-band samples before calling it settled
+    if last_outside + 2 >= t.size:
+        return None
+    return float(t[last_outside + 1] - start)
+
+
+def overshoot(values: Sequence[float]) -> float:
+    """Relative overshoot below the final value: how far the controller
+    undershot (multiplicative-decrease controllers overshoot downward)."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("need at least one value")
+    final = v[-1]
+    if final <= 0:
+        return 0.0
+    return float(max(0.0, (final - v.min()) / final))
+
+
+def steady_state_stats(
+    times: Sequence[float],
+    values: Sequence[float],
+    tail_fraction: float = 0.5,
+) -> tuple[float, float]:
+    """Mean and coefficient of variation over the trailing portion of the
+    series — the controller's steady-state level and rattle."""
+    if not 0 < tail_fraction <= 1:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("need at least one value")
+    tail = v[int(len(v) * (1 - tail_fraction)):]
+    mean = float(tail.mean())
+    cv = float(tail.std() / mean) if mean > 0 else 0.0
+    return mean, cv

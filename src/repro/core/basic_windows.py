@@ -1,0 +1,393 @@
+"""Basic-window partitioned join windows (paper Section 4.1.1).
+
+Each join window ``W_i`` of size ``w`` seconds is divided into basic
+windows of ``b`` seconds.  Basic windows are integral units, so the window
+physically consists of ``n + 1`` of them, where ``n = ceil(w / b)``: the
+first (newest) is still filling and the last contains some expired tuples.
+Every ``b`` seconds the structure *rotates* — the oldest basic window is
+emptied wholesale (batch expiration) and becomes the new first one.
+
+At any instant the unexpired tuples can be viewed as ``n`` **logical basic
+windows**: logical window ``j`` holds exactly the tuples whose age lies in
+``[(j-1)*b, j*b)``.  Because of the rotation phase ``theta = delta/b``
+(``delta`` = time since the last rotation), logical window ``j`` straddles
+physical windows ``j`` and ``j+1``; the split point is found with a binary
+search on the timestamp arrays, so no linear scan is ever needed.
+
+Tuples inside one join window come from a single stream and are inserted in
+timestamp order, so every physical basic window keeps its timestamps
+sorted, which is what makes the binary-search slicing valid.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Iterator
+
+import numpy as np
+
+from repro.streams.tuples import StreamTuple
+
+#: storage modes for the join-attribute values inside a basic window
+SCALAR, VECTOR, GENERIC = "scalar", "vector", "generic"
+_MODES = (SCALAR, VECTOR, GENERIC)
+
+_INITIAL_CAPACITY = 64
+
+
+class BasicWindow:
+    """One basic window: a growable, timestamp-sorted tuple block.
+
+    Timestamps always live in a numpy array so slicing is a binary search.
+    Values live in a numpy array too when the mode allows (``scalar`` for
+    floats, ``vector`` for fixed-dimension float vectors), enabling
+    vectorized predicate probes; ``generic`` mode keeps only the python
+    tuple list.
+    """
+
+    def __init__(self, mode: str = SCALAR, dim: int | None = None) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"unknown storage mode {mode!r}")
+        if mode == VECTOR and (dim is None or dim <= 0):
+            raise ValueError("vector mode requires a positive dim")
+        self.mode = mode
+        self.dim = dim
+        self.tuples: list[StreamTuple] = []
+        self._ts = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        if mode == SCALAR:
+            self._vals: np.ndarray | None = np.empty(
+                _INITIAL_CAPACITY, dtype=np.float64
+            )
+        elif mode == VECTOR:
+            self._vals = np.empty((_INITIAL_CAPACITY, dim), dtype=np.float64)
+        else:
+            self._vals = None
+        self._count = 0
+        #: bumped on every mutation; lets external indexes detect staleness
+        self.version = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Sorted timestamp array (a view; do not mutate)."""
+        return self._ts[: self._count]
+
+    @property
+    def values(self) -> np.ndarray | list:
+        """Join-attribute values aligned with :attr:`timestamps`."""
+        if self._vals is not None:
+            return self._vals[: self._count]
+        return [t.value for t in self.tuples]
+
+    def append(self, tup: StreamTuple) -> None:
+        """Add a tuple; its timestamp must not precede the last one."""
+        if self._count and tup.timestamp < self._ts[self._count - 1]:
+            raise ValueError(
+                "basic window appends must be timestamp-ordered "
+                f"({tup.timestamp} < {self._ts[self._count - 1]}); "
+                "use insert_sorted for out-of-order arrivals"
+            )
+        if self._count == len(self._ts):
+            self._grow()
+        self._ts[self._count] = tup.timestamp
+        if self.mode == SCALAR:
+            self._vals[self._count] = tup.value
+        elif self.mode == VECTOR:
+            self._vals[self._count] = np.asarray(tup.value, dtype=np.float64)
+        self.tuples.append(tup)
+        self._count += 1
+        self.version += 1
+
+    def insert_sorted(self, tup: StreamTuple) -> None:
+        """Insert a tuple at its timestamp position (late arrivals).
+
+        ``O(n)`` in the basic window's size due to the shift — acceptable
+        because disorder is bounded to one basic window's worth of tuples
+        and late arrivals are the exception, not the rule.
+        """
+        if self._count == 0 or tup.timestamp >= self._ts[self._count - 1]:
+            self.append(tup)
+            return
+        pos = int(
+            np.searchsorted(self.timestamps, tup.timestamp, side="right")
+        )
+        if self._count == len(self._ts):
+            self._grow()
+        # .copy() the shifted block: numpy overlapping slice assignment
+        # within one array is not guaranteed to behave like memmove
+        self._ts[pos + 1 : self._count + 1] = self._ts[
+            pos : self._count
+        ].copy()
+        self._ts[pos] = tup.timestamp
+        if self.mode == SCALAR:
+            self._vals[pos + 1 : self._count + 1] = self._vals[
+                pos : self._count
+            ].copy()
+            self._vals[pos] = tup.value
+        elif self.mode == VECTOR:
+            self._vals[pos + 1 : self._count + 1] = self._vals[
+                pos : self._count
+            ].copy()
+            self._vals[pos] = np.asarray(tup.value, dtype=np.float64)
+        self.tuples.insert(pos, tup)
+        self._count += 1
+        self.version += 1
+
+    def _grow(self) -> None:
+        new_cap = len(self._ts) * 2
+        ts = np.empty(new_cap, dtype=np.float64)
+        ts[: self._count] = self._ts[: self._count]
+        self._ts = ts
+        if self._vals is not None:
+            shape = (new_cap,) if self.mode == SCALAR else (new_cap, self.dim)
+            vals = np.empty(shape, dtype=np.float64)
+            vals[: self._count] = self._vals[: self._count]
+            self._vals = vals
+
+    def clear(self) -> None:
+        """Empty the window in O(1) (batch expiration)."""
+        self._count = 0
+        self.tuples.clear()
+        self.version += 1
+
+    def slice_between(self, ts_lo: float, ts_hi: float) -> tuple[int, int]:
+        """Index range ``[lo, hi)`` of tuples with timestamp in
+        ``(ts_lo, ts_hi]`` (half-open on the old side, matching the logical
+        basic window definition)."""
+        ts = self.timestamps
+        lo = int(np.searchsorted(ts, ts_lo, side="right"))
+        hi = int(np.searchsorted(ts, ts_hi, side="right"))
+        return lo, hi
+
+
+class WindowSlice:
+    """A piece of one basic window selected for probing.
+
+    Normally contiguous (``step == 1``); window shredding uses ``step > 1``
+    to scan an evenly distributed sample of the window.
+    """
+
+    __slots__ = ("window", "lo", "hi", "step")
+
+    def __init__(
+        self, window: BasicWindow, lo: int, hi: int, step: int = 1
+    ) -> None:
+        if step < 1:
+            raise ValueError("step must be at least 1")
+        self.window = window
+        self.lo = lo
+        self.hi = hi
+        self.step = step
+
+    def __len__(self) -> int:
+        span = self.hi - self.lo
+        if span <= 0:
+            return 0
+        return (span + self.step - 1) // self.step
+
+    @property
+    def values(self) -> np.ndarray | list:
+        return self.window.values[self.lo : self.hi : self.step]
+
+    @property
+    def tuples(self) -> list[StreamTuple]:
+        return self.window.tuples[self.lo : self.hi : self.step]
+
+    def tuple_at(self, idx: int) -> StreamTuple:
+        """The idx-th *selected* tuple (accounting for the stride)."""
+        return self.window.tuples[self.lo + idx * self.step]
+
+
+class PartitionedWindow:
+    """A join window organized as ``n + 1`` rotating basic windows.
+
+    Args:
+        window_size: ``w`` in seconds.
+        basic_window_size: ``b`` in seconds; the paper recommends small
+            enough to capture the time correlations but not so small that
+            per-segment overhead dominates.
+        mode: value storage mode (``scalar`` / ``vector`` / ``generic``).
+        dim: vector dimension for ``vector`` mode.
+        start_time: virtual time at which the window begins.
+    """
+
+    def __init__(
+        self,
+        window_size: float,
+        basic_window_size: float,
+        mode: str = SCALAR,
+        dim: int | None = None,
+        start_time: float = 0.0,
+    ) -> None:
+        if window_size <= 0:
+            raise ValueError("window_size must be positive")
+        if basic_window_size <= 0:
+            raise ValueError("basic_window_size must be positive")
+        if basic_window_size > window_size:
+            raise ValueError("basic window cannot exceed the join window")
+        self.window_size = float(window_size)
+        self.basic_window_size = float(basic_window_size)
+        self.n = math.ceil(window_size / basic_window_size)
+        self.mode = mode
+        #: physical basic windows, index 0 = newest (currently filling)
+        self._ring: deque[BasicWindow] = deque(
+            BasicWindow(mode, dim) for _ in range(self.n + 1)
+        )
+        self._epoch_start = float(start_time)
+        self.rotations = 0
+
+    # ------------------------------------------------------------------
+    # time management
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch_start(self) -> float:
+        """Start time of the currently filling basic window."""
+        return self._epoch_start
+
+    def theta(self, now: float) -> float:
+        """The rotation phase ``theta = delta / b`` in ``[0, 1)``."""
+        self.rotate_to(now)
+        return (now - self._epoch_start) / self.basic_window_size
+
+    def rotate_to(self, now: float) -> None:
+        """Apply all rotations due by time ``now``.
+
+        Each rotation empties the oldest basic window (batch-expiring its
+        tuples) and recycles it as the new first basic window.
+        """
+        b = self.basic_window_size
+        while now - self._epoch_start >= b:
+            oldest = self._ring.pop()
+            oldest.clear()
+            self._ring.appendleft(oldest)
+            self._epoch_start += b
+            self.rotations += 1
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def insert(self, tup: StreamTuple, now: float) -> None:
+        """Insert a tuple at virtual time ``now``.
+
+        The tuple lands in the physical basic window covering its own
+        timestamp, which may not be the newest one when the tuple waited in
+        an input buffer for more than ``b`` seconds.  Tuples older than the
+        whole window are silently ignored (already expired).  Out-of-order
+        arrivals (network reordering, merge skew) fall back to a sorted
+        insert so the per-window timestamp order — which the logical
+        basic window binary searches rely on — is always preserved.
+        """
+        self.rotate_to(now)
+        offset = self._epoch_start - tup.timestamp
+        if offset <= 0:
+            k = 0
+        else:
+            k = math.ceil(offset / self.basic_window_size)
+        if k > self.n:
+            return
+        target = self._ring[k]
+        if len(target) and tup.timestamp < target.timestamps[-1]:
+            target.insert_sorted(tup)
+        else:
+            target.append(tup)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def _ring_index_of(self, ts: float) -> int:
+        """0-based ring index of the physical window covering ``ts``."""
+        offset = self._epoch_start - ts
+        if offset <= 0:
+            return 0
+        return math.ceil(offset / self.basic_window_size)
+
+    def logical_window_slices(
+        self, j: int, now: float, reference: float | None = None
+    ) -> list[WindowSlice]:
+        """Slices jointly holding logical basic window ``j`` (1-based).
+
+        Logical window ``j`` contains exactly the tuples with age in
+        ``[(j-1)*b, j*b)`` relative to ``reference`` (default ``now``).
+
+        The window-harvesting scores rank offsets relative to the *probing
+        tuple's* timestamp, so probes pass the tuple's own timestamp as the
+        reference; when the operator keeps up the two coincide, but under
+        backlog a stale probing tuple must still scan the segments aligned
+        with its own timestamp or the concentrated matches are missed.
+        """
+        if not 1 <= j <= self.n:
+            raise ValueError(f"logical window index {j} out of [1, {self.n}]")
+        self.rotate_to(now)
+        if reference is None:
+            reference = now
+        b = self.basic_window_size
+        ts_hi = reference - (j - 1) * b
+        ts_lo = reference - j * b
+        k_first = self._ring_index_of(ts_hi)
+        k_last = min(self._ring_index_of(ts_lo), self.n)
+        slices = []
+        for k in range(k_first, k_last + 1):
+            window = self._ring[k]
+            lo, hi = window.slice_between(ts_lo, ts_hi)
+            if hi > lo:
+                slices.append(WindowSlice(window, lo, hi))
+        return slices
+
+    def full_slices(self, now: float) -> list[WindowSlice]:
+        """Slices covering the entire unexpired window (ages in
+        ``[0, n*b)``) — what a full, non-harvested join probes."""
+        self.rotate_to(now)
+        ts_lo = now - self.n * self.basic_window_size
+        slices = []
+        for k, window in enumerate(self._ring):
+            if len(window) == 0:
+                continue
+            if k < self.n:
+                lo, hi = 0, len(window)
+            else:
+                lo, hi = window.slice_between(ts_lo, now)
+            if hi > lo:
+                slices.append(WindowSlice(window, lo, hi))
+        return slices
+
+    def evict_older_than(self, age: float, now: float) -> int:
+        """Early-evict every basic window wholly older than ``age`` seconds.
+
+        This is the memory-saving use of window harvesting (paper
+        Section 7): segments that no join direction will probe under the
+        current configuration need not be retained until their natural
+        expiration.  Returns the number of tuples evicted.
+        """
+        if age < 0:
+            raise ValueError("age must be non-negative")
+        self.rotate_to(now)
+        cutoff = now - age
+        evicted = 0
+        for k in range(1, self.n + 1):
+            window = self._ring[k]
+            if len(window) == 0:
+                continue
+            newest = self._epoch_start - (k - 1) * self.basic_window_size
+            if newest <= cutoff:
+                evicted += len(window)
+                window.clear()
+        return evicted
+
+    def count_unexpired(self, now: float) -> int:
+        """Number of tuples with age under ``n*b``."""
+        return sum(len(s) for s in self.full_slices(now))
+
+    def iter_unexpired(self, now: float) -> Iterator[StreamTuple]:
+        """All unexpired tuples, oldest physical window last."""
+        for s in self.full_slices(now):
+            yield from s.tuples
+
+    def __len__(self) -> int:
+        """Total stored tuples, including not-yet-expired stragglers."""
+        return sum(len(w) for w in self._ring)

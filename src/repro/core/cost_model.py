@@ -1,0 +1,230 @@
+"""Cost and output models ``C({z_ij})`` / ``O({z_ij})`` (Section 4.2.2).
+
+The paper defers the exact formulations to a technical report that is not
+publicly available; following its statement that they mirror the standard
+MJoin pipeline models (Kang et al., Ayad & Naughton) *with time
+correlations integrated*, we use the per-direction pipeline model below.
+
+For direction ``i`` with join order ``R_i = (l_1, .., l_{m-1})``, window
+tuple counts ``|W_l|`` and per-hop selectivities ``sigma[i][l]``, a probing
+tuple from ``S_i`` processed with harvest counts ``c_{i,j}`` (number of
+logical basic windows selected at hop ``j``, out of ``n_{l_j}``) costs and
+yields::
+
+    partials_0 = 1
+    comparisons_j = partials_{j-1} * (c_{i,j} / n_{l_j}) * |W_{l_j}|
+    partials_j    = partials_{j-1} * sigma[i][l_j] * |W_{l_j}| * q_{i,j}(c_{i,j})
+
+``q_{i,j}(c)`` is the *harvested probability mass*: the fraction of the
+time-correlation mass (the logical basic window scores ``p^k_{i,j}``)
+covered by the ``c`` top-ranked windows.  Scanning cost scales with the
+*fraction of tuples* scanned, while match carry-through scales with the
+*fraction of matches* captured — that asymmetry is exactly why harvesting
+beats uniform tuple dropping when the mass is concentrated.
+
+``C`` and ``O`` aggregate over directions weighted by stream rates; with
+all counts full, ``q = 1`` and the model reduces to the classical MJoin
+pipeline model (a unit-tested invariant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: type alias: counts[i][j] = number of selected logical windows (may be
+#: fractional; the trailing fraction pro-rates the next-ranked window)
+HarvestCounts = np.ndarray
+
+
+@dataclass
+class JoinProfile:
+    """Everything the optimal-window-harvesting problem needs to know.
+
+    Attributes:
+        rates: per-stream arrival rates ``lambda_i`` (tuples/sec).
+        window_counts: per-stream window sizes ``|W_l|`` in tuples.
+        segments: per-stream number of logical basic windows ``n_l``.
+        selectivity: ``m x m`` per-hop selectivities ``sigma[i][l]``.
+        orders: join orders ``R_i`` (stream indices, length ``m - 1``).
+        masses: ``masses[i][j][k]`` = score ``p^{k+1}_{i,j}`` of logical
+            basic window ``k+1`` of the ``j``-th window in ``R_i``.
+        output_cost: work units charged per produced output tuple, added to
+            the comparison cost so the budget accounts for result
+            construction (0 reproduces the paper's pure-comparison model).
+    """
+
+    rates: np.ndarray
+    window_counts: np.ndarray
+    segments: np.ndarray
+    selectivity: np.ndarray
+    orders: list[list[int]]
+    masses: list[list[np.ndarray]]
+    output_cost: float = 0.0
+    _rankings: list[list[np.ndarray]] = field(init=False, repr=False)
+    _sorted_masses: list[list[np.ndarray]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.rates = np.asarray(self.rates, dtype=float)
+        self.window_counts = np.asarray(self.window_counts, dtype=float)
+        self.segments = np.asarray(self.segments, dtype=int)
+        self.selectivity = np.asarray(self.selectivity, dtype=float)
+        m = self.m
+        if not (
+            len(self.window_counts) == m
+            and len(self.segments) == m
+            and self.selectivity.shape == (m, m)
+            and len(self.orders) == m
+            and len(self.masses) == m
+        ):
+            raise ValueError("inconsistent profile dimensions")
+        for i, order in enumerate(self.orders):
+            if sorted(order) != sorted(set(range(m)) - {i}):
+                raise ValueError(f"order for direction {i} is invalid")
+            if len(self.masses[i]) != m - 1:
+                raise ValueError(f"masses for direction {i} incomplete")
+            for j, l in enumerate(order):
+                if len(self.masses[i][j]) != self.segments[l]:
+                    raise ValueError(
+                        f"masses[{i}][{j}] must have n_{l}="
+                        f"{self.segments[l]} entries"
+                    )
+        self._rankings = []
+        self._sorted_masses = []
+        for i in range(m):
+            ranks_i, sorted_i = [], []
+            for j in range(m - 1):
+                mass = np.asarray(self.masses[i][j], dtype=float)
+                if (mass < 0).any():
+                    raise ValueError("scores must be non-negative")
+                order_desc = np.argsort(-mass, kind="stable")
+                ranks_i.append(order_desc)
+                sorted_i.append(mass[order_desc])
+            self._rankings.append(ranks_i)
+            self._sorted_masses.append(sorted_i)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of input streams."""
+        return len(self.rates)
+
+    def hop_segments(self, i: int, j: int) -> int:
+        """``n_{r_{i,j}}``: logical windows in hop ``j`` of direction ``i``."""
+        return int(self.segments[self.orders[i][j]])
+
+    def ranking(self, i: int, j: int) -> np.ndarray:
+        """``s_{i,j}``: logical-window indices (0-based) by descending
+        score — ``ranking(i, j)[v]`` is the rank-``v+1`` window."""
+        return self._rankings[i][j]
+
+    def full_counts(self) -> HarvestCounts:
+        """Counts selecting every logical window everywhere."""
+        counts = np.zeros((self.m, self.m - 1))
+        for i in range(self.m):
+            for j in range(self.m - 1):
+                counts[i, j] = self.hop_segments(i, j)
+        return counts
+
+    # ------------------------------------------------------------------
+    # harvested mass
+    # ------------------------------------------------------------------
+
+    def harvest_mass(self, i: int, j: int, count: float) -> float:
+        """``q_{i,j}(count)``: fraction of the time-correlation mass covered
+        by the ``count`` top-ranked logical windows of hop ``j``.
+
+        Fractional counts pro-rate the next-ranked window.  When the score
+        vector is all-zero (no information), mass degrades to the uniform
+        ``count / n`` — harvesting then behaves like a random subset, the
+        paper's no-time-correlation limiting case.
+        """
+        n = self.hop_segments(i, j)
+        count = min(max(count, 0.0), n)
+        sorted_mass = self._sorted_masses[i][j]
+        total = float(sorted_mass.sum())
+        if total <= 0.0:
+            return count / n
+        whole = int(count)
+        covered = float(sorted_mass[:whole].sum())
+        frac = count - whole
+        if frac > 0 and whole < n:
+            covered += frac * float(sorted_mass[whole])
+        return covered / total
+
+    # ------------------------------------------------------------------
+    # cost / output
+    # ------------------------------------------------------------------
+
+    def direction_terms(
+        self, i: int, counts_i: np.ndarray
+    ) -> tuple[float, float]:
+        """Rate-weighted (cost, output) contribution of direction ``i``.
+
+        ``counts_i`` holds the harvest counts for each hop of ``R_i``.
+        """
+        lam = float(self.rates[i])
+        partials = 1.0
+        comparisons = 0.0
+        for j, l in enumerate(self.orders[i]):
+            n = self.hop_segments(i, j)
+            count = min(max(float(counts_i[j]), 0.0), n)
+            w = float(self.window_counts[l])
+            comparisons += partials * (count / n) * w
+            partials *= self.selectivity[i, l] * w * self.harvest_mass(
+                i, j, count
+            )
+            if partials == 0.0:
+                break
+        output = lam * partials
+        cost = lam * comparisons + self.output_cost * output
+        return cost, output
+
+    def evaluate(self, counts: HarvestCounts) -> tuple[float, float]:
+        """``(C({z}), O({z}))`` for the given harvest counts."""
+        counts = np.asarray(counts, dtype=float)
+        if counts.shape != (self.m, self.m - 1):
+            raise ValueError(
+                f"counts must be shaped ({self.m}, {self.m - 1})"
+            )
+        cost = output = 0.0
+        for i in range(self.m):
+            c_i, o_i = self.direction_terms(i, counts[i])
+            cost += c_i
+            output += o_i
+        return cost, output
+
+    def cost(self, counts: HarvestCounts) -> float:
+        """``C({z})`` alone."""
+        return self.evaluate(counts)[0]
+
+    def output(self, counts: HarvestCounts) -> float:
+        """``O({z})`` alone."""
+        return self.evaluate(counts)[1]
+
+    def full_cost(self) -> float:
+        """``C(1)``: cost of the full, un-harvested join."""
+        return self.cost(self.full_counts())
+
+    def feasible(self, counts: HarvestCounts, throttle: float) -> bool:
+        """The optimal-window-harvesting constraint
+        ``z * C(1) >= C({z_ij})`` (with a tiny numerical allowance)."""
+        return self.cost(counts) <= throttle * self.full_cost() * (1 + 1e-12)
+
+
+def uniform_masses(
+    segments: np.ndarray | list[int], orders: list[list[int]]
+) -> list[list[np.ndarray]]:
+    """Score masses for streams with no time correlation: every logical
+    basic window equally likely to hold a match."""
+    segments = np.asarray(segments, dtype=int)
+    out: list[list[np.ndarray]] = []
+    for order in orders:
+        out.append(
+            [np.full(segments[l], 1.0 / segments[l]) for l in order]
+        )
+    return out

@@ -1,0 +1,286 @@
+"""Greedy heuristics for setting harvest fractions (Section 5.1, Fig. 3).
+
+The forward greedy starts from all-zero harvest fractions and repeatedly
+applies the best feasible single-segment increment, where "best" is one of
+three evaluation metrics:
+
+* **BO** (Best Output) — highest resulting ``O({z})``;
+* **BOpC** (Best Output per Cost) — highest ``O/C``;
+* **BDOpDC** (Best Delta Output per Delta Cost) — highest marginal
+  ``(O_new - O_old) / (C_new - C_old)``, the paper's winner.
+
+A join direction is *initialized* only when every hop has a non-zero
+fraction (a direction with any zero hop produces no output), so an
+uninitialized direction enters the candidate set as a single all-hops
+increment.  An infeasible single increment *freezes* that ``z_{i,j}``
+permanently.
+
+Also implemented: the **greedy reverse** variant (start from the full join
+and peel the least valuable segments until feasible) and the **double
+sided** dispatcher that picks forward or reverse based on
+``z <= 0.5^{(m-1)/2}`` — the tech-report extension the paper sketches at
+the end of Section 6.1.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from .cost_model import JoinProfile
+from .solver_result import SolverResult
+
+_EPS = 1e-15
+
+
+class Metric(str, Enum):
+    """Candidate evaluation metrics of Section 5.1.2."""
+
+    BEST_OUTPUT = "bo"
+    BEST_OUTPUT_PER_COST = "bopc"
+    BEST_DELTA_OUTPUT_PER_DELTA_COST = "bdopdc"
+
+
+def _score(
+    metric: Metric, new_out: float, new_cost: float, cur_out: float,
+    cur_cost: float,
+) -> float:
+    if metric is Metric.BEST_OUTPUT:
+        return new_out
+    if metric is Metric.BEST_OUTPUT_PER_COST:
+        return new_out / max(new_cost, _EPS)
+    return (new_out - cur_out) / max(new_cost - cur_cost, _EPS)
+
+
+def _fractional_initialization(
+    profile: JoinProfile, budget: float
+) -> tuple[np.ndarray, float, float] | None:
+    """Sub-segment fallback when even one logical window per hop is too
+    expensive.
+
+    The paper's harvest fractions are continuous (``z_{i,j} in (0, 1]``);
+    its greedy merely steps in whole logical windows.  Under extreme
+    overload (tiny throttle with concentrated time correlations) a whole
+    first segment can already blow the budget, which would force the
+    greedy to shut the join off entirely.  Instead, initialize the single
+    most productive direction at the largest fractional segment level
+    ``f in (0, 1)`` that fits the budget (cost is monotone in ``f``, so a
+    bisection finds it).
+
+    Returns ``(counts, cost, output)`` or None when nothing fits.
+    """
+    m = profile.m
+    hops = m - 1
+    best: tuple[np.ndarray, float, float] | None = None
+    for i in range(m):
+        cost_full, _ = profile.direction_terms(i, np.ones(hops))
+        if cost_full <= budget:
+            f = 1.0
+        else:
+            lo, hi = 0.0, 1.0
+            for _ in range(40):
+                mid = (lo + hi) / 2
+                cost_mid, _ = profile.direction_terms(
+                    i, np.full(hops, mid)
+                )
+                if cost_mid <= budget:
+                    lo = mid
+                else:
+                    hi = mid
+            f = lo
+        if f <= 0.0:
+            continue
+        counts_i = np.full(hops, f)
+        cost_i, out_i = profile.direction_terms(i, counts_i)
+        if best is None or out_i > best[2]:
+            counts = np.zeros((m, hops))
+            counts[i] = counts_i
+            best = (counts, cost_i, out_i)
+    return best
+
+
+def greedy_pick(
+    profile: JoinProfile,
+    throttle: float,
+    metric: Metric = Metric.BEST_DELTA_OUTPUT_PER_DELTA_COST,
+    fractional_fallback: bool = True,
+) -> SolverResult:
+    """The forward greedy of Fig. 3.
+
+    Complexity ``O(n * m^4)`` for equal ``n``: at most ``n * m * (m-1)``
+    applied steps, each scanning up to ``m * (m-1)`` candidates whose
+    evaluation touches one direction (``O(m)`` hops).
+
+    When no integral configuration fits the budget at all, falls back to
+    :func:`_fractional_initialization` so the join degrades gracefully
+    instead of shutting off.
+    """
+    if not 0 < throttle <= 1:
+        raise ValueError("throttle must be in (0, 1]")
+    m = profile.m
+    hops = m - 1
+    budget = throttle * profile.full_cost() * (1 + 1e-12)
+    counts = np.zeros((m, hops))
+    initialized = [False] * m
+    frozen = np.zeros((m, hops), dtype=bool)
+    dir_cost = np.zeros(m)
+    dir_out = np.zeros(m)
+    cur_cost = cur_out = 0.0
+    evaluations = 0
+    steps = 0
+
+    while True:
+        best_score = -np.inf
+        best: tuple[int, int | None] | None = None
+        best_terms: tuple[float, float] = (0.0, 0.0)
+        for i in range(m):
+            if initialized[i]:
+                for j in range(hops):
+                    if frozen[i, j]:
+                        continue
+                    if counts[i, j] >= profile.hop_segments(i, j):
+                        continue
+                    cand = counts[i].copy()
+                    cand[j] += 1
+                    c_i, o_i = profile.direction_terms(i, cand)
+                    evaluations += 1
+                    new_cost = cur_cost - dir_cost[i] + c_i
+                    if new_cost > budget:
+                        frozen[i, j] = True
+                        continue
+                    new_out = cur_out - dir_out[i] + o_i
+                    score = _score(metric, new_out, new_cost, cur_out,
+                                   cur_cost)
+                    if score > best_score:
+                        best_score, best = score, (i, j)
+                        best_terms = (c_i, o_i)
+            else:
+                cand = np.ones(hops)
+                c_i, o_i = profile.direction_terms(i, cand)
+                evaluations += 1
+                new_cost = cur_cost - dir_cost[i] + c_i
+                if new_cost > budget:
+                    continue
+                new_out = cur_out - dir_out[i] + o_i
+                score = _score(metric, new_out, new_cost, cur_out, cur_cost)
+                if score > best_score:
+                    best_score, best = score, (i, None)
+                    best_terms = (c_i, o_i)
+        if best is None:
+            break
+        i, j = best
+        if j is None:
+            counts[i, :] = 1.0
+            initialized[i] = True
+        else:
+            counts[i, j] += 1
+        cur_cost += best_terms[0] - dir_cost[i]
+        cur_out += best_terms[1] - dir_out[i]
+        dir_cost[i], dir_out[i] = best_terms
+        steps += 1
+
+    method = f"greedy-{metric.value}"
+    if fractional_fallback and counts.max() == 0.0 and budget > 0:
+        fallback = _fractional_initialization(profile, budget)
+        if fallback is not None:
+            counts, cur_cost, cur_out = fallback
+            method += "+fractional"
+
+    return SolverResult(
+        counts=counts,
+        cost=cur_cost,
+        output=cur_out,
+        evaluations=evaluations,
+        method=method,
+    )
+
+
+def greedy_reverse(profile: JoinProfile, throttle: float) -> SolverResult:
+    """Reverse greedy: start from the full join, peel segments until the
+    budget constraint holds.
+
+    Each step removes the candidate segment with the smallest output loss
+    per unit of cost saved; decrementing a hop to zero deactivates its
+    whole direction (a direction with a zero hop produces nothing, so its
+    remaining scanning would be pure waste).
+    """
+    if not 0 < throttle <= 1:
+        raise ValueError("throttle must be in (0, 1]")
+    m = profile.m
+    hops = m - 1
+    budget = throttle * profile.full_cost() * (1 + 1e-12)
+    counts = profile.full_counts()
+    dir_terms = [profile.direction_terms(i, counts[i]) for i in range(m)]
+    cur_cost = sum(c for c, _ in dir_terms)
+    cur_out = sum(o for _, o in dir_terms)
+    evaluations = 0
+    steps = 0
+
+    while cur_cost > budget:
+        best_score = np.inf
+        best: tuple[int, np.ndarray, float, float] | None = None
+        for i in range(m):
+            if counts[i].max() == 0:
+                continue
+            for j in range(hops):
+                if counts[i, j] < 1:
+                    continue
+                cand = counts[i].copy()
+                cand[j] -= 1
+                if cand[j] == 0:
+                    cand[:] = 0.0  # deactivate the direction entirely
+                c_i, o_i = profile.direction_terms(i, cand)
+                evaluations += 1
+                saved = (cur_cost - (cur_cost - dir_terms[i][0] + c_i))
+                lost = cur_out - (cur_out - dir_terms[i][1] + o_i)
+                if saved <= 0:
+                    continue
+                score = lost / saved
+                if score < best_score:
+                    best_score = score
+                    best = (i, cand, c_i, o_i)
+        if best is None:
+            # nothing saves cost; zero everything out (always feasible)
+            counts[:] = 0.0
+            cur_cost = cur_out = 0.0
+            break
+        i, cand, c_i, o_i = best
+        cur_cost += c_i - dir_terms[i][0]
+        cur_out += o_i - dir_terms[i][1]
+        counts[i] = cand
+        dir_terms[i] = (c_i, o_i)
+        steps += 1
+
+    return SolverResult(
+        counts=counts,
+        cost=cur_cost,
+        output=cur_out,
+        evaluations=evaluations,
+        method="greedy-reverse",
+    )
+
+
+def greedy_double_sided(
+    profile: JoinProfile,
+    throttle: float,
+    metric: Metric = Metric.BEST_DELTA_OUTPUT_PER_DELTA_COST,
+    fractional_fallback: bool = True,
+) -> SolverResult:
+    """Forward greedy for small throttle fractions, reverse for large ones.
+
+    The switch point ``z <= 0.5^{(m-1)/2}`` is the paper's: each side then
+    runs close to its best case (few steps).
+    """
+    switch = 0.5 ** ((profile.m - 1) / 2)
+    if throttle <= switch:
+        result = greedy_pick(profile, throttle, metric, fractional_fallback)
+    else:
+        result = greedy_reverse(profile, throttle)
+    return SolverResult(
+        counts=result.counts,
+        cost=result.cost,
+        output=result.output,
+        evaluations=result.evaluations,
+        method=f"greedy-double-sided({result.method})",
+    )

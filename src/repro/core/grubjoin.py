@@ -1,0 +1,367 @@
+"""GrubJoin: the adaptive m-way windowed stream join (Section 5).
+
+GrubJoin combines the three framework components:
+
+* **operator throttling** — a :class:`ThrottleController` turns the
+  buffers' push/pop imbalance into the throttle fraction ``z``;
+* **window harvesting** — every adaptation step, the greedy solver picks
+  the harvest counts maximizing modeled output under the ``z * C(1)``
+  budget, and probes scan only the top-ranked logical basic windows;
+* **time-correlation learning** — an ``omega``-sampled subset of tuples is
+  processed with window shredding instead, whose unbiased output updates
+  the ``m`` per-stream histograms from which the basic-window scores are
+  recomputed.
+
+The operator plugs into :class:`repro.engine.runtime.Simulation` exactly
+like the full :class:`repro.joins.mjoin.MJoinOperator` it descends from.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.engine.buffers import BufferStats
+from repro.engine.operator import ProcessReceipt, StreamOperator
+from repro.joins.join_order import (
+    default_orders,
+    low_selectivity_first,
+    validate_order,
+)
+from repro.joins.pipeline import merge_slices, run_pipeline
+from repro.joins.selectivity import SelectivityEstimator
+from repro.streams.tuples import JoinResult, StreamTuple
+
+from .basic_windows import PartitionedWindow
+from .cost_model import JoinProfile
+from .greedy import Metric, greedy_double_sided, greedy_pick
+from .harvesting import HarvestConfiguration
+from .histograms import EquiWidthHistogram
+from .scores import scores_from_histograms
+from .shredding import shred_slices_for_hop
+from .throttle import ThrottleController
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.joins.predicates import JoinPredicate
+
+logger = logging.getLogger(__name__)
+
+
+class GrubJoinOperator(StreamOperator):
+    """The paper's contribution, ready to host in the simulation runtime.
+
+    Args:
+        predicate: join condition (any :class:`JoinPredicate`).
+        window_sizes: per-stream join window sizes ``w_i`` (seconds).
+        basic_window_size: ``b`` (seconds).
+        orders: fixed join orders; default derives them adaptively with
+            low-selectivity-first.
+        adapt_orders: refresh join orders at every adaptation step.
+        sampling: ``omega``, the fraction of tuples processed with window
+            shredding for time-correlation learning (paper uses 0.1).
+        gamma: throttle boost factor.
+        z_min: throttle floor.
+        metric: greedy evaluation metric (paper recommends BDOpDC).
+        solver: ``"greedy"`` (the paper's default) or ``"double-sided"``
+            (the tech-report extension switching to reverse greedy for
+            large ``z``).
+        histogram_buckets: buckets per per-stream histogram; default sizes
+            them at two buckets per basic window.
+        histogram_decay: per-adaptation aging factor of the histograms.
+        histogram_smoothing: Laplace pseudo-count per histogram bucket so
+            sparse shredding output does not produce spuriously spiky
+            time-correlation estimates.
+        selectivity_default: selectivity assumed before observations.
+        selectivity_decay: per-adaptation aging of selectivity estimates.
+        output_cost: work units charged per produced result tuple.
+        fractional_fallback: let the greedy initialize a direction below
+            one logical basic window per hop when nothing integral fits
+            the budget (recommended; an ablation bench covers it).
+        memory_saving: additionally use the harvesting decision to bound
+            memory (the Section 7 claim): basic windows that no join
+            direction will probe under the current configuration are
+            evicted early instead of being retained until expiration.
+            Evicted history cannot be recovered if the configuration
+            later re-selects those segments — the classic memory-shedding
+            trade-off.
+        rng: generator (or seed) for the shredding sampler.
+    """
+
+    def __init__(
+        self,
+        predicate: "JoinPredicate",
+        window_sizes: Sequence[float],
+        basic_window_size: float,
+        orders: Sequence[Sequence[int]] | None = None,
+        adapt_orders: bool = True,
+        sampling: float = 0.1,
+        gamma: float = 1.2,
+        z_min: float = 0.01,
+        metric: Metric = Metric.BEST_DELTA_OUTPUT_PER_DELTA_COST,
+        solver: str = "greedy",
+        histogram_buckets: int | None = None,
+        histogram_decay: float = 0.95,
+        histogram_smoothing: float = 0.25,
+        selectivity_default: float = 0.005,
+        selectivity_decay: float = 0.9,
+        output_cost: float = 2.0,
+        fractional_fallback: bool = True,
+        memory_saving: bool = False,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        m = len(window_sizes)
+        if m < 2:
+            raise ValueError("an m-way join needs at least 2 streams")
+        if not 0 < sampling <= 1:
+            raise ValueError("sampling (omega) must be in (0, 1]")
+        if solver not in ("greedy", "double-sided"):
+            raise ValueError("solver must be 'greedy' or 'double-sided'")
+        if output_cost < 0:
+            raise ValueError("output_cost must be non-negative")
+        self.num_streams = m
+        self.predicate = predicate
+        self.window_sizes = [float(w) for w in window_sizes]
+        self.basic_window_size = float(basic_window_size)
+        self.windows = [
+            PartitionedWindow(
+                w,
+                basic_window_size,
+                mode=predicate.storage_mode,
+                dim=predicate.dim,
+            )
+            for w in self.window_sizes
+        ]
+        self.segments = [w.n for w in self.windows]
+        if orders is None:
+            self.orders = default_orders(m)
+        else:
+            self.orders = [list(o) for o in orders]
+            for i, order in enumerate(self.orders):
+                validate_order(order, i, m)
+        self.adapt_orders = adapt_orders and orders is None
+        self.sampling = float(sampling)
+        self.metric = metric
+        self.solver = solver
+        self.output_cost = float(output_cost)
+        self.fractional_fallback = bool(fractional_fallback)
+        self.memory_saving = bool(memory_saving)
+        self.throttle = ThrottleController(gamma=gamma, z_min=z_min)
+        self.selectivity = SelectivityEstimator(
+            m, default=selectivity_default, decay=selectivity_decay
+        )
+        if histogram_buckets is None:
+            histogram_buckets = 2 * (max(self.segments) + self.segments[0])
+        self.histogram_decay = float(histogram_decay)
+        b = self.basic_window_size
+        self.histograms: list[EquiWidthHistogram | None] = [None] + [
+            EquiWidthHistogram(
+                low=-self.segments[i] * b,
+                high=self.segments[0] * b,
+                buckets=histogram_buckets,
+                smoothing=histogram_smoothing,
+            )
+            for i in range(1, m)
+        ]
+        self.harvest = HarvestConfiguration.full(m, self.segments)
+        self._rng = np.random.default_rng(rng)
+        self._rates = np.zeros(m)
+        # diagnostics
+        self.tuples_processed = 0
+        self.tuples_shredded = 0
+        self.tuples_evicted = 0
+        self.comparisons_total = 0
+        self.adaptations = 0
+        self.last_solver_result = None
+        self.solver_seconds_total = 0.0
+        self.z_history: list[tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    # tuple processing
+    # ------------------------------------------------------------------
+
+    @property
+    def throttle_fraction(self) -> float:
+        """Current throttle fraction ``z`` (read by the runtime's series)."""
+        return self.throttle.z
+
+    def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
+        """Insert ``tup`` and probe via harvesting or (sampled) shredding."""
+        self.windows[tup.stream].insert(tup, now)
+        if self._rng.random() < self.sampling:
+            outputs, comparisons = self._shredded_probe(tup, now)
+            self.tuples_shredded += 1
+        else:
+            outputs, comparisons = self._harvested_probe(tup, now)
+        self.tuples_processed += 1
+        self.comparisons_total += comparisons
+        work = comparisons + int(self.output_cost * len(outputs))
+        return ProcessReceipt(comparisons=work, outputs=outputs)
+
+    def _harvested_probe(
+        self, tup: StreamTuple, now: float
+    ) -> tuple[list[JoinResult], int]:
+        i = tup.stream
+        order = self.orders[i]
+        harvest = self.harvest
+
+        def slices_for_hop(hop: int, window_stream: int):
+            return merge_slices(
+                harvest.slices_for_hop(
+                    self.windows[window_stream],
+                    i,
+                    hop,
+                    now,
+                    reference=tup.timestamp,
+                )
+            )
+
+        result = run_pipeline(tup, order, slices_for_hop, self.predicate)
+        return result.outputs, result.comparisons
+
+    def _shredded_probe(
+        self, tup: StreamTuple, now: float
+    ) -> tuple[list[JoinResult], int]:
+        i = tup.stream
+        order = self.orders[i]
+        slices_for_hop = shred_slices_for_hop(
+            self.windows, order, self.throttle.z, now
+        )
+        result = run_pipeline(tup, order, slices_for_hop, self.predicate)
+        for hop, stats in enumerate(result.hop_stats):
+            self.selectivity.observe(
+                i, order[hop], stats.scanned, stats.matched
+            )
+        self._learn_from_outputs(result.outputs)
+        return result.outputs, result.comparisons
+
+    def _learn_from_outputs(self, outputs: list[JoinResult]) -> None:
+        """Update the per-stream histograms ``L_s`` from shredding output."""
+        for result in outputs:
+            ts0 = result.constituents[0].timestamp
+            for s in range(1, self.num_streams):
+                self.histograms[s].add(
+                    result.constituents[s].timestamp - ts0
+                )
+
+    # ------------------------------------------------------------------
+    # adaptation
+    # ------------------------------------------------------------------
+
+    def on_adapt(
+        self, now: float, stats: list[BufferStats], interval: float
+    ) -> None:
+        """One adaptation step: throttle, relearn, reconfigure harvesting."""
+        z = self.throttle.update_from_stats(stats)
+        self.z_history.append((now, z))
+        self.selectivity.age()
+        for hist in self.histograms[1:]:
+            hist.decay(self.histogram_decay)
+        for s in range(self.num_streams):
+            rate = stats[s].push_rate(interval)
+            if rate > 0:
+                self._rates[s] = rate
+        if self.adapt_orders:
+            self.orders = low_selectivity_first(self.selectivity.matrix())
+        self._reconfigure_harvesting(now, z)
+        self.adaptations += 1
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "adapt t=%.1f beta=%.3f z=%.3f counts=%s",
+                now,
+                self.throttle.last_beta,
+                z,
+                self.harvest.counts.tolist(),
+            )
+
+    def build_profile(self, now: float) -> JoinProfile:
+        """Snapshot the current state as a :class:`JoinProfile`."""
+        m = self.num_streams
+        window_counts = np.array(
+            [w.count_unexpired(now) for w in self.windows], dtype=float
+        )
+        masses = []
+        for i in range(m):
+            per_dir = []
+            for l in self.orders[i]:
+                per_dir.append(
+                    scores_from_histograms(
+                        self.histograms,
+                        i,
+                        l,
+                        self.basic_window_size,
+                        self.segments[l],
+                    )
+                )
+            masses.append(per_dir)
+        return JoinProfile(
+            rates=self._rates.copy(),
+            window_counts=window_counts,
+            segments=np.asarray(self.segments),
+            selectivity=np.asarray(self.selectivity.matrix()),
+            orders=[list(o) for o in self.orders],
+            masses=masses,
+            output_cost=self.output_cost,
+        )
+
+    def _reconfigure_harvesting(self, now: float, z: float) -> None:
+        if z >= 1.0:
+            self.harvest = HarvestConfiguration.full(
+                self.num_streams, self.segments
+            )
+            return
+        profile = self.build_profile(now)
+        started = time.perf_counter()
+        if self.solver == "double-sided":
+            result = greedy_double_sided(
+                profile, z, self.metric, self.fractional_fallback
+            )
+        else:
+            result = greedy_pick(
+                profile, z, self.metric, self.fractional_fallback
+            )
+        self.solver_seconds_total += time.perf_counter() - started
+        rankings = [
+            [profile.ranking(i, j) for j in range(self.num_streams - 1)]
+            for i in range(self.num_streams)
+        ]
+        self.harvest = HarvestConfiguration(result.counts, rankings)
+        self.last_solver_result = result
+        if self.memory_saving:
+            self._evict_unprobed_segments(now)
+
+    def _evict_unprobed_segments(self, now: float) -> None:
+        """Memory-saving mode: drop basic windows no direction will probe.
+
+        For each window, find the oldest logical basic window any join
+        direction currently selects; everything older (plus one guard
+        segment for the rotation phase) is evicted early.  Window
+        shredding loses access to the evicted history — the inherent
+        cost of shedding memory.
+        """
+        m = self.num_streams
+        b = self.basic_window_size
+        for l in range(m):
+            deepest = 0
+            for i in range(m):
+                if i == l:
+                    continue
+                j = self.orders[i].index(l)
+                selected = self.harvest.selected_windows(i, j)
+                if len(selected):
+                    deepest = max(deepest, int(selected.max()) + 1)
+                partial = self.harvest.fractional_window(i, j)
+                if partial is not None:
+                    deepest = max(deepest, partial[0] + 1)
+            horizon = (deepest + 1) * b  # +1 guard for the rotation phase
+            self.tuples_evicted += self.windows[l].evict_older_than(
+                horizon, now
+            )
+
+    def describe(self) -> str:
+        return (
+            f"GrubJoin(m={self.num_streams}, solver={self.solver}, "
+            f"metric={self.metric.value})"
+        )

@@ -1,0 +1,111 @@
+"""Runtime window-harvesting configuration (Section 4.1.2).
+
+At probe time, the ``i``-th join direction needs, for each hop ``j``, the
+set of logical basic windows to scan: the top ``counts[i][j]`` windows of
+the ranking ``s_{i,j}`` derived from the scores.  This module packages that
+state (produced by the solver + score computation at each adaptation step)
+and turns it into concrete window slices.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .basic_windows import PartitionedWindow, WindowSlice
+
+
+class HarvestConfiguration:
+    """Harvest counts plus window rankings for all directions and hops.
+
+    Args:
+        counts: ``(m, m-1)`` matrix of selected logical windows per hop.
+            A fractional part selects an evenly strided sample of the
+            next-ranked logical window (the greedy's sub-segment fallback
+            under extreme overload).
+        rankings: ``rankings[i][j]`` is an array of 0-based logical-window
+            indices sorted by descending score (rank order).
+    """
+
+    def __init__(
+        self,
+        counts: np.ndarray,
+        rankings: Sequence[Sequence[np.ndarray]],
+    ) -> None:
+        counts = np.asarray(counts, dtype=float)
+        m = counts.shape[0]
+        if counts.shape != (m, m - 1):
+            raise ValueError("counts must be shaped (m, m-1)")
+        if len(rankings) != m or any(len(r) != m - 1 for r in rankings):
+            raise ValueError("one ranking per (direction, hop) required")
+        if (counts < 0).any():
+            raise ValueError("counts must be non-negative")
+        self.counts = counts
+        self.rankings = [
+            [np.asarray(r, dtype=int) for r in per_dir]
+            for per_dir in rankings
+        ]
+
+    @classmethod
+    def full(cls, m: int, segments: Sequence[int]) -> "HarvestConfiguration":
+        """The non-shedding configuration: every window fully selected, in
+        natural (most-recent-first) rank order."""
+        counts = np.zeros((m, m - 1), dtype=int)
+        rankings: list[list[np.ndarray]] = []
+        for i in range(m):
+            per_dir = []
+            others = [l for l in range(m) if l != i]
+            for j, l in enumerate(others):
+                counts[i, j] = segments[l]
+                per_dir.append(np.arange(segments[l]))
+            rankings.append(per_dir)
+        return cls(counts, rankings)
+
+    def selected_windows(self, i: int, j: int) -> np.ndarray:
+        """0-based logical-window indices *fully* scanned at hop ``j`` of
+        direction ``i``, best-ranked first (fractional tail excluded)."""
+        count = int(self.counts[i, j])
+        return self.rankings[i][j][:count]
+
+    def fractional_window(self, i: int, j: int) -> tuple[int, float] | None:
+        """The partially scanned logical window of hop ``j``, if any:
+        ``(0-based window index, fraction)``."""
+        count = float(self.counts[i, j])
+        whole = int(count)
+        frac = count - whole
+        ranking = self.rankings[i][j]
+        if frac <= 0.0 or whole >= len(ranking):
+            return None
+        return int(ranking[whole]), frac
+
+    def slices_for_hop(
+        self,
+        window: PartitionedWindow,
+        i: int,
+        j: int,
+        now: float,
+        reference: float | None = None,
+    ) -> list[WindowSlice]:
+        """Concrete slices of ``window`` for hop ``j`` of direction ``i``.
+
+        ``reference`` anchors the logical windows (pass the probing tuple's
+        timestamp so the scored offsets line up even for stale tuples).
+        """
+        slices: list[WindowSlice] = []
+        for k in self.selected_windows(i, j):
+            slices.extend(
+                window.logical_window_slices(int(k) + 1, now, reference)
+            )
+        partial = self.fractional_window(i, j)
+        if partial is not None:
+            k, frac = partial
+            stride = max(1, round(1.0 / frac))
+            for s in window.logical_window_slices(k + 1, now, reference):
+                slices.append(WindowSlice(s.window, s.lo, s.hi, step=stride))
+        return slices
+
+    def fraction(self, i: int, j: int, segments: int) -> float:
+        """The harvest fraction ``z_{i,j}`` implied for a window with
+        ``segments`` logical basic windows."""
+        return self.counts[i, j] / segments

@@ -1,0 +1,39 @@
+"""Common result type for the window-harvesting solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of one harvest-fraction optimization.
+
+    Attributes:
+        counts: ``(m, m-1)`` matrix; ``counts[i, j]`` is the number of
+            logical basic windows selected for hop ``j`` of direction ``i``
+            (``z_{i,j} = counts[i,j] / n_{r_{i,j}}``).  Usually integral;
+            the greedy's fractional-initialization fallback can return
+            sub-one values under extreme overload.
+        cost: modeled ``C({z})`` of the returned setting.
+        output: modeled ``O({z})`` of the returned setting.
+        evaluations: how many candidate settings the solver evaluated.
+        method: solver label (``greedy-bdopdc``, ``brute-force``, ...).
+    """
+
+    counts: np.ndarray
+    cost: float
+    output: float
+    evaluations: int
+    method: str
+
+    def fractions(self, profile) -> np.ndarray:
+        """The harvest fractions ``z_{i,j}`` implied by :attr:`counts`."""
+        m = profile.m
+        z = np.zeros((m, m - 1))
+        for i in range(m):
+            for j in range(m - 1):
+                z[i, j] = self.counts[i, j] / profile.hop_segments(i, j)
+        return z

@@ -1,0 +1,74 @@
+"""Operator throttling (Section 3): the feedback loop setting ``z``.
+
+Every adaptation interval ``Delta``, the controller compares how many
+tuples the operator consumed (``alpha_i``, buffer pop counts) against how
+many arrived (``lambda'_i``, buffer push counts)::
+
+    beta = sum_i alpha_i / sum_i lambda'_i
+
+    z_new = beta * z_old              if beta < 1   (falling behind: shed)
+          = min(1, gamma * z_old)     otherwise     (keeping up: boost)
+
+``gamma > 1`` is the boost factor: it probes for recovered headroom; if
+none exists, the next interval's ``beta`` pushes ``z`` right back down.
+"""
+
+from __future__ import annotations
+
+from repro.engine.buffers import BufferStats
+
+
+class ThrottleController:
+    """Maintains the throttle fraction ``z`` in ``(0, 1]``.
+
+    Args:
+        gamma: boost factor applied when the operator keeps up; must
+            exceed 1 (the paper leaves the value open; 1.2 recovers within
+            a few intervals without large overshoot).
+        z_min: floor on ``z`` so the operator never fully stalls.
+        initial: starting ``z``; the paper starts optimistically at 1.
+    """
+
+    def __init__(
+        self, gamma: float = 1.2, z_min: float = 0.01, initial: float = 1.0
+    ) -> None:
+        if gamma <= 1:
+            raise ValueError("gamma must exceed 1")
+        if not 0 < z_min <= 1:
+            raise ValueError("z_min must be in (0, 1]")
+        if not z_min <= initial <= 1:
+            raise ValueError("initial z must be in [z_min, 1]")
+        self.gamma = float(gamma)
+        self.z_min = float(z_min)
+        self.z = float(initial)
+        self.last_beta = 1.0
+
+    def update(self, consumed: float, arrived: float) -> float:
+        """One adaptation step from raw interval counts; returns new ``z``.
+
+        With no arrivals the operator is trivially keeping up, so the
+        boost branch applies.
+        """
+        if consumed < 0 or arrived < 0:
+            raise ValueError("counts must be non-negative")
+        beta = consumed / arrived if arrived > 0 else 1.0
+        self.last_beta = beta
+        if beta < 1.0:
+            self.z = max(self.z_min, beta * self.z)
+        else:
+            self.z = min(1.0, self.gamma * self.z)
+        return self.z
+
+    def update_from_stats(self, stats: list[BufferStats]) -> float:
+        """Adaptation step straight from the input buffers' interval
+        statistics (``beta = sum popped / sum pushed``)."""
+        consumed = sum(s.popped for s in stats)
+        arrived = sum(s.pushed for s in stats)
+        return self.update(consumed, arrived)
+
+    def reset(self, initial: float = 1.0) -> None:
+        """Restart the controller (between runs)."""
+        if not self.z_min <= initial <= 1:
+            raise ValueError("initial z must be in [z_min, 1]")
+        self.z = float(initial)
+        self.last_beta = 1.0

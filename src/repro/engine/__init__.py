@@ -1,0 +1,63 @@
+"""Mini-DSMS runtime: virtual clock, buffers, simulated CPU, event loop.
+
+This package is the substrate the paper ran on System S for: a stream
+processing host that feeds input buffers, schedules a join operator on a
+CPU, and measures output rates.  Here the CPU is simulated (capacity in
+tuple comparisons per virtual second) so CPU load shedding experiments are
+deterministic and host-independent.
+"""
+
+from .basic_ops import FilterOperator, MapOperator
+from .buffers import BufferStats, InputBuffer, OutputBuffer
+from .clock import ClockError, VirtualClock
+from .cpu import CpuModel, WorkReceipt
+from .events import Event, EventKind, EventQueue
+from .graph import (
+    DataflowGraph,
+    Edge,
+    GraphResult,
+    NodeResult,
+    SchedulingPolicy,
+)
+from .metrics import SimulationResult, StreamCounters, TimeSeries
+from .operator import (
+    AdmissionFilter,
+    AdmitAll,
+    ProcessReceipt,
+    StreamOperator,
+)
+from .runtime import Simulation, SimulationConfig
+from .tracing import AdaptRecord, EventTrace, ServiceRecord, TracedOperator
+
+__all__ = [
+    "AdaptRecord",
+    "AdmissionFilter",
+    "AdmitAll",
+    "BufferStats",
+    "ClockError",
+    "CpuModel",
+    "DataflowGraph",
+    "Edge",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "EventTrace",
+    "FilterOperator",
+    "GraphResult",
+    "InputBuffer",
+    "MapOperator",
+    "NodeResult",
+    "OutputBuffer",
+    "ProcessReceipt",
+    "SchedulingPolicy",
+    "ServiceRecord",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "StreamCounters",
+    "StreamOperator",
+    "TimeSeries",
+    "TracedOperator",
+    "VirtualClock",
+    "WorkReceipt",
+]

@@ -1,0 +1,80 @@
+"""Small single-input operators for composing dataflow graphs.
+
+The paper's host system (System S) runs joins inside larger operator
+graphs — selections and projections upstream, aggregations downstream.
+These operators provide those pieces for the graph runtime: they are
+cheap, stateless (except the aggregate in :mod:`repro.core.aggregate`)
+and charge a fixed per-tuple work cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.streams.tuples import StreamTuple
+
+from .operator import ProcessReceipt, StreamOperator
+
+
+class FilterOperator(StreamOperator):
+    """Passes through tuples whose payload satisfies a predicate.
+
+    Args:
+        predicate: ``value -> bool``.
+        cost: work units charged per examined tuple.
+    """
+
+    num_streams = 1
+
+    def __init__(self, predicate: Callable[[Any], bool],
+                 cost: float = 1.0) -> None:
+        if not callable(predicate):
+            raise TypeError("predicate must be callable")
+        if cost < 0:
+            raise ValueError("cost must be non-negative")
+        self.predicate = predicate
+        self.cost = float(cost)
+        self.examined = 0
+        self.passed = 0
+
+    def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
+        self.examined += 1
+        outputs = []
+        if self.predicate(tup.value):
+            self.passed += 1
+            outputs.append(tup)
+        return ProcessReceipt(comparisons=int(self.cost), outputs=outputs)
+
+    def describe(self) -> str:
+        return "Filter"
+
+
+class MapOperator(StreamOperator):
+    """Applies a function to every payload (projection / transformation).
+
+    Args:
+        fn: ``value -> value``.
+        cost: work units charged per tuple.
+    """
+
+    num_streams = 1
+
+    def __init__(self, fn: Callable[[Any], Any], cost: float = 1.0) -> None:
+        if not callable(fn):
+            raise TypeError("fn must be callable")
+        if cost < 0:
+            raise ValueError("cost must be non-negative")
+        self.fn = fn
+        self.cost = float(cost)
+
+    def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
+        mapped = StreamTuple(
+            value=self.fn(tup.value),
+            timestamp=tup.timestamp,
+            stream=tup.stream,
+            seq=tup.seq,
+        )
+        return ProcessReceipt(comparisons=int(self.cost), outputs=[mapped])
+
+    def describe(self) -> str:
+        return "Map"

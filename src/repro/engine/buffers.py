@@ -1,0 +1,127 @@
+"""Input/output buffers with the rate accounting the paper's controller needs.
+
+The operator-throttling controller (Section 3) is driven by two per-buffer
+quantities measured over the last adaptation interval: the tuple *push*
+rate ``lambda'_i`` and the tuple *pop* (consumption) rate ``alpha_i``.
+:class:`InputBuffer` counts both and exposes an interval snapshot that the
+controller resets at each adaptation tick.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.streams.tuples import JoinResult, StreamTuple
+
+
+@dataclass(frozen=True, slots=True)
+class BufferStats:
+    """Push/pop counts accumulated since the last interval reset."""
+
+    pushed: int
+    popped: int
+    dropped: int
+    depth: int
+
+    def push_rate(self, interval: float) -> float:
+        """``lambda'_i``: tuples pushed per second over ``interval``."""
+        return self.pushed / interval if interval > 0 else 0.0
+
+    def pop_rate(self, interval: float) -> float:
+        """``alpha_i``: tuples popped per second over ``interval``."""
+        return self.popped / interval if interval > 0 else 0.0
+
+
+class InputBuffer:
+    """FIFO input buffer attached to one stream of the join operator.
+
+    Args:
+        stream: stream index this buffer serves.
+        capacity: optional bound; pushes beyond it are dropped and counted
+            (the paper assumes queues may grow unboundedly without load
+            shedding — a cap lets experiments observe that pressure rather
+            than exhaust memory).
+    """
+
+    def __init__(self, stream: int, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive when given")
+        self.stream = stream
+        self.capacity = capacity
+        self._queue: deque[StreamTuple] = deque()
+        self._pushed = 0
+        self._popped = 0
+        self._dropped = 0
+
+    def push(self, tup: StreamTuple) -> bool:
+        """Append a tuple; returns False (and counts a drop) when full."""
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            self._dropped += 1
+            return False
+        self._queue.append(tup)
+        self._pushed += 1
+        return True
+
+    def pop(self) -> StreamTuple:
+        """Remove and return the oldest tuple.
+
+        Raises:
+            IndexError: if the buffer is empty.
+        """
+        tup = self._queue.popleft()
+        self._popped += 1
+        return tup
+
+    def head(self) -> StreamTuple | None:
+        """The oldest tuple without removing it, or None if empty."""
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def interval_stats(self) -> BufferStats:
+        """Counts since the last :meth:`reset_interval`."""
+        return BufferStats(
+            pushed=self._pushed,
+            popped=self._popped,
+            dropped=self._dropped,
+            depth=len(self._queue),
+        )
+
+    def reset_interval(self) -> None:
+        """Zero the interval counters (called at each adaptation tick)."""
+        self._pushed = 0
+        self._popped = 0
+        self._dropped = 0
+
+
+class OutputBuffer:
+    """Collects join results and counts them for output-rate measurement.
+
+    Retaining every result of a long run can dominate memory, so retention
+    is optional; counting is not.
+    """
+
+    def __init__(self, retain: bool = True) -> None:
+        self.retain = retain
+        self.results: list[JoinResult] = []
+        self.count = 0
+
+    def push(self, result: JoinResult) -> None:
+        """Record one output tuple."""
+        self.count += 1
+        if self.retain:
+            self.results.append(result)
+
+    def push_many(self, results: list[JoinResult]) -> None:
+        """Record a batch of output tuples."""
+        self.count += len(results)
+        if self.retain:
+            self.results.extend(results)
+
+    def __len__(self) -> int:
+        return self.count

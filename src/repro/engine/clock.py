@@ -1,0 +1,43 @@
+"""Virtual clock for the discrete-event simulation.
+
+All times in the engine are *virtual seconds*.  Nothing in the simulator
+reads the wall clock; the clock only moves when an event is dispatched,
+which makes every experiment deterministic and independent of host speed —
+the property that lets a pure-Python reproduction study CPU load shedding
+at all.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(RuntimeError):
+    """Raised on attempts to move the virtual clock backwards."""
+
+
+class VirtualClock:
+    """A monotonically advancing virtual time."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises:
+            ClockError: if ``timestamp`` is in the past.  Equal timestamps
+                are allowed (simultaneous events).
+        """
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards: {timestamp} < {self._now}"
+            )
+        self._now = timestamp
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock (used between independent simulation runs)."""
+        self._now = float(start)

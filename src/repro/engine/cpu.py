@@ -1,0 +1,88 @@
+"""Simulated CPU: converts join work into virtual service time.
+
+The paper studies *CPU* load shedding, so the binding resource in the
+simulation must be processing capacity, not wall-clock speed of the host.
+:class:`CpuModel` expresses capacity in **tuple comparisons per virtual
+second**; an operator reports how many comparisons (plus fixed per-tuple
+overhead) servicing a tuple cost, and the CPU translates that into the
+virtual time the operator is busy.  Queueing, and therefore the shedding
+feedback loop, follows from arrivals outpacing this service rate — exactly
+the mechanism the paper's Section 3 controller reacts to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class WorkReceipt:
+    """What servicing one input tuple cost the operator."""
+
+    comparisons: int
+    overhead: float = 1.0
+
+    @property
+    def units(self) -> float:
+        """Total abstract work units (comparisons + fixed overhead)."""
+        return self.comparisons + self.overhead
+
+
+class CpuModel:
+    """A single-server CPU with a fixed comparison throughput.
+
+    Args:
+        comparisons_per_second: service capacity *per core*.  The
+            experiment configs compute this from the cost model so the
+            load-shedding knee sits where the paper places it (e.g.
+            Fig. 7's "no shedding needed below 100 tuples/sec").
+        tuple_overhead: fixed work units charged per serviced tuple (fetch,
+            insert, expiration bookkeeping).
+        cores: parallel servers.  One tuple occupies one core for its
+            whole service (the join's probe pipeline is sequential); extra
+            cores let the runtime service several tuples concurrently —
+            an M/G/k station instead of M/G/1.
+    """
+
+    def __init__(
+        self,
+        comparisons_per_second: float,
+        tuple_overhead: float = 1.0,
+        cores: int = 1,
+    ) -> None:
+        if comparisons_per_second <= 0:
+            raise ValueError("capacity must be positive")
+        if tuple_overhead < 0:
+            raise ValueError("overhead must be non-negative")
+        if cores < 1:
+            raise ValueError("cores must be at least 1")
+        self.comparisons_per_second = float(comparisons_per_second)
+        self.tuple_overhead = float(tuple_overhead)
+        self.cores = int(cores)
+        self.busy_time = 0.0
+        self.serviced = 0
+
+    def service_time(self, comparisons: int) -> float:
+        """Virtual seconds needed to perform ``comparisons`` comparisons
+        plus the per-tuple overhead."""
+        units = comparisons + self.tuple_overhead
+        return units / self.comparisons_per_second
+
+    def charge(self, comparisons: int) -> float:
+        """Account for one serviced tuple and return its service time."""
+        t = self.service_time(comparisons)
+        self.busy_time += t
+        self.serviced += 1
+        return t
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of the total core-seconds in ``elapsed`` that were
+        busy (1.0 = all cores saturated)."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (elapsed * self.cores))
+
+    def reset(self) -> None:
+        """Zero the accounting (between runs)."""
+        self.busy_time = 0.0
+        self.serviced = 0

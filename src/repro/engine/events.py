@@ -1,0 +1,68 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ``(time, priority, seq)``-ordered: ties in time are broken by an
+explicit priority class, then by insertion order.  The priority classes
+make the semantics of simultaneous events well-defined — e.g. an adaptation
+tick scheduled at the same instant as a tuple arrival observes the buffer
+state *before* that arrival.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any
+
+
+class EventKind(IntEnum):
+    """Dispatch classes, in tie-break order (lower runs first)."""
+
+    ADAPT = 0          # throttle / harvesting reconfiguration tick
+    ARRIVAL = 1        # a tuple arrives at an input buffer
+    COMPLETION = 2     # the operator finishes servicing a tuple
+    MEASURE = 3        # statistics sampling tick
+    STOP = 4           # end of simulation
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled simulation event."""
+
+    time: float
+    kind: EventKind
+    seq: int
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event; returns it (useful for inspection in tests)."""
+        event = Event(time=time, kind=kind, seq=self._seq, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event.
+
+        Raises:
+            IndexError: if the queue is empty.
+        """
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest event, or None if empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

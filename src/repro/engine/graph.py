@@ -1,0 +1,352 @@
+"""Dataflow-graph runtime: multiple operators sharing one simulated CPU.
+
+:class:`repro.engine.runtime.Simulation` hosts a single operator, which is
+all the paper's experiments need.  Real deployments (the paper's System S
+host) run joins inside operator *graphs* — filters upstream, aggregations
+downstream, several queries sharing the machine.  :class:`DataflowGraph`
+provides that: named nodes wrapping operators, edges carrying one node's
+outputs into another's input buffer, and a scheduler that serves all
+nodes from one CPU (globally oldest buffered tuple first, so no node can
+indefinitely starve another with equal load).
+
+Edges may carry a ``transform`` turning an upstream output (e.g. a
+``JoinResult``) into the ``StreamTuple`` the downstream operator expects;
+pass-through is the default for outputs that already are stream tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Sequence
+
+from repro.streams.tuples import StreamTuple
+
+from .buffers import InputBuffer
+from .clock import VirtualClock
+from .cpu import CpuModel
+from .events import EventKind, EventQueue
+from .metrics import StreamCounters, TimeSeries
+from .operator import AdmissionFilter, StreamOperator
+from .runtime import SimulationConfig
+
+
+class SchedulingPolicy(str, Enum):
+    """How the shared CPU picks the next tuple to service.
+
+    * ``OLDEST`` — globally oldest buffered tuple first: approximates
+      processing in arrival order across the whole graph, so no equally
+      loaded node starves another.
+    * ``ROUND_ROBIN`` — cycle through nodes with pending work: fair in
+      *servicing opportunities*, which favours cheap operators when an
+      expensive one hogs time per tuple.
+    * ``PRIORITY`` — highest ``add_node(priority=...)`` first; within a
+      priority level, oldest head.  Lets a latency-critical query preempt
+      batchy neighbours.
+    """
+
+    OLDEST = "oldest"
+    ROUND_ROBIN = "round-robin"
+    PRIORITY = "priority"
+
+
+@dataclass(slots=True)
+class Edge:
+    """Directed connection: source node's outputs feed a target input."""
+
+    source: str
+    target: str
+    target_input: int
+    transform: Callable[[Any], StreamTuple] | None = None
+
+
+@dataclass
+class NodeResult:
+    """Per-node measurements of a graph run."""
+
+    name: str
+    output_count: int = 0
+    output_count_warm: int = 0
+    output_rate: float = 0.0
+    consumed: int = 0
+    queue_depth_series: list[TimeSeries] = field(default_factory=list)
+
+
+@dataclass
+class GraphResult:
+    """Outcome of one :meth:`DataflowGraph.run`."""
+
+    nodes: dict[str, NodeResult]
+    cpu_utilization: float
+    duration: float
+    warmup: float
+
+
+class _Node:
+    """Internal node state: an operator plus its input buffers."""
+
+    def __init__(
+        self,
+        name: str,
+        operator: StreamOperator,
+        admission: Sequence[AdmissionFilter | None] | None,
+        buffer_capacity: int | None,
+        priority: int = 0,
+    ) -> None:
+        self.name = name
+        self.operator = operator
+        self.priority = priority
+        self.buffers = [
+            InputBuffer(i, buffer_capacity)
+            for i in range(operator.num_streams)
+        ]
+        if admission is None:
+            admission = [None] * operator.num_streams
+        if len(admission) != operator.num_streams:
+            raise ValueError(
+                f"node {name!r}: one admission slot per input required"
+            )
+        self.admission = list(admission)
+        self.edges: list[Edge] = []
+        self.result = NodeResult(name=name)
+        self.warm_marked = False
+
+
+class DataflowGraph:
+    """A DAG of stream operators executed on one shared CPU."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, _Node] = {}
+        self._sources: list[tuple[str, int, Any]] = []
+        self._edges: list[Edge] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self,
+        name: str,
+        operator: StreamOperator,
+        admission: Sequence[AdmissionFilter | None] | None = None,
+        buffer_capacity: int | None = None,
+        priority: int = 0,
+    ) -> None:
+        """Register an operator under a unique name.
+
+        ``priority`` matters only under the PRIORITY scheduling policy
+        (higher runs first).
+        """
+        if name in self._nodes:
+            raise ValueError(f"duplicate node name {name!r}")
+        self._nodes[name] = _Node(name, operator, admission,
+                                  buffer_capacity, priority)
+
+    def add_source(self, node: str, input_index: int, source: Any) -> None:
+        """Attach an external stream source to a node input."""
+        self._check_input(node, input_index)
+        self._sources.append((node, input_index, source))
+
+    def connect(
+        self,
+        source: str,
+        target: str,
+        target_input: int = 0,
+        transform: Callable[[Any], StreamTuple] | None = None,
+    ) -> None:
+        """Wire one node's outputs into another node's input buffer."""
+        if source not in self._nodes:
+            raise ValueError(f"unknown source node {source!r}")
+        self._check_input(target, target_input)
+        edge = Edge(source, target, target_input, transform)
+        self._nodes[source].edges.append(edge)
+        self._edges.append(edge)
+
+    def _check_input(self, node: str, input_index: int) -> None:
+        if node not in self._nodes:
+            raise ValueError(f"unknown node {node!r}")
+        n_inputs = self._nodes[node].operator.num_streams
+        if not 0 <= input_index < n_inputs:
+            raise ValueError(
+                f"node {node!r} has inputs 0..{n_inputs - 1}, "
+                f"got {input_index}"
+            )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        cpu: CpuModel,
+        config: SimulationConfig | None = None,
+        policy: SchedulingPolicy = SchedulingPolicy.OLDEST,
+    ) -> GraphResult:
+        """Execute the whole graph for ``config.duration`` virtual seconds."""
+        config = config or SimulationConfig()
+        policy = SchedulingPolicy(policy)
+        rr_order = list(self._nodes)
+        rr_next = 0
+        clock = VirtualClock()
+        events = EventQueue()
+        busy_count = 0
+
+        for node in self._nodes.values():
+            node.result.queue_depth_series = [
+                TimeSeries() for _ in node.buffers
+            ]
+
+        for node_name, input_index, source in self._sources:
+            for tup in source.iter_tuples(config.duration):
+                events.push(
+                    tup.delivery_time, EventKind.ARRIVAL,
+                    (node_name, input_index, tup),
+                )
+        t = config.adaptation_interval
+        while t <= config.duration:
+            events.push(t, EventKind.ADAPT)
+            t += config.adaptation_interval
+        t = config.measure_interval
+        while t <= config.duration:
+            events.push(t, EventKind.MEASURE)
+            t += config.measure_interval
+        events.push(config.duration, EventKind.STOP)
+
+        def deliver(node: _Node, input_index: int, tup: StreamTuple,
+                    now: float) -> None:
+            gate = node.admission[input_index]
+            if gate is not None and not gate.admit(tup, now):
+                return
+            node.buffers[input_index].push(tup)
+
+        def oldest_buffer(node: _Node) -> InputBuffer | None:
+            best = None
+            best_ts = float("inf")
+            for buf in node.buffers:
+                head = buf.head()
+                if head is not None and head.timestamp < best_ts:
+                    best = buf
+                    best_ts = head.timestamp
+            return best
+
+        def pick() -> tuple[_Node, InputBuffer] | None:
+            nonlocal rr_next
+            if policy is SchedulingPolicy.ROUND_ROBIN:
+                for offset in range(len(rr_order)):
+                    node = self._nodes[
+                        rr_order[(rr_next + offset) % len(rr_order)]
+                    ]
+                    buf = oldest_buffer(node)
+                    if buf is not None:
+                        rr_next = (
+                            rr_next + offset + 1
+                        ) % len(rr_order)
+                        return node, buf
+                return None
+            candidates = []
+            for node in self._nodes.values():
+                buf = oldest_buffer(node)
+                if buf is not None:
+                    candidates.append((node, buf))
+            if not candidates:
+                return None
+            if policy is SchedulingPolicy.PRIORITY:
+                return max(
+                    candidates,
+                    key=lambda nb: (
+                        nb[0].priority,
+                        -nb[1].head().timestamp,
+                    ),
+                )
+            return min(candidates, key=lambda nb: nb[1].head().timestamp)
+
+        def start_service(now: float) -> bool:
+            choice = pick()
+            if choice is None:
+                return False
+            node, buf = choice
+            tup = buf.pop()
+            node.result.consumed += 1
+            receipt = node.operator.process(tup, now)
+            service = cpu.charge(receipt.comparisons)
+            events.push(
+                now + service, EventKind.COMPLETION,
+                (node.name, receipt.outputs),
+            )
+            return True
+
+        def fill_cores(now: float) -> None:
+            nonlocal busy_count
+            while busy_count < cpu.cores and start_service(now):
+                busy_count += 1
+
+        while events:
+            event = events.pop()
+            if event.time > config.duration:
+                break
+            clock.advance_to(event.time)
+            now = clock.now
+            if event.kind is EventKind.STOP:
+                break
+            if event.kind is EventKind.ARRIVAL:
+                node_name, input_index, tup = event.payload
+                deliver(self._nodes[node_name], input_index, tup, now)
+                fill_cores(now)
+            elif event.kind is EventKind.COMPLETION:
+                node_name, outputs = event.payload
+                node = self._nodes[node_name]
+                node.result.output_count += len(outputs)
+                if not node.warm_marked and now >= config.warmup:
+                    node.result.output_count_warm = (
+                        node.result.output_count - len(outputs)
+                    )
+                    node.warm_marked = True
+                for edge in node.edges:
+                    target = self._nodes[edge.target]
+                    for out in outputs:
+                        tup = (
+                            edge.transform(out)
+                            if edge.transform is not None
+                            else out
+                        )
+                        if not isinstance(tup, StreamTuple):
+                            raise TypeError(
+                                f"edge {edge.source!r}->{edge.target!r} "
+                                "delivered a non-StreamTuple; provide a "
+                                "transform"
+                            )
+                        deliver(target, edge.target_input, tup, now)
+                busy_count -= 1
+                fill_cores(now)
+            elif event.kind is EventKind.ADAPT:
+                interval = config.adaptation_interval
+                for node in self._nodes.values():
+                    stats = [b.interval_stats() for b in node.buffers]
+                    node.operator.on_adapt(now, stats, interval)
+                    for i, gate in enumerate(node.admission):
+                        if gate is not None:
+                            gate.on_adapt(now, stats[i].push_rate(interval))
+                    for b in node.buffers:
+                        b.reset_interval()
+            elif event.kind is EventKind.MEASURE:
+                for node in self._nodes.values():
+                    for i, b in enumerate(node.buffers):
+                        node.result.queue_depth_series[i].append(
+                            now, len(b)
+                        )
+
+        window = config.duration - config.warmup
+        results: dict[str, NodeResult] = {}
+        for node in self._nodes.values():
+            r = node.result
+            if not node.warm_marked:
+                r.output_count_warm = r.output_count
+            warm = r.output_count - r.output_count_warm
+            r.output_rate = warm / window if window > 0 else 0.0
+            results[node.name] = r
+        return GraphResult(
+            nodes=results,
+            cpu_utilization=cpu.utilization(config.duration),
+            duration=config.duration,
+            warmup=config.warmup,
+        )

@@ -1,0 +1,74 @@
+"""Operator interface between the runtime and stream operators.
+
+An operator services one input tuple at a time.  It reports how much CPU
+work (tuple comparisons) servicing cost, which the runtime converts into
+virtual busy time via :class:`repro.engine.cpu.CpuModel`.  Adaptive
+operators (GrubJoin) additionally receive a callback at every adaptation
+tick with the buffer statistics the throttling controller needs.
+
+Admission filters model *drop operators placed in front of the input
+buffers* — the mechanism of the RandomDrop baseline.  They see a tuple
+before it is buffered and decide whether it enters the system at all.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from repro.streams.tuples import JoinResult, StreamTuple
+
+from .buffers import BufferStats
+
+
+@dataclass(slots=True)
+class ProcessReceipt:
+    """Result of servicing one input tuple.
+
+    Attributes:
+        comparisons: tuple comparisons performed (the CPU work).
+        outputs: join results produced by this tuple's pipeline.
+    """
+
+    comparisons: int = 0
+    outputs: list[JoinResult] = field(default_factory=list)
+
+
+class StreamOperator(ABC):
+    """Base class for operators hosted by the simulation runtime."""
+
+    #: number of input streams the operator consumes
+    num_streams: int = 1
+
+    @abstractmethod
+    def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
+        """Service one input tuple at virtual time ``now``."""
+
+    def on_adapt(
+        self, now: float, stats: list[BufferStats], interval: float
+    ) -> None:
+        """Adaptation tick (every ``Delta`` seconds).  ``stats[i]`` holds the
+        push/pop counts of stream ``i``'s input buffer over the last
+        interval.  Default: no adaptation."""
+
+    def describe(self) -> str:
+        """Short human-readable label for logs and result tables."""
+        return type(self).__name__
+
+
+class AdmissionFilter(ABC):
+    """A drop operator sitting in front of one input buffer."""
+
+    @abstractmethod
+    def admit(self, tup: StreamTuple, now: float) -> bool:
+        """Return True to let the tuple into the buffer, False to drop it."""
+
+    def on_adapt(self, now: float, rate_estimate: float) -> None:
+        """Optional adaptation hook, fed the stream's recent push rate."""
+
+
+class AdmitAll(AdmissionFilter):
+    """The identity filter: never drops (GrubJoin's configuration)."""
+
+    def admit(self, tup: StreamTuple, now: float) -> bool:
+        return True

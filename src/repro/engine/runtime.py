@@ -1,0 +1,308 @@
+"""The discrete-event simulation runtime: sources -> buffers -> operator.
+
+One :class:`Simulation` wires stream sources through optional admission
+filters (drop operators) into per-stream input buffers, services them with
+a single operator on a simulated CPU, and measures the output rate.
+
+Event semantics
+---------------
+
+* ``ARRIVAL`` — a tuple reaches its admission filter; if admitted it is
+  pushed to its buffer, and the server is kicked if idle.
+* ``COMPLETION`` — the operator finishes one tuple; its outputs are
+  stamped and counted, and the next buffered tuple (earliest timestamp
+  across buffer heads) begins service.
+* ``ADAPT`` — every ``adaptation_interval`` virtual seconds the operator's
+  :meth:`on_adapt` runs with each buffer's push/pop counts, after which the
+  interval counters reset.  This is the paper's ``Delta``.
+* ``MEASURE`` — statistics sampling (queue depths, cumulative output).
+* ``STOP`` — at ``duration``; remaining events are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.streams.tuples import StreamTuple
+
+from .buffers import InputBuffer, OutputBuffer
+from .clock import VirtualClock
+from .cpu import CpuModel
+from .events import EventKind, EventQueue
+from .metrics import SimulationResult, StreamCounters, TimeSeries
+from .operator import AdmissionFilter, ProcessReceipt, StreamOperator
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationConfig:
+    """Run parameters.
+
+    Attributes:
+        duration: virtual seconds to simulate.  Paper default: 60.
+        warmup: leading seconds excluded from rate measurement.  Paper: 20.
+        adaptation_interval: the paper's ``Delta`` in seconds.
+        measure_interval: sampling period for depth/output series.
+        buffer_capacity: optional bound on each input buffer.
+        on_operator_error: ``"raise"`` propagates operator exceptions
+            (default — fail loudly during development); ``"skip"`` charges
+            a minimal service, drops the poisoned tuple and keeps the
+            stream flowing (production posture: one malformed tuple must
+            not take the query down).
+    """
+
+    duration: float = 60.0
+    warmup: float = 20.0
+    adaptation_interval: float = 5.0
+    measure_interval: float = 1.0
+    buffer_capacity: int | None = None
+    on_operator_error: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if not 0 <= self.warmup < self.duration:
+            raise ValueError("warmup must lie in [0, duration)")
+        if self.adaptation_interval <= 0:
+            raise ValueError("adaptation_interval must be positive")
+        if self.measure_interval <= 0:
+            raise ValueError("measure_interval must be positive")
+        if self.on_operator_error not in ("raise", "skip"):
+            raise ValueError("on_operator_error must be 'raise' or 'skip'")
+
+
+class Simulation:
+    """Drives one operator over one workload on a simulated CPU.
+
+    Args:
+        sources: one source per input stream (anything exposing
+            ``iter_tuples(until)`` and a ``stream`` index — live sources
+            and recorded traces both qualify).
+        operator: the join operator under test.
+        cpu: the simulated CPU.
+        config: run parameters.
+        admission: optional per-stream drop operators; ``None`` entries (or
+            omitting the list) mean admit-all.
+        retain_outputs: keep the actual result tuples (memory-heavy; tests
+            use it, benchmarks do not).
+    """
+
+    def __init__(
+        self,
+        sources: Sequence,
+        operator: StreamOperator,
+        cpu: CpuModel,
+        config: SimulationConfig | None = None,
+        admission: Sequence[AdmissionFilter | None] | None = None,
+        retain_outputs: bool = False,
+    ) -> None:
+        if len(sources) != operator.num_streams:
+            raise ValueError(
+                f"operator expects {operator.num_streams} streams, "
+                f"got {len(sources)} sources"
+            )
+        if admission is not None and len(admission) != len(sources):
+            raise ValueError("one admission filter slot per stream required")
+        self.sources = list(sources)
+        self.operator = operator
+        self.cpu = cpu
+        self.config = config or SimulationConfig()
+        self.admission = (
+            list(admission) if admission is not None else [None] * len(sources)
+        )
+        self.retain_outputs = retain_outputs
+
+        self._clock = VirtualClock()
+        self._events = EventQueue()
+        self._buffers = [
+            InputBuffer(i, self.config.buffer_capacity)
+            for i in range(len(self.sources))
+        ]
+        self._output = OutputBuffer(retain=retain_outputs)
+        self._counters = [StreamCounters() for _ in self.sources]
+        self._busy_count = 0
+        self._latency_sum = 0.0
+        self._latency_count = 0
+        self._queue_series = [TimeSeries() for _ in self.sources]
+        self._throttle_series = TimeSeries()
+        self._output_series = TimeSeries()
+        self._warm_output_start: int | None = None
+        #: tuples dropped because the operator raised on them ("skip" mode)
+        self.operator_errors = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return its measurements."""
+        cfg = self.config
+        self._schedule_arrivals(cfg.duration)
+        self._schedule_ticks(cfg)
+        self._events.push(cfg.duration, EventKind.STOP)
+
+        while self._events:
+            event = self._events.pop()
+            if event.time > cfg.duration:
+                break
+            self._clock.advance_to(event.time)
+            if event.kind is EventKind.STOP:
+                break
+            handler = {
+                EventKind.ARRIVAL: self._on_arrival,
+                EventKind.COMPLETION: self._on_completion,
+                EventKind.ADAPT: self._on_adapt,
+                EventKind.MEASURE: self._on_measure,
+            }[event.kind]
+            handler(event.payload)
+
+        return self._build_result()
+
+    @property
+    def output_buffer(self) -> OutputBuffer:
+        """The operator's output buffer (for tests inspecting results)."""
+        return self._output
+
+    # ------------------------------------------------------------------
+    # event scheduling
+    # ------------------------------------------------------------------
+
+    def _schedule_arrivals(self, until: float) -> None:
+        for source in self.sources:
+            for tup in source.iter_tuples(until):
+                self._events.push(
+                    tup.delivery_time, EventKind.ARRIVAL, tup
+                )
+
+    def _schedule_ticks(self, cfg: SimulationConfig) -> None:
+        t = cfg.adaptation_interval
+        while t <= cfg.duration:
+            self._events.push(t, EventKind.ADAPT)
+            t += cfg.adaptation_interval
+        t = cfg.measure_interval
+        while t <= cfg.duration:
+            self._events.push(t, EventKind.MEASURE)
+            t += cfg.measure_interval
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+
+    def _on_arrival(self, tup: StreamTuple) -> None:
+        now = self._clock.now
+        counters = self._counters[tup.stream]
+        counters.arrived += 1
+        gate = self.admission[tup.stream]
+        if gate is not None and not gate.admit(tup, now):
+            counters.dropped_at_admission += 1
+            return
+        if self._buffers[tup.stream].push(tup):
+            counters.admitted += 1
+        else:
+            counters.dropped_at_buffer += 1
+        self._fill_cores()
+
+    def _on_completion(self, receipt_outputs) -> None:
+        now = self._clock.now
+        outputs, probe = receipt_outputs
+        for result in outputs:
+            result.timestamp = now
+        self._output.push_many(outputs)
+        if self._warm_output_start is None and now >= self.config.warmup:
+            self._warm_output_start = self._output.count - len(outputs)
+        self._latency_sum += now - probe.timestamp
+        self._latency_count += 1
+        self._busy_count -= 1
+        self._fill_cores()
+
+    def _on_adapt(self, _payload) -> None:
+        now = self._clock.now
+        interval = self.config.adaptation_interval
+        stats = [buf.interval_stats() for buf in self._buffers]
+        self.operator.on_adapt(now, stats, interval)
+        for i, gate in enumerate(self.admission):
+            if gate is not None:
+                gate.on_adapt(now, stats[i].push_rate(interval))
+        for buf in self._buffers:
+            buf.reset_interval()
+        throttle = getattr(self.operator, "throttle_fraction", None)
+        if throttle is not None:
+            self._throttle_series.append(now, throttle)
+
+    def _on_measure(self, _payload) -> None:
+        now = self._clock.now
+        for i, buf in enumerate(self._buffers):
+            self._queue_series[i].append(now, len(buf))
+        self._output_series.append(now, self._output.count)
+
+    # ------------------------------------------------------------------
+    # service
+    # ------------------------------------------------------------------
+
+    def _fill_cores(self) -> None:
+        """Start services until every core is busy or the buffers drain."""
+        while self._busy_count < self.cpu.cores and self._start_service():
+            pass
+
+    def _start_service(self) -> bool:
+        buf = self._pick_buffer()
+        if buf is None:
+            return False
+        tup = buf.pop()
+        self._counters[tup.stream].consumed += 1
+        now = self._clock.now
+        try:
+            receipt = self.operator.process(tup, now)
+        except Exception:
+            if self.config.on_operator_error == "raise":
+                raise
+            self.operator_errors += 1
+            receipt = ProcessReceipt(comparisons=0, outputs=[])
+        service = self.cpu.charge(receipt.comparisons)
+        self._busy_count += 1
+        self._events.push(
+            now + service, EventKind.COMPLETION, (receipt.outputs, tup)
+        )
+        return True
+
+    def _pick_buffer(self) -> InputBuffer | None:
+        """Choose the non-empty buffer whose head tuple is oldest."""
+        best: InputBuffer | None = None
+        best_ts = float("inf")
+        for buf in self._buffers:
+            head = buf.head()
+            if head is not None and head.timestamp < best_ts:
+                best, best_ts = buf, head.timestamp
+        return best
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def _build_result(self) -> SimulationResult:
+        cfg = self.config
+        warm_start = (
+            self._warm_output_start
+            if self._warm_output_start is not None
+            else self._output.count
+        )
+        warm_count = self._output.count - warm_start
+        window = cfg.duration - cfg.warmup
+        mean_latency = (
+            self._latency_sum / self._latency_count
+            if self._latency_count
+            else 0.0
+        )
+        return SimulationResult(
+            duration=cfg.duration,
+            warmup=cfg.warmup,
+            output_count=warm_count,
+            output_count_total=self._output.count,
+            output_rate=warm_count / window if window > 0 else 0.0,
+            streams=self._counters,
+            cpu_utilization=self.cpu.utilization(cfg.duration),
+            mean_latency=mean_latency,
+            queue_depths=self._queue_series,
+            throttle_series=self._throttle_series,
+            output_series=self._output_series,
+        )

@@ -1,0 +1,122 @@
+"""Event tracing: record what a simulation did, for debugging.
+
+A :class:`EventTrace` hooks into the runtime (via the ``observer``
+argument of :meth:`Simulation.run`... conceptually — the runtime stays
+observer-free; instead the trace wraps an operator and records the
+service events it sees, plus adaptation snapshots).  Useful when a
+simulation misbehaves: dump the trace and inspect exactly which tuples
+were serviced when, at what cost, and what each adaptation decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.streams.tuples import StreamTuple
+
+from .buffers import BufferStats
+from .operator import ProcessReceipt, StreamOperator
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceRecord:
+    """One serviced tuple."""
+
+    time: float
+    stream: int
+    seq: int
+    timestamp: float
+    comparisons: int
+    outputs: int
+
+
+@dataclass(frozen=True, slots=True)
+class AdaptRecord:
+    """One adaptation tick."""
+
+    time: float
+    pushed: tuple[int, ...]
+    popped: tuple[int, ...]
+    throttle: float | None
+
+
+@dataclass
+class EventTrace:
+    """Recorded service / adaptation history."""
+
+    services: list[ServiceRecord] = field(default_factory=list)
+    adaptations: list[AdaptRecord] = field(default_factory=list)
+    max_records: int | None = None
+
+    def _room(self, records: list) -> bool:
+        return self.max_records is None or len(records) < self.max_records
+
+    def record_service(self, now: float, tup: StreamTuple,
+                       receipt: ProcessReceipt) -> None:
+        if self._room(self.services):
+            self.services.append(
+                ServiceRecord(
+                    time=now,
+                    stream=tup.stream,
+                    seq=tup.seq,
+                    timestamp=tup.timestamp,
+                    comparisons=receipt.comparisons,
+                    outputs=len(receipt.outputs),
+                )
+            )
+
+    def record_adapt(self, now: float, stats: list[BufferStats],
+                     throttle: float | None) -> None:
+        if self._room(self.adaptations):
+            self.adaptations.append(
+                AdaptRecord(
+                    time=now,
+                    pushed=tuple(s.pushed for s in stats),
+                    popped=tuple(s.popped for s in stats),
+                    throttle=throttle,
+                )
+            )
+
+    def total_comparisons(self) -> int:
+        """Work units across all recorded services."""
+        return sum(s.comparisons for s in self.services)
+
+    def busiest_services(self, n: int = 10) -> list[ServiceRecord]:
+        """The ``n`` most expensive serviced tuples."""
+        return sorted(
+            self.services, key=lambda s: s.comparisons, reverse=True
+        )[:n]
+
+
+class TracedOperator(StreamOperator):
+    """Wraps any operator, recording its service/adaptation events.
+
+    Drop-in: ``Simulation(sources, TracedOperator(op, trace), ...)``.
+    """
+
+    def __init__(self, operator: StreamOperator,
+                 trace: EventTrace | None = None) -> None:
+        self.inner = operator
+        self.trace = trace if trace is not None else EventTrace()
+        self.num_streams = operator.num_streams
+
+    @property
+    def throttle_fraction(self) -> float | None:
+        """Forwarded so the runtime's throttle series keeps working."""
+        return getattr(self.inner, "throttle_fraction", None)
+
+    def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
+        receipt = self.inner.process(tup, now)
+        self.trace.record_service(now, tup, receipt)
+        return receipt
+
+    def on_adapt(self, now: float, stats: list[BufferStats],
+                 interval: float) -> None:
+        self.inner.on_adapt(now, stats, interval)
+        self.trace.record_adapt(
+            now, stats, getattr(self.inner, "throttle_fraction", None)
+        )
+
+    def describe(self) -> str:
+        return f"Traced({self.inner.describe()})"

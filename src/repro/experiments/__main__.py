@@ -1,0 +1,102 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments all
+    python -m repro.experiments fig4 fig7
+    python -m repro.experiments all --report results.md --csv-dir out/
+    REPRO_FULL=1 python -m repro.experiments fig7   # paper-length runs
+
+Prints each requested figure's data table, optionally persisting the
+tables as one Markdown report and/or per-figure CSV files; exits non-zero
+on unknown figure names.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from . import (
+    fig4_optimality,
+    fig5_solver_runtime,
+    fig6_runtime_vs_z,
+    fig7_output_vs_rate,
+    fig8_output_vs_correlation,
+    fig9_output_vs_m,
+    fig10_adaptation,
+)
+from .report import write_csv, write_markdown_report
+
+FIGURES = {
+    "fig4": fig4_optimality,
+    "fig5": fig5_solver_runtime,
+    "fig6": fig6_runtime_vs_z,
+    "fig7": fig7_output_vs_rate,
+    "fig8": fig8_output_vs_correlation,
+    "fig9": fig9_output_vs_m,
+    "fig10": fig10_adaptation,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="+",
+        help=f"figure names ({', '.join(FIGURES)}) or 'all'",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="write all tables to this Markdown file",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        type=Path,
+        default=None,
+        help="write one CSV per figure into this directory",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+    requested = (
+        list(FIGURES) if "all" in args.figures else list(args.figures)
+    )
+    unknown = [name for name in requested if name not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: all {' '.join(FIGURES)}", file=sys.stderr)
+        return 2
+    if args.csv_dir is not None:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+    tables = []
+    for name in requested:
+        started = time.perf_counter()
+        table = FIGURES[name].run()
+        table.show()
+        print(f"[{name} took {time.perf_counter() - started:.1f}s]")
+        tables.append(table)
+        if args.csv_dir is not None:
+            write_csv(table, args.csv_dir / f"{name}.csv")
+    if args.report is not None:
+        write_markdown_report(tables, args.report,
+                              title="GrubJoin reproduction report")
+        print(f"report written to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""Figure 5: harvest-fraction solver running time vs basic-window count.
+
+The paper times the exhaustive and greedy solvers as functions of ``n``
+(logical basic windows per window) at ``z = 0.25``: greedy for m = 3, 4, 5
+and exhaustive for m = 3.  Expected shape: the exhaustive solver is orders
+of magnitude slower and explodes with ``n`` (``O(n^{m^2})``); the greedy
+grows roughly linearly in ``n`` (``O(n * m^4)``).
+
+The paper's exhaustive C implementation reaches n = 20 in ~30 s; a literal
+Python enumeration is far slower per configuration, so the naive solver is
+swept over a smaller ``n`` range by default — the orders-of-magnitude gap
+and the growth exponents are visible regardless (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import greedy_pick, solve_naive
+
+from .harness import ExperimentTable, full_scale
+from .instances import random_instance
+
+DEFAULT_NS = (2, 4, 6, 8, 10, 15, 20)
+
+
+def _time_solver(solve, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        solve()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0  # milliseconds
+
+
+def run(
+    ns: tuple[int, ...] = DEFAULT_NS,
+    throttle: float = 0.25,
+    naive_max_n: int | None = None,
+    seed: int = 2007,
+) -> ExperimentTable:
+    """Solver times (ms) as a function of ``n``."""
+    if naive_max_n is None:
+        naive_max_n = 8 if full_scale() else 6
+    rng = np.random.default_rng(seed)
+    table = ExperimentTable(
+        title=f"Fig. 5 — solver running time (ms) vs n (z={throttle})",
+        headers=[
+            "n",
+            "greedy m=3",
+            "greedy m=4",
+            "greedy m=5",
+            "exhaustive m=3",
+        ],
+    )
+    for n in ns:
+        row: list = [n]
+        for m in (3, 4, 5):
+            profile = random_instance(m=m, segments=n, rng=rng)
+            row.append(_time_solver(lambda p=profile: greedy_pick(p, throttle)))
+        if n <= naive_max_n:
+            profile = random_instance(m=3, segments=n, rng=rng)
+            row.append(
+                _time_solver(
+                    lambda p=profile: solve_naive(p, throttle), repeats=1
+                )
+            )
+        else:
+            row.append(float("nan"))
+        table.add(*row)
+    return table
+
+
+if __name__ == "__main__":
+    run().show()

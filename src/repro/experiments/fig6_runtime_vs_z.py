@@ -1,0 +1,62 @@
+"""Figure 6: greedy running time vs throttle fraction.
+
+The number of greedy steps grows with ``z`` (worst case ``~ n * m * (m-1)``
+at ``z = 1``), so running time should increase with ``z`` for each ``m``.
+As the tech-report extension, the table also reports the *double-sided*
+greedy, which switches to the reverse greedy beyond
+``z = 0.5^{(m-1)/2}`` and therefore stays fast at both ends.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import greedy_double_sided, greedy_pick
+
+from .harness import ExperimentTable
+from .instances import random_instance
+
+DEFAULT_THROTTLES = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+def _time_ms(solve, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        solve()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def run(
+    throttles: tuple[float, ...] = DEFAULT_THROTTLES,
+    segments: int = 10,
+    seed: int = 2007,
+) -> ExperimentTable:
+    """Greedy / double-sided solver times (ms) as a function of ``z``."""
+    rng = np.random.default_rng(seed)
+    profiles = {
+        m: random_instance(m=m, segments=segments, rng=rng) for m in (3, 4, 5)
+    }
+    table = ExperimentTable(
+        title=f"Fig. 6 — greedy running time (ms) vs z (n={segments})",
+        headers=["z"]
+        + [f"greedy m={m}" for m in (3, 4, 5)]
+        + [f"2-sided m={m}" for m in (3, 4, 5)],
+    )
+    for z in throttles:
+        row: list = [z]
+        for m in (3, 4, 5):
+            row.append(_time_ms(lambda p=profiles[m]: greedy_pick(p, z)))
+        for m in (3, 4, 5):
+            row.append(
+                _time_ms(lambda p=profiles[m]: greedy_double_sided(p, z))
+            )
+        table.add(*row)
+    return table
+
+
+if __name__ == "__main__":
+    run().show()

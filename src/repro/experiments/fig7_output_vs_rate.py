@@ -1,0 +1,84 @@
+"""Figure 7: join output rate vs input rate, GrubJoin vs RandomDrop.
+
+The paper's main result.  3-way epsilon-join, ``w = 20``, ``b = 2``,
+``omega = 0.1``, ``Delta = 5``; aligned (``tau = (0,0,0)``) and nonaligned
+(``tau = (0,5,15)``) scenarios with ``kappa = (2, 2, 50)``.  CPU capacity
+is calibrated so the load-shedding knee sits at 100 tuples/sec.
+
+Expected shape: identical output below the knee; GrubJoin increasingly
+superior beyond it (paper: up to +65 % aligned, +150 % nonaligned).
+"""
+
+from __future__ import annotations
+
+from .harness import (
+    ExperimentTable,
+    aligned_spec,
+    calibrate_capacity,
+    default_config,
+    full_scale,
+    improvement_pct,
+    nonaligned_spec,
+    run_grubjoin,
+    run_random_drop,
+)
+
+DEFAULT_RATES = (50.0, 100.0, 150.0, 200.0, 250.0, 300.0)
+FULL_RATES = (50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 400.0, 500.0)
+
+
+def run(
+    rates: tuple[float, ...] | None = None,
+    knee_rate: float = 100.0,
+    seeds: tuple[int, ...] = (7,),
+) -> ExperimentTable:
+    """Output rates over the input-rate sweep for both algorithms and both
+    alignment scenarios, averaged over ``seeds`` (the paper averages
+    several runs per point)."""
+    if rates is None:
+        rates = FULL_RATES if full_scale() else DEFAULT_RATES
+    config = default_config()
+    capacity = calibrate_capacity(
+        nonaligned_spec(rate=knee_rate, seed=seeds[0]), knee_rate, config
+    )
+    table = ExperimentTable(
+        title=(
+            "Fig. 7 — output rate vs input rate "
+            f"(m=3, capacity knee at {knee_rate:g}/s, "
+            f"{len(seeds)} run(s)/point)"
+        ),
+        headers=[
+            "rate",
+            "grub aligned",
+            "drop aligned",
+            "impr% aligned",
+            "grub nonaligned",
+            "drop nonaligned",
+            "impr% nonaligned",
+        ],
+    )
+    for rate in rates:
+        row: list = [rate]
+        for make_spec in (aligned_spec, nonaligned_spec):
+            grub_rates, drop_rates = [], []
+            for seed in seeds:
+                spec = make_spec(rate=rate, seed=seed)
+                grub, _ = run_grubjoin(spec, capacity, config)
+                drop, _ = run_random_drop(spec, capacity, config)
+                grub_rates.append(grub.output_rate)
+                drop_rates.append(drop.output_rate)
+            grub_mean = sum(grub_rates) / len(grub_rates)
+            drop_mean = sum(drop_rates) / len(drop_rates)
+            row.extend(
+                [
+                    grub_mean,
+                    drop_mean,
+                    improvement_pct(grub_mean, drop_mean),
+                ]
+            )
+        table.add(*row)
+    return table
+
+
+if __name__ == "__main__":
+    run().show()

@@ -1,0 +1,79 @@
+"""Figure 9: effect of the number of input streams ``m``.
+
+Output rates and GrubJoin's percentage improvement for m = 3, 4, 5 at
+100 tuples/sec, aligned and nonaligned.
+
+Expected shape: the improvement grows with ``m`` (paper: roughly linear,
+up to ~700 % at m = 5 nonaligned) — joins with more inputs are costlier,
+so intelligent shedding matters more.
+"""
+
+from __future__ import annotations
+
+from .harness import (
+    ExperimentTable,
+    aligned_spec,
+    calibrate_capacity,
+    default_config,
+    improvement_pct,
+    nonaligned_spec,
+    run_grubjoin,
+    run_random_drop,
+)
+
+DEFAULT_MS = (3, 4, 5)
+
+
+def run(
+    ms: tuple[int, ...] = DEFAULT_MS,
+    rate: float = 100.0,
+    knee_rate: float = 100.0,
+    seeds: tuple[int, ...] = (7,),
+) -> ExperimentTable:
+    """Output rates and improvements per ``m``, averaged over seeds.
+
+    Capacity is calibrated on the 3-way workload and held fixed — larger
+    joins on the same CPU are deeper into overload, as in the paper.
+    """
+    config = default_config()
+    capacity = calibrate_capacity(
+        nonaligned_spec(m=3, rate=knee_rate, seed=seeds[0]), knee_rate,
+        config,
+    )
+    table = ExperimentTable(
+        title=f"Fig. 9 — output rate vs m (rate={rate:g}/s)",
+        headers=[
+            "m",
+            "grub aligned",
+            "drop aligned",
+            "impr% aligned",
+            "grub nonaligned",
+            "drop nonaligned",
+            "impr% nonaligned",
+        ],
+    )
+    for m in ms:
+        row: list = [m]
+        for make_spec in (aligned_spec, nonaligned_spec):
+            grub_rates, drop_rates = [], []
+            for seed in seeds:
+                spec = make_spec(m=m, rate=rate, seed=seed)
+                grub, _ = run_grubjoin(spec, capacity, config)
+                drop, _ = run_random_drop(spec, capacity, config)
+                grub_rates.append(grub.output_rate)
+                drop_rates.append(drop.output_rate)
+            grub_mean = sum(grub_rates) / len(grub_rates)
+            drop_mean = sum(drop_rates) / len(drop_rates)
+            row.extend(
+                [
+                    grub_mean,
+                    drop_mean,
+                    improvement_pct(grub_mean, drop_mean),
+                ]
+            )
+        table.add(*row)
+    return table
+
+
+if __name__ == "__main__":
+    run().show()

@@ -1,0 +1,67 @@
+"""Random solver instances for the harvest-fraction experiments (Figs 4-6).
+
+The paper's setup: ``m = 3`` streams, window size 10 s, basic window 1 s
+(so 10 logical basic windows), a random rate per stream drawn uniformly
+from ``[100, 500]`` and randomly assigned selectivities; 500 runs per data
+point.  Time correlations are modeled as randomly placed Gaussian offset
+pdfs so that every instance has a different concentration pattern for
+harvesting to exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import JoinProfile
+from repro.joins import default_orders
+
+
+def random_instance(
+    m: int = 3,
+    segments: int = 10,
+    window: float = 10.0,
+    rng: np.random.Generator | int | None = None,
+    rate_range: tuple[float, float] = (100.0, 500.0),
+    log_selectivity_range: tuple[float, float] = (-4.0, -2.0),
+) -> JoinProfile:
+    """One random optimal-window-harvesting instance.
+
+    Args:
+        m: number of streams.
+        segments: logical basic windows per join window (``n``).
+        window: window size in seconds (tuple counts are ``rate * window``).
+        rng: generator or seed.
+        rate_range: uniform range of per-stream rates (paper: [100, 500]).
+        log_selectivity_range: pairwise selectivities are
+            ``10**U(range)``.
+    """
+    rng = np.random.default_rng(rng)
+    orders = default_orders(m)
+    rates = rng.uniform(*rate_range, size=m)
+    window_counts = rates * window
+    selectivity = 10.0 ** rng.uniform(
+        *log_selectivity_range, size=(m, m)
+    )
+    masses = []
+    for i in range(m):
+        per_dir = []
+        for _l in orders[i]:
+            center = rng.uniform(0, segments)
+            width = rng.uniform(0.5, 3.0)
+            k = np.arange(segments) + 0.5
+            mass = np.exp(-0.5 * ((k - center) / width) ** 2)
+            total = mass.sum()
+            if total <= 0:
+                mass = np.full(segments, 1.0 / segments)
+            else:
+                mass = mass / total * rng.uniform(0.5, 1.0)
+            per_dir.append(mass)
+        masses.append(per_dir)
+    return JoinProfile(
+        rates=rates,
+        window_counts=window_counts,
+        segments=np.full(m, segments, dtype=int),
+        selectivity=selectivity,
+        orders=orders,
+        masses=masses,
+    )

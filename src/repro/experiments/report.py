@@ -1,0 +1,57 @@
+"""Persisting experiment results: CSV and Markdown writers.
+
+The benchmarks print their tables to the console; for record-keeping
+(EXPERIMENTS.md, CI artifacts) the same :class:`ExperimentTable` objects
+can be written to disk.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from .harness import ExperimentTable
+
+
+def write_csv(table: ExperimentTable, path: str | Path) -> Path:
+    """Write one table as CSV (header row + data rows)."""
+    path = Path(path)
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(table.headers)
+        writer.writerows(table.rows)
+    return path
+
+
+def to_markdown(table: ExperimentTable) -> str:
+    """Render one table as GitHub-flavoured Markdown."""
+
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}" if abs(v) < 100 else f"{v:,.0f}"
+        return str(v)
+
+    lines = [
+        f"### {table.title}",
+        "",
+        "| " + " | ".join(table.headers) + " |",
+        "|" + "|".join("---" for _ in table.headers) + "|",
+    ]
+    for row in table.rows:
+        lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def write_markdown_report(
+    tables: Iterable[ExperimentTable], path: str | Path,
+    title: str = "Experiment report",
+) -> Path:
+    """Write several tables into one Markdown document."""
+    path = Path(path)
+    parts = [f"# {title}", ""]
+    for table in tables:
+        parts.append(to_markdown(table))
+        parts.append("")
+    path.write_text("\n".join(parts), encoding="utf-8")
+    return path

@@ -1,0 +1,72 @@
+"""Generic parameter sweeps: cartesian grids over any runner.
+
+The figure drivers hard-code the paper's parameter grids; users exploring
+beyond them (different windows, epsilons, gammas...) can sweep any
+callable over a grid and get the same printable/persistable
+:class:`ExperimentTable` back::
+
+    table = sweep(
+        runner=lambda rate, gamma: my_measurement(rate, gamma),
+        grid={"rate": [100, 200], "gamma": [1.1, 1.5]},
+        title="gamma sensitivity",
+    )
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Mapping, Sequence
+
+from .harness import ExperimentTable
+
+
+def sweep(
+    runner: Callable[..., Any],
+    grid: Mapping[str, Sequence[Any]],
+    title: str = "parameter sweep",
+) -> ExperimentTable:
+    """Run ``runner`` over the cartesian product of ``grid``.
+
+    Args:
+        runner: called with one keyword argument per grid dimension.  May
+            return a scalar (one ``result`` column) or a mapping (one
+            column per key; all calls must return the same keys).
+        grid: ``{parameter: values}``; iteration order follows the
+            mapping's insertion order, the last dimension varying fastest.
+        title: table title.
+
+    Returns:
+        A table with one row per grid point.
+    """
+    if not grid:
+        raise ValueError("grid must have at least one dimension")
+    names = list(grid)
+    values = [list(grid[name]) for name in names]
+    if any(len(v) == 0 for v in values):
+        raise ValueError("every grid dimension needs at least one value")
+
+    rows: list[tuple[dict, Any]] = []
+    for combo in itertools.product(*values):
+        params = dict(zip(names, combo))
+        rows.append((params, runner(**params)))
+
+    first = rows[0][1]
+    if isinstance(first, Mapping):
+        metric_names = list(first)
+        for _, outcome in rows:
+            if list(outcome) != metric_names:
+                raise ValueError(
+                    "runner must return the same metric keys every call"
+                )
+    else:
+        metric_names = ["result"]
+
+    table = ExperimentTable(title=title, headers=names + metric_names)
+    for params, outcome in rows:
+        metrics = (
+            [outcome[k] for k in metric_names]
+            if isinstance(outcome, Mapping)
+            else [outcome]
+        )
+        table.add(*[params[n] for n in names], *metrics)
+    return table

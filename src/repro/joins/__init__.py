@@ -1,0 +1,57 @@
+"""Join substrate: predicates, join orders, the full MJoin, RandomDrop.
+
+Everything here is shedding-agnostic plumbing plus the two comparison
+points of the paper's evaluation: the full (non-shedding) MJoin reference
+and the RandomDrop tuple-dropping baseline.
+"""
+
+from .age_based import EvictionPolicy, MemoryLimitedMJoin
+from .drop_optimizer import DropPlan, evaluate_plan, optimize_keep_fractions
+from .indexed import IndexedMJoin
+from .join_order import default_orders, low_selectivity_first, validate_order
+from .mjoin import MJoinOperator
+from .per_pair import PerPairPredicate
+from .pipeline import HopStats, PipelineResult, merge_slices, run_pipeline
+from .predicates import (
+    BandJoin,
+    EpsilonJoin,
+    EquiJoin,
+    InnerProductJoin,
+    JaccardJoin,
+    JoinPredicate,
+    ThetaJoin,
+    VectorDistanceJoin,
+)
+from .random_drop import RandomDropFilter, RandomDropShedder
+from .selectivity import SelectivityEstimator
+from .two_way import AdaptiveTwoWayJoin
+
+__all__ = [
+    "AdaptiveTwoWayJoin",
+    "BandJoin",
+    "DropPlan",
+    "EpsilonJoin",
+    "EquiJoin",
+    "EvictionPolicy",
+    "HopStats",
+    "IndexedMJoin",
+    "InnerProductJoin",
+    "JaccardJoin",
+    "JoinPredicate",
+    "MJoinOperator",
+    "MemoryLimitedMJoin",
+    "PerPairPredicate",
+    "PipelineResult",
+    "RandomDropFilter",
+    "RandomDropShedder",
+    "SelectivityEstimator",
+    "ThetaJoin",
+    "VectorDistanceJoin",
+    "default_orders",
+    "evaluate_plan",
+    "low_selectivity_first",
+    "merge_slices",
+    "optimize_keep_fractions",
+    "run_pipeline",
+    "validate_order",
+]

@@ -1,0 +1,66 @@
+"""Join directions and orders (paper Section 2, following MJoin).
+
+An m-way join has ``m`` directions; direction ``i`` handles tuples arriving
+on stream ``i`` and probes the other ``m - 1`` windows in its *join order*
+``R_i``, a permutation of the other stream indices.  We set orders with
+MJoin's low-selectivity-first heuristic: probing the most selective window
+first minimizes the number of partial results carried into later (more
+expensive) hops.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def validate_order(order: Sequence[int], direction: int, m: int) -> None:
+    """Raise ValueError unless ``order`` is a permutation of the other
+    ``m - 1`` stream indices for ``direction``."""
+    expected = set(range(m)) - {direction}
+    if set(order) != expected or len(order) != m - 1:
+        raise ValueError(
+            f"direction {direction}: order {list(order)} is not a "
+            f"permutation of {sorted(expected)}"
+        )
+
+
+def default_orders(m: int) -> list[list[int]]:
+    """Ascending-index orders — what low-selectivity-first degenerates to
+    when all pairwise selectivities are equal (the paper's experiments).
+
+    Example:
+        >>> default_orders(3)
+        [[1, 2], [0, 2], [0, 1]]
+    """
+    if m < 2:
+        raise ValueError("m must be at least 2")
+    return [[l for l in range(m) if l != i] for i in range(m)]
+
+
+def low_selectivity_first(
+    selectivity: Sequence[Sequence[float]],
+) -> list[list[int]]:
+    """Compute all join orders from a pairwise selectivity matrix.
+
+    Args:
+        selectivity: ``m x m`` matrix; ``selectivity[i][l]`` is the
+            probability that a tuple pair from streams ``i`` and ``l``
+            matches.  Only off-diagonal entries are read.
+
+    Returns:
+        ``orders[i]`` = window stream indices sorted by ascending
+        selectivity against stream ``i`` (ties broken by stream index, so
+        the result is deterministic).
+    """
+    m = len(selectivity)
+    if m < 2:
+        raise ValueError("m must be at least 2")
+    for row in selectivity:
+        if len(row) != m:
+            raise ValueError("selectivity matrix must be square")
+    orders = []
+    for i in range(m):
+        others = [l for l in range(m) if l != i]
+        others.sort(key=lambda l: (selectivity[i][l], l))
+        orders.append(others)
+    return orders

@@ -1,0 +1,113 @@
+"""MJoin: the full m-way windowed stream join (no load shedding).
+
+This is the reference operator GrubJoin descends from (Section 2): one
+join direction per stream, NLJ processing along per-direction join orders,
+windows organized into basic windows for batch expiration.  It always scans
+the entire unexpired window at every hop.  Under overload it simply falls
+behind — which is exactly the regime the RandomDrop baseline fixes by
+dropping input tuples, and GrubJoin by window harvesting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.basic_windows import PartitionedWindow
+from repro.engine.buffers import BufferStats
+from repro.engine.operator import ProcessReceipt, StreamOperator
+from repro.streams.tuples import StreamTuple
+
+from .join_order import default_orders, low_selectivity_first, validate_order
+from .pipeline import run_pipeline
+from .predicates import JoinPredicate
+from .selectivity import SelectivityEstimator
+
+
+class MJoinOperator(StreamOperator):
+    """Full m-way windowed join over basic-window partitioned windows.
+
+    Args:
+        predicate: the join condition.
+        window_sizes: per-stream window sizes ``w_i`` in seconds.
+        basic_window_size: ``b`` in seconds.
+        orders: optional fixed join orders; default ascending-index,
+            re-derived with low-selectivity-first at each adaptation step
+            when ``adapt_orders`` is True.
+        adapt_orders: re-run the order heuristic from live selectivity
+            estimates at every adaptation tick.
+        output_cost: extra comparisons charged per produced result tuple
+            (result construction is not free on a real system; without it
+            an overloaded high-selectivity join could nominally emit more
+            results per second than its CPU could even enumerate).
+    """
+
+    def __init__(
+        self,
+        predicate: JoinPredicate,
+        window_sizes: Sequence[float],
+        basic_window_size: float,
+        orders: Sequence[Sequence[int]] | None = None,
+        adapt_orders: bool = True,
+        output_cost: float = 2.0,
+    ) -> None:
+        m = len(window_sizes)
+        if m < 2:
+            raise ValueError("an m-way join needs at least 2 streams")
+        if output_cost < 0:
+            raise ValueError("output_cost must be non-negative")
+        self.num_streams = m
+        self.predicate = predicate
+        self.window_sizes = [float(w) for w in window_sizes]
+        self.basic_window_size = float(basic_window_size)
+        self.windows = [
+            PartitionedWindow(
+                w,
+                basic_window_size,
+                mode=predicate.storage_mode,
+                dim=predicate.dim,
+            )
+            for w in self.window_sizes
+        ]
+        if orders is None:
+            self.orders = default_orders(m)
+        else:
+            self.orders = [list(o) for o in orders]
+            for i, order in enumerate(self.orders):
+                validate_order(order, i, m)
+        self.adapt_orders = adapt_orders and orders is None
+        self.output_cost = float(output_cost)
+        self.selectivity = SelectivityEstimator(m)
+        self.tuples_processed = 0
+        self.comparisons_total = 0
+
+    def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
+        """Insert ``tup`` into its window and probe the others fully."""
+        self.windows[tup.stream].insert(tup, now)
+        order = self.orders[tup.stream]
+        result = run_pipeline(
+            tup,
+            order,
+            lambda hop, l: self.windows[l].full_slices(now),
+            self.predicate,
+        )
+        for hop, stats in enumerate(result.hop_stats):
+            self.selectivity.observe(
+                tup.stream, order[hop], stats.scanned, stats.matched
+            )
+        self.tuples_processed += 1
+        self.comparisons_total += result.comparisons
+        work = result.comparisons + int(
+            self.output_cost * len(result.outputs)
+        )
+        return ProcessReceipt(comparisons=work, outputs=result.outputs)
+
+    def on_adapt(
+        self, now: float, stats: list[BufferStats], interval: float
+    ) -> None:
+        """Age selectivity estimates and optionally re-derive join orders."""
+        self.selectivity.age()
+        if self.adapt_orders:
+            self.orders = low_selectivity_first(self.selectivity.matrix())
+
+    def describe(self) -> str:
+        return f"MJoin(m={self.num_streams})"

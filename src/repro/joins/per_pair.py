@@ -1,0 +1,120 @@
+"""Heterogeneous m-way join conditions: a different predicate per pair.
+
+The paper assumes one join condition over all streams; real multi-stream
+correlations are often mixed — an equi-join on an identifier between two
+streams, a distance condition against a third.  :class:`PerPairPredicate`
+holds an ``m x m`` matrix of symmetric pairwise predicates; the probe
+pipeline detects its ``stream_aware`` flag and hands it the constituent
+stream indices so each candidate is checked with the right pairwise
+condition against every member of the partial result.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.basic_windows import GENERIC
+
+from .predicates import JoinPredicate
+
+
+class PerPairPredicate(JoinPredicate):
+    """Clique join with per-stream-pair conditions.
+
+    Args:
+        num_streams: ``m``.
+        default: predicate used for pairs not explicitly set; ``None``
+            means every off-diagonal pair must be set before probing.
+
+    The pairwise predicates must be symmetric (``p.matches(a, b) ==
+    p.matches(b, a)``) for the m-way semantics to be order-independent;
+    all predicates in this package except the asymmetric-by-construction
+    ones satisfy this.
+    """
+
+    storage_mode = GENERIC
+    #: tells the probe pipeline to pass stream identities along
+    stream_aware = True
+
+    def __init__(
+        self, num_streams: int, default: JoinPredicate | None = None
+    ) -> None:
+        if num_streams < 2:
+            raise ValueError("need at least two streams")
+        self.num_streams = num_streams
+        self._default = default
+        self._pairs: dict[tuple[int, int], JoinPredicate] = {}
+
+    def set_pair(
+        self, a: int, b: int, predicate: JoinPredicate
+    ) -> "PerPairPredicate":
+        """Assign the condition between streams ``a`` and ``b``
+        (symmetric); returns self for chaining."""
+        if a == b:
+            raise ValueError("a pair needs two distinct streams")
+        for s in (a, b):
+            if not 0 <= s < self.num_streams:
+                raise ValueError(f"stream {s} out of range")
+        self._pairs[(a, b)] = predicate
+        self._pairs[(b, a)] = predicate
+        return self
+
+    def pair(self, a: int, b: int) -> JoinPredicate:
+        """The condition between streams ``a`` and ``b``."""
+        predicate = self._pairs.get((a, b), self._default)
+        if predicate is None:
+            raise ValueError(
+                f"no predicate configured for streams ({a}, {b})"
+            )
+        return predicate
+
+    def validate_complete(self) -> None:
+        """Raise unless every off-diagonal pair has a condition."""
+        for a in range(self.num_streams):
+            for b in range(a + 1, self.num_streams):
+                self.pair(a, b)
+
+    # ------------------------------------------------------------------
+    # stream-aware probing (used by the pipeline)
+    # ------------------------------------------------------------------
+
+    def probe_context_streams(
+        self, partial: Sequence[tuple[int, object]], target_stream: int
+    ) -> tuple[tuple[tuple[int, object], ...], int]:
+        """Compress a partial match (with stream identities) into the
+        context a candidate from ``target_stream`` is checked against."""
+        return tuple(partial), target_stream
+
+    def probe_block(self, context, block) -> np.ndarray:
+        partial, target_stream = context
+        checks = [
+            (self.pair(stream, target_stream), value)
+            for stream, value in partial
+        ]
+        hits = [
+            idx
+            for idx, candidate in enumerate(block)
+            if all(p.matches(candidate, v) for p, v in checks)
+        ]
+        return np.asarray(hits, dtype=np.intp)
+
+    def matches_streams(self, stream_a: int, a, stream_b: int, b) -> bool:
+        """Pairwise check with explicit stream identities."""
+        return self.pair(stream_a, stream_b).matches(a, b)
+
+    # ------------------------------------------------------------------
+    # stream-blind API intentionally unsupported
+    # ------------------------------------------------------------------
+
+    def matches(self, a, b) -> bool:
+        raise TypeError(
+            "PerPairPredicate is stream-aware; use matches_streams(...)"
+        )
+
+    def probe_context(self, values):
+        raise TypeError(
+            "PerPairPredicate is stream-aware; the pipeline calls "
+            "probe_context_streams"
+        )

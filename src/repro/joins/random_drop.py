@@ -1,0 +1,127 @@
+"""RandomDrop: the tuple-dropping load-shedding baseline (Section 6.2).
+
+Drop operators sit in front of the input buffers and admit each tuple with
+a per-stream keep probability; the join behind them runs at full throttle.
+Keep probabilities come from the static optimization of
+:mod:`repro.joins.drop_optimizer`, re-solved from the measured arrival
+rates at every adaptation tick (so the baseline adapts to rate changes just
+as the paper's setup re-parameterizes its drop operators from the input
+stream rates).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.engine.operator import AdmissionFilter
+from repro.streams.tuples import StreamTuple
+
+from .drop_optimizer import DropPlan, optimize_keep_fractions
+from .mjoin import MJoinOperator
+
+
+class RandomDropFilter(AdmissionFilter):
+    """Bernoulli drop operator for one stream.
+
+    Counts raw arrivals (pre-drop) so the shedder can re-optimize from the
+    true input rates, which the post-drop buffer statistics cannot reveal.
+    """
+
+    def __init__(
+        self,
+        stream: int,
+        shedder: "RandomDropShedder",
+        rng: np.random.Generator,
+    ) -> None:
+        self.stream = stream
+        self.keep = 1.0
+        self._shedder = shedder
+        self._rng = rng
+        self._arrivals = 0
+
+    def admit(self, tup: StreamTuple, now: float) -> bool:
+        self._arrivals += 1
+        if self.keep >= 1.0:
+            return True
+        return bool(self._rng.random() < self.keep)
+
+    def on_adapt(self, now: float, rate_estimate: float) -> None:
+        self._shedder.report_arrivals(self.stream, self._arrivals, now)
+        self._arrivals = 0
+
+
+class RandomDropShedder:
+    """Coordinates the per-stream drop filters of one RandomDrop setup.
+
+    Args:
+        operator: the full MJoin behind the drop operators (its window
+            sizes, join orders and live selectivity estimates parameterize
+            the optimizer).
+        capacity: simulated CPU capacity (work units / second).
+        tuple_overhead: the CPU model's fixed per-tuple charge.
+        headroom: fraction of capacity the plan may use.
+        per_stream: enable per-stream (non-uniform) keep fractions.
+        rng: generator (or seed) shared by the filters.
+    """
+
+    def __init__(
+        self,
+        operator: MJoinOperator,
+        capacity: float,
+        tuple_overhead: float = 1.0,
+        headroom: float = 1.0,
+        per_stream: bool = True,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.operator = operator
+        self.capacity = float(capacity)
+        self.tuple_overhead = float(tuple_overhead)
+        self.headroom = float(headroom)
+        self.per_stream = per_stream
+        self._rng = np.random.default_rng(rng)
+        m = operator.num_streams
+        self.filters = [
+            RandomDropFilter(i, self, self._rng) for i in range(m)
+        ]
+        self._pending_rates = np.zeros(m)
+        self._reported = [False] * m
+        self._interval_start = 0.0
+        self.last_plan: DropPlan | None = None
+
+    def report_arrivals(self, stream: int, count: int, now: float) -> None:
+        """Collect one filter's raw arrival count; re-optimize once every
+        filter of the interval has reported."""
+        interval = now - self._interval_start
+        if interval > 0:
+            self._pending_rates[stream] = count / interval
+        self._reported[stream] = True
+        if all(self._reported):
+            self._reconfigure()
+            self._reported = [False] * len(self._reported)
+            self._interval_start = now
+
+    def configure(self, rates: Sequence[float]) -> DropPlan:
+        """Statically set the keep fractions for known input rates (the
+        paper's setup); also what adaptation re-runs from measured rates."""
+        plan = optimize_keep_fractions(
+            rates=np.asarray(rates, dtype=float),
+            window_sizes=np.asarray(self.operator.window_sizes),
+            selectivity=np.asarray(self.operator.selectivity.matrix()),
+            orders=[list(o) for o in self.operator.orders],
+            capacity=self.capacity,
+            output_cost=self.operator.output_cost,
+            tuple_overhead=self.tuple_overhead,
+            headroom=self.headroom,
+            per_stream=self.per_stream,
+        )
+        for f, keep in zip(self.filters, plan.keep):
+            f.keep = float(keep)
+        self.last_plan = plan
+        return plan
+
+    def _reconfigure(self) -> None:
+        if self._pending_rates.max() <= 0:
+            return
+        self.configure(self._pending_rates)

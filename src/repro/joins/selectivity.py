@@ -1,0 +1,82 @@
+"""Online selectivity estimation for the cost model and join ordering.
+
+The cost/output model (Section 4.2.2) needs, for direction ``i`` and the
+window of stream ``l`` probed at some hop, the probability that a scanned
+candidate matches the partial result — the per-hop selectivity
+``sigma_{i,l}``.  We estimate it from observed (scanned, matched) counts
+with exponential decay so the estimate tracks drift.
+
+Estimates are only fed *unbiased* probes: full-join probes (MJoin) or
+window-shredding probes (GrubJoin), never harvested probes, whose match
+rates are inflated by construction — harvesting deliberately scans where
+matches concentrate.
+"""
+
+from __future__ import annotations
+
+
+class SelectivityEstimator:
+    """Decayed per-(direction, window) selectivity estimates.
+
+    Args:
+        num_streams: ``m``.
+        default: selectivity assumed before any observation.
+        decay: multiplier applied to accumulated counts at each adaptation
+            step; ``1.0`` disables aging.
+    """
+
+    def __init__(
+        self, num_streams: int, default: float = 0.005, decay: float = 0.9
+    ) -> None:
+        if num_streams < 2:
+            raise ValueError("need at least two streams")
+        if not 0 < default <= 1:
+            raise ValueError("default selectivity must be in (0, 1]")
+        if not 0 < decay <= 1:
+            raise ValueError("decay must be in (0, 1]")
+        self.num_streams = num_streams
+        self.default = float(default)
+        self.decay = float(decay)
+        self._scanned: dict[tuple[int, int], float] = {}
+        self._matched: dict[tuple[int, int], float] = {}
+
+    def observe(self, direction: int, window_stream: int, scanned: int,
+                matched: int) -> None:
+        """Record one unbiased probe of ``window_stream`` from ``direction``."""
+        if scanned <= 0:
+            return
+        key = (direction, window_stream)
+        self._scanned[key] = self._scanned.get(key, 0.0) + scanned
+        self._matched[key] = self._matched.get(key, 0.0) + matched
+
+    def rate(self, direction: int, window_stream: int) -> float:
+        """Estimated selectivity; falls back to the symmetric pair, then to
+        the default, when this (direction, window) has no observations."""
+        for key in ((direction, window_stream), (window_stream, direction)):
+            scanned = self._scanned.get(key, 0.0)
+            if scanned > 0:
+                return max(self._matched.get(key, 0.0) / scanned, 1e-9)
+        return self.default
+
+    def matrix(self) -> list[list[float]]:
+        """``m x m`` matrix of estimates (diagonal left at the default)."""
+        m = self.num_streams
+        return [
+            [self.rate(i, l) if i != l else self.default for l in range(m)]
+            for i in range(m)
+        ]
+
+    def age(self) -> None:
+        """Apply one decay step (call once per adaptation interval)."""
+        if self.decay >= 1.0:
+            return
+        for key in list(self._scanned):
+            self._scanned[key] *= self.decay
+            self._matched[key] *= self.decay
+            if self._scanned[key] < 1.0:
+                del self._scanned[key]
+                self._matched.pop(key, None)
+
+    def observations(self, direction: int, window_stream: int) -> float:
+        """Decayed scan count backing the (direction, window) estimate."""
+        return self._scanned.get((direction, window_stream), 0.0)

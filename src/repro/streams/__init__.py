@@ -1,0 +1,57 @@
+"""Stream substrate: tuples, schemas, value processes, arrivals, sources.
+
+This package models the *inputs* of the join: timestamped tuple streams
+with configurable arrival processes and join-attribute value processes,
+including the paper's synthetic workload (:class:`LinearDriftProcess`) and
+the correlated worlds behind its two motivating applications.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ConstantRate,
+    PiecewiseRate,
+    PoissonArrivals,
+)
+from .correlated import ObjectWorld, TopicWorld, WorldEvent
+from .disorder import DisorderedSource
+from .schema import Attribute, SchemaError, StreamSchema, numeric_schema
+from .source import StreamSource, merge_sources
+from .stochastic import (
+    ConstantProcess,
+    LinearDriftProcess,
+    RandomWalkProcess,
+    UniformProcess,
+    ValueProcess,
+)
+from .trace import TraceSource, load_trace, record_trace, save_trace
+from .tuples import JoinResult, StreamTuple
+
+__all__ = [
+    "ArrivalProcess",
+    "Attribute",
+    "BurstyArrivals",
+    "ConstantProcess",
+    "ConstantRate",
+    "DisorderedSource",
+    "JoinResult",
+    "LinearDriftProcess",
+    "ObjectWorld",
+    "PiecewiseRate",
+    "PoissonArrivals",
+    "RandomWalkProcess",
+    "SchemaError",
+    "StreamSchema",
+    "StreamSource",
+    "StreamTuple",
+    "TopicWorld",
+    "TraceSource",
+    "UniformProcess",
+    "ValueProcess",
+    "WorldEvent",
+    "load_trace",
+    "merge_sources",
+    "numeric_schema",
+    "record_trace",
+    "save_trace",
+]

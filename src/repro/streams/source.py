@@ -1,0 +1,79 @@
+"""Stream sources: an arrival process plus a value process per stream.
+
+A :class:`StreamSource` materializes the timestamped tuples for one input
+stream.  :func:`merge_sources` interleaves several sources into the single,
+globally time-ordered arrival sequence that drives the simulation runtime.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Iterator
+
+from .arrivals import ArrivalProcess
+from .schema import StreamSchema
+from .stochastic import ValueProcess
+from .tuples import StreamTuple
+
+
+class StreamSource:
+    """Generates the tuples of one input stream.
+
+    Args:
+        stream: 0-based stream index (position in the join).
+        arrivals: when tuples arrive.
+        values: what each tuple's join attribute is.
+        schema: optional schema; when given, every generated payload is
+            validated against it (cheap insurance in examples and tests).
+        name: human-readable label, defaults to ``S<stream+1>`` matching the
+            paper's notation.
+    """
+
+    def __init__(
+        self,
+        stream: int,
+        arrivals: ArrivalProcess,
+        values: ValueProcess,
+        schema: StreamSchema | None = None,
+        name: str | None = None,
+    ) -> None:
+        if stream < 0:
+            raise ValueError("stream index must be non-negative")
+        self.stream = stream
+        self.arrivals = arrivals
+        self.values = values
+        self.schema = schema
+        self.name = name if name is not None else f"S{stream + 1}"
+
+    def iter_tuples(self, until: float) -> Iterator[StreamTuple]:
+        """Yield this stream's tuples with timestamps in ``[0, until)``."""
+        for seq, ts in enumerate(self.arrivals.iter_arrivals(until)):
+            payload = self.values.sample(ts)
+            if self.schema is not None:
+                self.schema.validate(payload)
+            yield StreamTuple(
+                value=payload, timestamp=ts, stream=self.stream, seq=seq
+            )
+
+    def generate(self, until: float) -> list[StreamTuple]:
+        """Materialize :meth:`iter_tuples` as a list."""
+        return list(self.iter_tuples(until))
+
+    def rate_at(self, timestamp: float) -> float:
+        """Instantaneous arrival rate of this stream."""
+        return self.arrivals.rate_at(timestamp)
+
+
+def merge_sources(
+    sources: Iterable[StreamSource], until: float
+) -> Iterator[StreamTuple]:
+    """Merge several sources into one globally timestamp-ordered iterator.
+
+    Ties are broken by stream index so the merge is deterministic.
+    """
+    streams = [src.iter_tuples(until) for src in sources]
+    keyed = (
+        ((t.timestamp, t.stream, t) for t in it) for it in streams
+    )
+    for _, _, tup in heapq.merge(*keyed):
+        yield tup

@@ -1,0 +1,142 @@
+"""Value processes: what the join attribute of each stream looks like.
+
+The central one is :class:`LinearDriftProcess`, the paper's synthetic
+workload model (Section 6.2):
+
+    ``X_i(t) = (D / eta) * (t + tau_i) + kappa_i * N(0, 1)  mod D``
+
+a linearly increasing value with wrap-around period ``eta``, per-stream lag
+``tau_i`` and a Gaussian deviation ``kappa_i``.  Small ``kappa`` makes the
+streams near-identical up to a lag (strong time correlations); large
+``kappa`` makes them essentially random (no time correlations).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+
+class ValueProcess(ABC):
+    """Generates the join-attribute value for a tuple arriving at time t."""
+
+    @abstractmethod
+    def sample(self, timestamp: float) -> Any:
+        """Return the payload for a tuple with the given timestamp."""
+
+
+class LinearDriftProcess(ValueProcess):
+    """The paper's stochastic process (Section 6.2).
+
+    Args:
+        domain: ``D``, the value domain is ``[0, D)``.  Paper default 1000.
+        period: ``eta``, the wrap-around period in seconds.  Paper default 50.
+        lag: ``tau_i``, the per-stream time lag in seconds.  ``0`` for
+            aligned streams; the paper's nonaligned 3-way setup uses
+            ``(0, 5, 15)``.
+        deviation: ``kappa_i``, the standard deviation of the Gaussian
+            component.  ``0`` means the streams are deterministic functions
+            of time (maximal time correlation); the paper sweeps this up to
+            100 to destroy the correlations.
+        rng: numpy random generator (or seed) for the Gaussian component.
+    """
+
+    def __init__(
+        self,
+        domain: float = 1000.0,
+        period: float = 50.0,
+        lag: float = 0.0,
+        deviation: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if domain <= 0:
+            raise ValueError("domain must be positive")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if deviation < 0:
+            raise ValueError("deviation must be non-negative")
+        self.domain = float(domain)
+        self.period = float(period)
+        self.lag = float(lag)
+        self.deviation = float(deviation)
+        self._rng = np.random.default_rng(rng)
+
+    def mean_value(self, timestamp: float) -> float:
+        """The deterministic component ``(D/eta)*(t+tau) mod D``."""
+        drift = (self.domain / self.period) * (timestamp + self.lag)
+        return drift % self.domain
+
+    def sample(self, timestamp: float) -> float:
+        noise = self.deviation * self._rng.standard_normal()
+        return (self.mean_value(timestamp) + noise) % self.domain
+
+
+class UniformProcess(ValueProcess):
+    """Values drawn i.i.d. uniform over ``[low, high)`` — a stream with no
+    time correlation to anything, useful as a control in tests."""
+
+    def __init__(
+        self,
+        low: float = 0.0,
+        high: float = 1000.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if high <= low:
+            raise ValueError("high must exceed low")
+        self.low = float(low)
+        self.high = float(high)
+        self._rng = np.random.default_rng(rng)
+
+    def sample(self, timestamp: float) -> float:
+        return float(self._rng.uniform(self.low, self.high))
+
+
+class RandomWalkProcess(ValueProcess):
+    """A reflected Gaussian random walk over ``[0, domain)``.
+
+    Produces slowly varying values, so two walks seeded identically but
+    sampled with a lag exhibit the nonaligned time-correlation pattern
+    without the sawtooth of :class:`LinearDriftProcess`.
+    """
+
+    def __init__(
+        self,
+        domain: float = 1000.0,
+        step_std: float = 5.0,
+        start: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if domain <= 0:
+            raise ValueError("domain must be positive")
+        if step_std < 0:
+            raise ValueError("step_std must be non-negative")
+        self.domain = float(domain)
+        self.step_std = float(step_std)
+        self._rng = np.random.default_rng(rng)
+        self._position = self.domain / 2 if start is None else float(start)
+        self._last_ts: float | None = None
+
+    def sample(self, timestamp: float) -> float:
+        if self._last_ts is not None:
+            elapsed = max(0.0, timestamp - self._last_ts)
+            step = self.step_std * np.sqrt(elapsed) * self._rng.standard_normal()
+            self._position = self._reflect(self._position + step)
+        self._last_ts = timestamp
+        return self._position
+
+    def _reflect(self, x: float) -> float:
+        span = self.domain
+        x = x % (2 * span)
+        return x if x < span else 2 * span - x
+
+
+class ConstantProcess(ValueProcess):
+    """Always the same value — handy for deterministic unit tests."""
+
+    def __init__(self, value: Any = 0.0) -> None:
+        self.value = value
+
+    def sample(self, timestamp: float) -> Any:
+        return self.value

@@ -1,0 +1,99 @@
+"""Recorded tuple traces: deterministic replay of pre-generated streams.
+
+A trace decouples workload generation from simulation so that (a) the same
+workload can be fed to GrubJoin and to the RandomDrop baseline for an
+apples-to-apples comparison, and (b) correlated worlds
+(:mod:`repro.streams.correlated`) that must generate all streams jointly can
+still be consumed stream-by-stream.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+
+from .arrivals import ArrivalProcess
+from .tuples import StreamTuple
+
+
+class TraceSource:
+    """Replays a fixed, time-ordered list of tuples as a stream source.
+
+    Implements the same ``iter_tuples`` / ``rate_at`` surface as
+    :class:`repro.streams.source.StreamSource`, so the runtime does not care
+    whether a stream is generated live or replayed.
+    """
+
+    def __init__(self, stream: int, tuples: Sequence[StreamTuple]) -> None:
+        timestamps = [t.timestamp for t in tuples]
+        if timestamps != sorted(timestamps):
+            raise ValueError("trace tuples must be sorted by timestamp")
+        self.stream = stream
+        self.tuples = list(tuples)
+        self.name = f"S{stream + 1}"
+
+    def iter_tuples(self, until: float) -> Iterator[StreamTuple]:
+        for t in self.tuples:
+            if t.timestamp >= until:
+                return
+            yield t
+
+    def generate(self, until: float) -> list[StreamTuple]:
+        return list(self.iter_tuples(until))
+
+    def rate_at(self, timestamp: float) -> float:
+        """Empirical rate: tuples within +/- 1 s of ``timestamp``."""
+        lo, hi = timestamp - 1.0, timestamp + 1.0
+        count = sum(1 for t in self.tuples if lo <= t.timestamp <= hi)
+        return count / 2.0
+
+    @property
+    def mean_rate(self) -> float:
+        """Average rate over the trace's full span."""
+        if len(self.tuples) < 2:
+            return float(len(self.tuples))
+        span = self.tuples[-1].timestamp - self.tuples[0].timestamp
+        return len(self.tuples) / span if span > 0 else float(len(self.tuples))
+
+
+def record_trace(
+    stream: int, arrivals: ArrivalProcess, values, until: float
+) -> TraceSource:
+    """Materialize a (arrivals, values) pair into a replayable trace."""
+    from .source import StreamSource
+
+    source = StreamSource(stream, arrivals, values)
+    return TraceSource(stream, source.generate(until))
+
+
+def save_trace(trace: TraceSource, path: str | Path) -> None:
+    """Persist a trace as JSON lines (payloads must be JSON-serializable)."""
+    with open(path, "w", encoding="utf-8") as f:
+        for t in trace.tuples:
+            record = {
+                "value": t.value,
+                "timestamp": t.timestamp,
+                "stream": t.stream,
+                "seq": t.seq,
+            }
+            f.write(json.dumps(record) + "\n")
+
+
+def load_trace(path: str | Path) -> TraceSource:
+    """Load a trace previously written by :func:`save_trace`."""
+    tuples: list[StreamTuple] = []
+    stream = 0
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            record = json.loads(line)
+            stream = record["stream"]
+            tuples.append(
+                StreamTuple(
+                    value=record["value"],
+                    timestamp=record["timestamp"],
+                    stream=record["stream"],
+                    seq=record["seq"],
+                )
+            )
+    return TraceSource(stream, tuples)

@@ -1,0 +1,168 @@
+"""Trace utilities: CSV interchange, statistics, slicing and merging.
+
+Recorded traces are how real workloads enter the system (and how the
+correlated example worlds are replayed); these helpers cover the chores
+around them — summarizing a trace before using it, cutting warm-up
+periods off, concatenating capture sessions, and exchanging traces with
+spreadsheet-side tooling via CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from .trace import TraceSource
+from .tuples import StreamTuple
+
+
+# ----------------------------------------------------------------------
+# CSV interchange
+# ----------------------------------------------------------------------
+
+def save_trace_csv(trace: TraceSource, path: str | Path) -> Path:
+    """Write a numeric-payload trace as CSV (timestamp, stream, seq,
+    value)."""
+    path = Path(path)
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(["timestamp", "stream", "seq", "value"])
+        for t in trace.tuples:
+            writer.writerow([t.timestamp, t.stream, t.seq, t.value])
+    return path
+
+
+def load_trace_csv(path: str | Path) -> TraceSource:
+    """Load a trace previously written by :func:`save_trace_csv`."""
+    tuples: list[StreamTuple] = []
+    stream = 0
+    with open(path, newline="", encoding="utf-8") as f:
+        reader = csv.DictReader(f)
+        for row in reader:
+            stream = int(row["stream"])
+            tuples.append(
+                StreamTuple(
+                    value=float(row["value"]),
+                    timestamp=float(row["timestamp"]),
+                    stream=stream,
+                    seq=int(row["seq"]),
+                )
+            )
+    return TraceSource(stream, tuples)
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one trace."""
+
+    count: int
+    span: float
+    mean_rate: float
+    min_gap: float
+    max_gap: float
+    cv_inter_arrival: float
+
+    def is_regular(self, tolerance: float = 0.01) -> bool:
+        """True for (near-)deterministic arrivals (CV ~ 0); Poisson
+        arrivals have CV ~ 1."""
+        return self.cv_inter_arrival <= tolerance
+
+
+def trace_stats(trace: TraceSource) -> TraceStats:
+    """Compute arrival statistics for a trace (at least two tuples)."""
+    ts = np.asarray([t.timestamp for t in trace.tuples], dtype=float)
+    if ts.size < 2:
+        raise ValueError("need at least two tuples for statistics")
+    gaps = np.diff(ts)
+    span = float(ts[-1] - ts[0])
+    mean_gap = float(gaps.mean())
+    return TraceStats(
+        count=int(ts.size),
+        span=span,
+        mean_rate=ts.size / span if span > 0 else float(ts.size),
+        min_gap=float(gaps.min()),
+        max_gap=float(gaps.max()),
+        cv_inter_arrival=(
+            float(gaps.std() / mean_gap) if mean_gap > 0 else 0.0
+        ),
+    )
+
+
+def rate_series(
+    trace: TraceSource, bin_seconds: float = 1.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical (bin centers, tuples/sec) series over the trace span."""
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    ts = np.asarray([t.timestamp for t in trace.tuples], dtype=float)
+    if ts.size == 0:
+        return np.empty(0), np.empty(0)
+    start, end = ts[0], ts[-1] + 1e-12
+    edges = np.arange(start, end + bin_seconds, bin_seconds)
+    counts, _ = np.histogram(ts, bins=edges)
+    centers = (edges[:-1] + edges[1:]) / 2
+    return centers, counts / bin_seconds
+
+
+# ----------------------------------------------------------------------
+# editing
+# ----------------------------------------------------------------------
+
+def slice_trace(
+    trace: TraceSource, start: float, end: float, rebase: bool = False
+) -> TraceSource:
+    """Tuples with timestamp in ``[start, end)``; ``rebase`` shifts their
+    timestamps so the slice starts at zero (seq numbers re-issued)."""
+    if end <= start:
+        raise ValueError("end must exceed start")
+    selected = [
+        t for t in trace.tuples if start <= t.timestamp < end
+    ]
+    if rebase:
+        selected = [
+            StreamTuple(
+                value=t.value,
+                timestamp=t.timestamp - start,
+                stream=t.stream,
+                seq=i,
+            )
+            for i, t in enumerate(selected)
+        ]
+    return TraceSource(trace.stream, selected)
+
+
+def concat_traces(traces: Sequence[TraceSource]) -> TraceSource:
+    """Concatenate capture sessions end to end (timestamps shifted so
+    each session starts where the previous ended; seq re-issued)."""
+    if not traces:
+        raise ValueError("need at least one trace")
+    stream = traces[0].stream
+    if any(t.stream != stream for t in traces):
+        raise ValueError("all traces must belong to the same stream")
+    combined: list[StreamTuple] = []
+    offset = 0.0
+    seq = 0
+    for trace in traces:
+        if not trace.tuples:
+            continue
+        base = trace.tuples[0].timestamp
+        for t in trace.tuples:
+            combined.append(
+                StreamTuple(
+                    value=t.value,
+                    timestamp=offset + (t.timestamp - base),
+                    stream=stream,
+                    seq=seq,
+                )
+            )
+            seq += 1
+        offset = combined[-1].timestamp + 1e-9
+    return TraceSource(stream, combined)

@@ -1,0 +1,64 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.analysis.ascii_plots import bar_chart, series_plot, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        s = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert len(s) == 8
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_resampled_to_width(self):
+        s = sparkline(list(range(1000)), width=20)
+        assert len(s) == 20
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline([1, 2], width=20)) == 2
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1], width=0)
+
+
+class TestBarChart:
+    def test_alignment_and_scaling(self):
+        chart = bar_chart(["grub", "drop"], [100.0, 50.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+        assert "100.0" in lines[0]
+
+    def test_zero_values(self):
+        chart = bar_chart(["a"], [0.0])
+        assert "#" not in chart
+
+    def test_empty(self):
+        assert bar_chart([], []) == ""
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+
+class TestSeriesPlot:
+    def test_annotations(self):
+        out = series_plot([0.0, 5.0, 10.0], [1.0, 3.0, 2.0], label="z")
+        assert out.startswith("z [0s..10s]")
+        assert "min=1" in out and "max=3" in out
+
+    def test_empty(self):
+        assert "(empty)" in series_plot([], [], label="z")

@@ -1,0 +1,61 @@
+"""Tests for the bootstrap utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bootstrap_ci, relative_improvement_ci
+
+
+class TestBootstrapCi:
+    def test_contains_true_mean_for_gaussian(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 1.0, 60)
+        lo, hi = bootstrap_ci(samples, rng=1)
+        assert lo < 10.0 < hi
+        assert hi - lo < 1.5
+
+    def test_narrower_with_more_samples(self):
+        rng = np.random.default_rng(0)
+        small = bootstrap_ci(rng.normal(0, 1, 10), rng=1)
+        large = bootstrap_ci(rng.normal(0, 1, 400), rng=1)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_single_sample_degenerate(self):
+        assert bootstrap_ci([42.0]) == (42.0, 42.0)
+
+    def test_custom_statistic(self):
+        lo, hi = bootstrap_ci([1, 2, 3, 4, 100], statistic=np.median,
+                              rng=0)
+        assert lo <= 3 <= hi  # the sample median lies in its own interval
+        assert lo >= 1 and hi <= 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_reproducible(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_ci(samples, rng=7) == bootstrap_ci(samples, rng=7)
+
+
+class TestRelativeImprovementCi:
+    def test_clear_improvement(self):
+        rng = np.random.default_rng(0)
+        treatment = rng.normal(200, 10, 30)
+        baseline = rng.normal(100, 10, 30)
+        lo, hi = relative_improvement_ci(treatment, baseline, rng=1)
+        assert lo > 0.8
+        assert hi < 1.3
+
+    def test_no_improvement_straddles_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(100, 15, 25)
+        b = rng.normal(100, 15, 25)
+        lo, hi = relative_improvement_ci(a, b, rng=1)
+        assert lo < 0 < hi
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_improvement_ci([], [1.0])

@@ -1,0 +1,47 @@
+"""Tests for the permutation test."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import permutation_test
+
+
+class TestPermutationTest:
+    def test_detects_clear_difference(self):
+        rng = np.random.default_rng(0)
+        treatment = rng.normal(5, 1, 25)
+        baseline = rng.normal(0, 1, 25)
+        p = permutation_test(treatment, baseline, rng=1)
+        assert p < 0.001
+
+    def test_null_gives_large_p(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 30)
+        b = rng.normal(0, 1, 30)
+        p = permutation_test(a, b, rng=3)
+        assert p > 0.05
+
+    def test_less_alternative(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(0, 1, 20)
+        big = rng.normal(3, 1, 20)
+        assert permutation_test(small, big, alternative="less", rng=1) < 0.01
+        assert permutation_test(small, big, alternative="greater",
+                                rng=1) > 0.9
+
+    def test_two_sided(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(3, 1, 20)
+        b = rng.normal(0, 1, 20)
+        assert permutation_test(a, b, alternative="two-sided", rng=1) < 0.01
+
+    def test_never_exactly_zero(self):
+        p = permutation_test([10.0] * 5, [0.0] * 5, n_permutations=100,
+                             rng=0)
+        assert p > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            permutation_test([1.0], [2.0], alternative="weird")
+        with pytest.raises(ValueError):
+            permutation_test([], [1.0])

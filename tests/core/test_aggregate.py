@@ -1,0 +1,128 @@
+"""Tests for the throttled windowed aggregate (framework generality)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ThrottledAggregateOperator
+from repro.engine import BufferStats, CpuModel, Simulation, SimulationConfig
+from repro.streams import ConstantProcess, ConstantRate, StreamSource, UniformProcess
+
+
+def stats(pushed, popped):
+    return BufferStats(pushed=pushed, popped=popped, dropped=0, depth=0)
+
+
+def make_source(rate=50.0, value=None, seed=0):
+    process = ConstantProcess(value) if value is not None else UniformProcess(
+        0, 100, rng=seed
+    )
+    return StreamSource(0, ConstantRate(rate), process)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"function": "median"},
+            {"slide": 0},
+            {"slide": 20.0, "window_size": 10.0},
+            {"tuple_cost": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ThrottledAggregateOperator(**kwargs)
+
+    def test_describe(self):
+        op = ThrottledAggregateOperator(function="sum")
+        assert "sum" in op.describe()
+
+
+class TestUnthrottledAggregation:
+    def run_op(self, op, rate=50.0, value=None, duration=12.0):
+        cfg = SimulationConfig(duration=duration, warmup=0.0)
+        sim = Simulation([make_source(rate, value)], op, CpuModel(1e12),
+                         cfg, retain_outputs=True)
+        sim.run()
+        return sim.output_buffer.results
+
+    def test_mean_of_constant_stream(self):
+        op = ThrottledAggregateOperator("mean", window_size=5.0, slide=1.0)
+        results = self.run_op(op, value=7.0)
+        assert len(results) >= 10
+        for r in results[5:]:
+            assert r.value == pytest.approx(7.0)
+
+    def test_count_matches_window_population(self):
+        op = ThrottledAggregateOperator("count", window_size=5.0, slide=1.0)
+        results = self.run_op(op, rate=50.0, value=1.0)
+        # once the window is full it holds ~ rate * window tuples
+        steady = [r.value for r in results if r.window_end >= 6.0]
+        assert np.mean(steady) == pytest.approx(250, rel=0.1)
+
+    def test_max_min(self):
+        op = ThrottledAggregateOperator("max", window_size=5.0, slide=1.0)
+        results = self.run_op(op)
+        assert all(0 <= r.value <= 100 for r in results)
+
+    def test_emission_cadence(self):
+        op = ThrottledAggregateOperator("sum", window_size=4.0, slide=2.0)
+        results = self.run_op(op, value=1.0, duration=10.0)
+        ends = [r.window_end for r in results]
+        assert ends == pytest.approx(list(np.arange(2.0, max(ends) + 1, 2.0)))
+
+
+class TestThrottledBehaviour:
+    def test_subsampling_under_throttle(self):
+        op = ThrottledAggregateOperator("count", window_size=5.0, slide=1.0,
+                                        rng=0)
+        op.throttle.z = 0.25
+        # adaptation would boost z back up (the buffers keep up); pin it
+        cfg = SimulationConfig(duration=20.0, warmup=0.0,
+                               adaptation_interval=100.0)
+        sim = Simulation([make_source(rate=100.0, value=1.0)], op,
+                         CpuModel(1e12), cfg, retain_outputs=True)
+        sim.run()
+        # admitted roughly a quarter of what was seen...
+        assert op._admitted / op._seen == pytest.approx(0.25, abs=0.05)
+        # ...but the compensated count still estimates the true population
+        steady = [r.value for r in sim.output_buffer.results
+                  if r.window_end >= 6.0]
+        assert np.mean(steady) == pytest.approx(500, rel=0.15)
+
+    def test_intensive_aggregates_not_compensated(self):
+        op = ThrottledAggregateOperator("mean", window_size=5.0, slide=1.0,
+                                        rng=0)
+        op.throttle.z = 0.3
+        cfg = SimulationConfig(duration=15.0, warmup=0.0)
+        sim = Simulation([make_source(rate=60.0, value=4.0)], op,
+                         CpuModel(1e12), cfg, retain_outputs=True)
+        sim.run()
+        for r in sim.output_buffer.results[5:]:
+            assert r.value == pytest.approx(4.0)
+
+    def test_skipped_tuples_cost_less(self):
+        op = ThrottledAggregateOperator("count", tuple_cost=10.0, rng=0)
+        op.throttle.z = 0.001  # skip essentially everything
+        from repro.streams import StreamTuple
+
+        receipt = op.process(
+            StreamTuple(value=1.0, timestamp=0.1, stream=0, seq=0), 0.1
+        )
+        assert receipt.comparisons <= 1
+
+    def test_adaptation_updates_throttle(self):
+        op = ThrottledAggregateOperator("count")
+        op.on_adapt(5.0, [stats(100, 40)], 5.0)
+        assert op.throttle_fraction == pytest.approx(0.4)
+
+    def test_sheds_under_real_overload(self):
+        op = ThrottledAggregateOperator("count", tuple_cost=100.0, rng=1)
+        cfg = SimulationConfig(duration=20.0, warmup=0.0,
+                               adaptation_interval=2.0)
+        # 100 tuples/s * 100 units = 10k units/s demanded, 3k available
+        res = Simulation([make_source(rate=100.0, value=1.0)], op,
+                         CpuModel(3000.0), cfg).run()
+        assert op.throttle_fraction < 0.8
+        depths = res.queue_depths[0].values
+        assert depths[-1] <= max(depths) * 1.1  # backlog bounded

@@ -1,0 +1,91 @@
+"""Tests for the exact window-harvesting solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import solve_naive, solve_optimal
+from repro.experiments import random_instance
+
+
+class TestSolveNaive:
+    def test_enumerates_everything(self):
+        p = random_instance(m=3, segments=2, rng=0)
+        result = solve_naive(p, 0.5)
+        assert result.evaluations == 3 ** 6  # (n+1)^(m*(m-1))
+
+    def test_budget_respected(self):
+        p = random_instance(m=3, segments=3, rng=1)
+        for z in (0.1, 0.4, 0.8):
+            result = solve_naive(p, z)
+            assert result.cost <= z * p.full_cost() * (1 + 1e-9)
+
+    def test_z_one_returns_full_join(self):
+        p = random_instance(m=3, segments=2, rng=2)
+        result = solve_naive(p, 1.0)
+        assert result.output == pytest.approx(p.output(p.full_counts()))
+
+    def test_invalid_throttle(self):
+        p = random_instance(m=3, segments=2, rng=3)
+        with pytest.raises(ValueError):
+            solve_naive(p, 0.0)
+        with pytest.raises(ValueError):
+            solve_naive(p, 1.5)
+
+
+class TestSolveOptimal:
+    def test_matches_naive_exactly(self):
+        for seed in range(5):
+            p = random_instance(m=3, segments=3, rng=seed)
+            for z in (0.15, 0.5, 0.9):
+                fast = solve_optimal(p, z)
+                naive = solve_naive(p, z)
+                assert fast.output == pytest.approx(naive.output, rel=1e-9), (
+                    seed,
+                    z,
+                )
+
+    def test_budget_respected(self):
+        p = random_instance(m=3, segments=10, rng=7)
+        for z in (0.05, 0.3, 0.7):
+            result = solve_optimal(p, z)
+            assert result.cost <= z * p.full_cost() * (1 + 1e-9)
+            assert p.feasible(result.counts, z)
+
+    def test_output_monotone_in_throttle(self):
+        p = random_instance(m=3, segments=8, rng=8)
+        outputs = [solve_optimal(p, z).output for z in (0.1, 0.3, 0.6, 1.0)]
+        assert outputs == sorted(outputs)
+
+    def test_counts_shape(self):
+        p = random_instance(m=3, segments=4, rng=9)
+        result = solve_optimal(p, 0.5)
+        assert result.counts.shape == (3, 2)
+        assert result.counts.dtype.kind == "i"
+
+    def test_frontier_guard(self):
+        p = random_instance(m=4, segments=10, rng=10)
+        with pytest.raises(ValueError):
+            solve_optimal(p, 0.5, max_frontier=100)
+
+    def test_fractions_helper(self):
+        p = random_instance(m=3, segments=4, rng=11)
+        result = solve_optimal(p, 0.5)
+        z = result.fractions(p)
+        assert z.shape == (3, 2)
+        assert ((0 <= z) & (z <= 1)).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    z=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_property_decomposed_equals_naive(seed, z):
+    """The Pareto-decomposed exact solver always finds the same optimum as
+    the literal enumeration."""
+    p = random_instance(m=3, segments=2, rng=seed)
+    fast = solve_optimal(p, z)
+    naive = solve_naive(p, z)
+    assert fast.output == pytest.approx(naive.output, rel=1e-9)

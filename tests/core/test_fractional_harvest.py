@@ -1,0 +1,115 @@
+"""Tests for the fractional-initialization fallback and fractional
+harvest configurations."""
+
+import numpy as np
+import pytest
+
+from repro.core import HarvestConfiguration, JoinProfile, PartitionedWindow, greedy_pick
+from repro.joins import default_orders
+from repro.streams import StreamTuple
+
+
+def concentrated_profile(m=3, n=10, rate=300.0, window_count=6000.0,
+                         sel=0.005):
+    """A profile whose mass sits in one window — the regime where even a
+    single segment per hop blows a small budget."""
+    orders = default_orders(m)
+    masses = []
+    for i in range(m):
+        per = []
+        for l in orders[i]:
+            mass = np.zeros(n)
+            mass[0] = 1.0
+            per.append(mass)
+        masses.append(per)
+    return JoinProfile(
+        rates=np.full(m, rate),
+        window_counts=np.full(m, window_count),
+        segments=np.full(m, n, dtype=int),
+        selectivity=np.full((m, m), sel),
+        orders=orders,
+        masses=masses,
+    )
+
+
+class TestFractionalFallback:
+    def test_triggers_when_integral_infeasible(self):
+        p = concentrated_profile()
+        # budget below the cost of one segment everywhere
+        z = 0.001
+        with_fb = greedy_pick(p, z)
+        without = greedy_pick(p, z, fractional_fallback=False)
+        assert without.counts.max() == 0
+        assert without.output == 0
+        assert 0 < with_fb.counts.max() < 1
+        assert with_fb.output > 0
+        assert "fractional" in with_fb.method
+
+    def test_fallback_respects_budget(self):
+        p = concentrated_profile()
+        for z in (0.0005, 0.001, 0.005):
+            result = greedy_pick(p, z)
+            assert p.feasible(result.counts, z)
+
+    def test_not_triggered_when_integral_works(self):
+        p = concentrated_profile(rate=10.0, window_count=100.0)
+        result = greedy_pick(p, 0.5)
+        assert "fractional" not in result.method
+        assert result.counts.max() >= 1
+
+    def test_exactly_one_direction_initialized(self):
+        p = concentrated_profile()
+        result = greedy_pick(p, 0.001)
+        active = [i for i in range(3) if result.counts[i].max() > 0]
+        assert len(active) == 1
+        row = result.counts[active[0]]
+        assert (row > 0).all()  # all hops of the active direction
+
+
+class TestFractionalSlices:
+    def _window(self, now=9.5):
+        win = PartitionedWindow(10.0, 1.0)
+        t = 0.0
+        while t <= now:
+            win.insert(
+                StreamTuple(value=t, timestamp=t, stream=0,
+                            seq=int(t * 10)),
+                now=t,
+            )
+            t += 0.05
+        return win
+
+    def _config(self, count):
+        counts = np.full((3, 2), count, dtype=float)
+        rankings = [[np.arange(10), np.arange(10)] for _ in range(3)]
+        return HarvestConfiguration(counts, rankings)
+
+    def test_fractional_window_reported(self):
+        cfg = self._config(2.5)
+        assert cfg.fractional_window(0, 0) == (2, 0.5)
+        cfg_int = self._config(2.0)
+        assert cfg_int.fractional_window(0, 0) is None
+
+    def test_fractional_slices_scan_partial_segment(self):
+        win = self._window()
+        whole = self._config(3.0)
+        frac = self._config(2.5)
+        n_whole = sum(
+            len(s) for s in whole.slices_for_hop(win, 0, 0, 9.5)
+        )
+        n_frac = sum(len(s) for s in frac.slices_for_hop(win, 0, 0, 9.5))
+        n_two = sum(
+            len(s) for s in self._config(2.0).slices_for_hop(win, 0, 0, 9.5)
+        )
+        assert n_two < n_frac < n_whole
+        # the partial segment is sampled at about half density
+        assert n_frac - n_two == pytest.approx((n_whole - n_two) / 2, abs=3)
+
+    def test_pure_fractional_counts(self):
+        win = self._window()
+        tiny = self._config(0.25)
+        n = sum(len(s) for s in tiny.slices_for_hop(win, 0, 0, 9.5))
+        full_seg = sum(
+            len(s) for s in self._config(1.0).slices_for_hop(win, 0, 0, 9.5)
+        )
+        assert 0 < n <= full_seg / 2

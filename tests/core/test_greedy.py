@@ -1,0 +1,159 @@
+"""Tests for the greedy harvest-fraction heuristics (Fig. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Metric,
+    greedy_double_sided,
+    greedy_pick,
+    greedy_reverse,
+    solve_optimal,
+)
+from repro.experiments import random_instance
+
+ALL_METRICS = list(Metric)
+
+
+class TestGreedyPick:
+    @pytest.mark.parametrize("metric", ALL_METRICS)
+    def test_feasible(self, metric):
+        p = random_instance(m=3, segments=10, rng=0)
+        for z in (0.05, 0.25, 0.6, 1.0):
+            result = greedy_pick(p, z, metric)
+            assert p.feasible(result.counts, z), (metric, z)
+
+    def test_z_one_selects_everything(self):
+        p = random_instance(m=3, segments=6, rng=1)
+        result = greedy_pick(p, 1.0)
+        assert np.array_equal(result.counts, p.full_counts())
+
+    def test_initialization_rule(self):
+        """A direction is either fully disabled or has every hop > 0 —
+        a zero hop in an active direction would waste all its scanning."""
+        for seed in range(5):
+            p = random_instance(m=3, segments=10, rng=seed)
+            result = greedy_pick(p, 0.2)
+            for i in range(3):
+                row = result.counts[i]
+                assert row.min() > 0 or row.max() == 0
+
+    def test_output_reported_matches_model(self):
+        p = random_instance(m=3, segments=8, rng=2)
+        result = greedy_pick(p, 0.4)
+        cost, output = p.evaluate(result.counts)
+        assert result.cost == pytest.approx(cost)
+        assert result.output == pytest.approx(output)
+
+    def test_bdopdc_near_optimal(self):
+        """The paper's headline claim for Fig. 4: BDOpDC stays within a few
+        percent of the brute-force optimum."""
+        ratios = []
+        for seed in range(20):
+            p = random_instance(m=3, segments=10, rng=100 + seed)
+            for z in (0.1, 0.3, 0.5, 0.8):
+                exact = solve_optimal(p, z)
+                greedy = greedy_pick(
+                    p, z, Metric.BEST_DELTA_OUTPUT_PER_DELTA_COST
+                )
+                if exact.output > 0:
+                    ratios.append(greedy.output / exact.output)
+        assert np.mean(ratios) > 0.95
+        assert min(ratios) > 0.5
+
+    def test_metric_ordering_shape(self):
+        """Fig. 4's qualitative ordering: at large z, BO ~ optimal and both
+        beat BOpC on average."""
+        bo, bopc = [], []
+        for seed in range(15):
+            p = random_instance(m=3, segments=10, rng=300 + seed)
+            exact = solve_optimal(p, 0.9)
+            if exact.output <= 0:
+                continue
+            bo.append(greedy_pick(p, 0.9, Metric.BEST_OUTPUT).output
+                      / exact.output)
+            bopc.append(
+                greedy_pick(p, 0.9, Metric.BEST_OUTPUT_PER_COST).output
+                / exact.output
+            )
+        assert np.mean(bo) > np.mean(bopc)
+
+    def test_invalid_throttle(self):
+        p = random_instance(m=3, segments=4, rng=3)
+        with pytest.raises(ValueError):
+            greedy_pick(p, 0.0)
+
+
+class TestGreedyReverse:
+    def test_feasible(self):
+        for seed in range(5):
+            p = random_instance(m=3, segments=10, rng=seed)
+            for z in (0.1, 0.5, 0.9):
+                result = greedy_reverse(p, z)
+                assert p.feasible(result.counts, z)
+
+    def test_z_one_keeps_full_join(self):
+        p = random_instance(m=3, segments=6, rng=4)
+        result = greedy_reverse(p, 1.0)
+        assert np.array_equal(result.counts, p.full_counts())
+
+    def test_quality_comparable_to_forward(self):
+        gains = []
+        for seed in range(10):
+            p = random_instance(m=3, segments=10, rng=500 + seed)
+            fwd = greedy_pick(p, 0.6)
+            rev = greedy_reverse(p, 0.6)
+            if fwd.output > 0:
+                gains.append(rev.output / fwd.output)
+        assert np.mean(gains) > 0.7
+
+    def test_reverse_cheaper_at_large_z(self):
+        p = random_instance(m=4, segments=10, rng=5)
+        fwd = greedy_pick(p, 0.95)
+        rev = greedy_reverse(p, 0.95)
+        assert rev.evaluations < fwd.evaluations
+
+
+class TestDoubleSided:
+    def test_dispatch_by_throttle(self):
+        p = random_instance(m=3, segments=8, rng=6)
+        small = greedy_double_sided(p, 0.1)
+        large = greedy_double_sided(p, 0.9)
+        assert "bdopdc" in small.method
+        assert "reverse" in large.method
+
+    def test_switch_point_formula(self):
+        # m=3: switch at 0.5^1 = 0.5
+        p = random_instance(m=3, segments=8, rng=7)
+        assert "reverse" not in greedy_double_sided(p, 0.5).method
+        assert "reverse" in greedy_double_sided(p, 0.51).method
+
+    def test_feasible(self):
+        p = random_instance(m=4, segments=6, rng=8)
+        for z in (0.1, 0.4, 0.7, 1.0):
+            result = greedy_double_sided(p, z)
+            assert p.feasible(result.counts, z)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    z=st.floats(min_value=0.02, max_value=1.0),
+    m=st.sampled_from([3, 4]),
+)
+def test_property_greedy_always_feasible(seed, z, m):
+    """No matter the instance, every greedy variant returns a setting that
+    satisfies the throttle budget."""
+    p = random_instance(m=m, segments=6, rng=seed)
+    for result in (
+        greedy_pick(p, z),
+        greedy_reverse(p, z),
+        greedy_double_sided(p, z),
+    ):
+        assert p.feasible(result.counts, z)
+        assert (result.counts >= 0).all()
+        for i in range(m):
+            for j in range(m - 1):
+                assert result.counts[i, j] <= p.hop_segments(i, j)

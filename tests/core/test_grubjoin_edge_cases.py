@@ -1,0 +1,153 @@
+"""Edge-case tests: corners of the GrubJoin stack that normal runs miss."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GrubJoinOperator,
+    JoinProfile,
+    Metric,
+    greedy_pick,
+    uniform_masses,
+)
+from repro.engine import BufferStats, CpuModel, Simulation, SimulationConfig
+from repro.joins import EpsilonJoin, default_orders
+from repro.streams import ConstantRate, StreamSource, StreamTuple, UniformProcess
+
+
+def stats(pushed, popped):
+    return BufferStats(pushed=pushed, popped=popped, dropped=0, depth=0)
+
+
+class TestDegenerateWorkloads:
+    def test_empty_run_produces_nothing(self):
+        """A simulation with zero tuples terminates cleanly."""
+
+        class SilentSource:
+            stream = 0
+
+            def iter_tuples(self, until):
+                return iter(())
+
+        sources = [
+            type("S", (), {"stream": i, "iter_tuples": lambda self, u: iter(())})()
+            for i in range(3)
+        ]
+        op = GrubJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0, rng=0)
+        res = Simulation(sources, op, CpuModel(1e6),
+                         SimulationConfig(duration=5.0, warmup=1.0)).run()
+        assert res.output_count_total == 0
+        assert op.tuples_processed == 0
+
+    def test_single_active_stream_never_outputs(self):
+        """m-way output requires all m streams; one silent stream means
+        zero results, but the operator must stay healthy."""
+        sources = [
+            StreamSource(0, ConstantRate(20.0), UniformProcess(rng=0)),
+            StreamSource(1, ConstantRate(20.0), UniformProcess(rng=1)),
+            type("S", (), {"stream": 2,
+                           "iter_tuples": lambda self, u: iter(())})(),
+        ]
+        op = GrubJoinOperator(EpsilonJoin(100.0), [10.0] * 3, 1.0, rng=0)
+        res = Simulation(sources, op, CpuModel(1e9),
+                         SimulationConfig(duration=8.0, warmup=0.0,
+                                          adaptation_interval=2.0)).run()
+        assert res.output_count_total == 0
+        assert op.adaptations == 4
+
+    def test_huge_epsilon_everything_matches(self):
+        sources = [
+            StreamSource(i, ConstantRate(5.0, phase=i * 1e-3),
+                         UniformProcess(rng=i))
+            for i in range(3)
+        ]
+        op = GrubJoinOperator(EpsilonJoin(1e9), [10.0] * 3, 1.0, rng=0)
+        res = Simulation(sources, op, CpuModel(1e12),
+                         SimulationConfig(duration=6.0, warmup=0.0)).run()
+        assert res.output_count_total > 0
+
+    def test_zero_epsilon_matches_only_equal_values(self):
+        sources = [
+            StreamSource(i, ConstantRate(10.0, phase=i * 1e-3),
+                         UniformProcess(rng=i))
+            for i in range(3)
+        ]
+        op = GrubJoinOperator(EpsilonJoin(0.0), [10.0] * 3, 1.0, rng=0)
+        res = Simulation(sources, op, CpuModel(1e12),
+                         SimulationConfig(duration=6.0, warmup=0.0)).run()
+        assert res.output_count_total == 0  # continuous values never equal
+
+    def test_m_equals_two_works(self):
+        sources = [
+            StreamSource(i, ConstantRate(20.0, phase=i * 1e-3),
+                         UniformProcess(rng=i))
+            for i in range(2)
+        ]
+        op = GrubJoinOperator(EpsilonJoin(50.0), [10.0] * 2, 1.0, rng=0)
+        res = Simulation(sources, op, CpuModel(1e12),
+                         SimulationConfig(duration=6.0, warmup=0.0)).run()
+        assert res.output_count_total > 0
+
+    def test_m_equals_six_works(self):
+        sources = [
+            StreamSource(i, ConstantRate(10.0, phase=i * 1e-3),
+                         UniformProcess(rng=i))
+            for i in range(6)
+        ]
+        op = GrubJoinOperator(EpsilonJoin(500.0), [5.0] * 6, 1.0, rng=0)
+        res = Simulation(sources, op, CpuModel(1e6),
+                         SimulationConfig(duration=6.0, warmup=0.0,
+                                          adaptation_interval=2.0)).run()
+        # the 6-way join with epsilon = D/2 is massively overloaded at
+        # this capacity; what matters is that it runs, adapts and sheds
+        assert 0 < op.tuples_processed <= 360
+        assert op.adaptations == 3
+        assert op.throttle_fraction < 1.0
+
+
+class TestSolverEdgeCases:
+    def _profile(self, m=3, n=5, rate=0.0, sel=0.01):
+        orders = default_orders(m)
+        segments = np.full(m, n, dtype=int)
+        return JoinProfile(
+            rates=np.full(m, rate),
+            window_counts=np.full(m, rate * 10.0),
+            segments=segments,
+            selectivity=np.full((m, m), sel),
+            orders=orders,
+            masses=uniform_masses(segments, orders),
+        )
+
+    def test_zero_rates_full_selection(self):
+        """With empty windows everything is free: greedy fills to full."""
+        result = greedy_pick(self._profile(rate=0.0), 0.1)
+        assert (result.counts > 0).all()
+        assert result.cost == 0.0
+
+    @pytest.mark.parametrize("metric", list(Metric))
+    def test_tiny_throttle_all_metrics(self, metric):
+        result = greedy_pick(self._profile(rate=100.0), 1e-6, metric)
+        p = self._profile(rate=100.0)
+        assert p.feasible(result.counts, 1e-6)
+
+    def test_extreme_selectivity_one(self):
+        p = self._profile(rate=10.0, sel=1.0)
+        result = greedy_pick(p, 0.5)
+        assert p.feasible(result.counts, 0.5)
+
+
+class TestWindowEdgeCases:
+    def test_basic_window_equals_window(self):
+        """b == w means a single logical basic window."""
+        op = GrubJoinOperator(EpsilonJoin(1.0), [5.0] * 3, 5.0, rng=0)
+        assert op.segments == [1, 1, 1]
+        t = StreamTuple(value=1.0, timestamp=0.1, stream=0, seq=0)
+        receipt = op.process(t, 0.1)
+        assert receipt.comparisons >= 0
+
+    def test_heterogeneous_window_sizes(self):
+        op = GrubJoinOperator(EpsilonJoin(1.0), [4.0, 8.0, 12.0], 2.0,
+                              rng=0)
+        assert op.segments == [2, 4, 6]
+        op.on_adapt(5.0, [stats(100, 100)] * 3, 5.0)
+        assert op.harvest.counts.shape == (3, 2)

@@ -1,0 +1,90 @@
+"""Tests for the runtime harvest configuration."""
+
+import numpy as np
+import pytest
+
+from repro.core import HarvestConfiguration, PartitionedWindow
+from repro.streams import StreamTuple
+
+
+def tup(ts):
+    return StreamTuple(value=float(ts), timestamp=float(ts), stream=0, seq=0)
+
+
+def simple_config(m=3, n=5, count=2):
+    counts = np.full((m, m - 1), count)
+    rankings = [
+        [np.arange(n) for _ in range(m - 1)] for _ in range(m)
+    ]
+    return HarvestConfiguration(counts, rankings)
+
+
+class TestConstruction:
+    def test_full(self):
+        cfg = HarvestConfiguration.full(3, [5, 5, 5])
+        assert (cfg.counts == 5).all()
+        assert list(cfg.selected_windows(0, 0)) == [0, 1, 2, 3, 4]
+
+    def test_full_respects_per_stream_segments(self):
+        cfg = HarvestConfiguration.full(3, [4, 6, 8])
+        # direction 0 probes streams 1 then 2
+        assert cfg.counts[0, 0] == 6
+        assert cfg.counts[0, 1] == 8
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            HarvestConfiguration(np.zeros((3, 3)), [[np.arange(2)] * 2] * 3)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            HarvestConfiguration(
+                np.full((3, 2), -1), [[np.arange(5)] * 2] * 3
+            )
+
+    def test_ranking_arity_validated(self):
+        with pytest.raises(ValueError):
+            HarvestConfiguration(np.zeros((3, 2)), [[np.arange(5)]] * 3)
+
+
+class TestSelection:
+    def test_selected_windows_follow_ranking(self):
+        counts = np.full((3, 2), 2)
+        ranking = np.array([4, 1, 0, 2, 3])
+        rankings = [[ranking, ranking] for _ in range(3)]
+        cfg = HarvestConfiguration(counts, rankings)
+        assert list(cfg.selected_windows(1, 0)) == [4, 1]
+
+    def test_zero_count_selects_nothing(self):
+        cfg = simple_config(count=0)
+        assert len(cfg.selected_windows(0, 0)) == 0
+
+    def test_fraction(self):
+        cfg = simple_config(count=2)
+        assert cfg.fraction(0, 0, segments=5) == pytest.approx(0.4)
+
+
+class TestSlices:
+    def test_slices_cover_selected_logical_windows(self):
+        win = PartitionedWindow(5.0, 1.0)
+        now = 4.5
+        t = 0.0
+        while t <= now:
+            win.insert(tup(t), now=t)
+            t += 0.1
+        counts = np.array([[2, 2], [2, 2], [2, 2]])
+        ranking = np.array([2, 0, 1, 3, 4])  # pick logical windows 3 and 1
+        cfg = HarvestConfiguration(counts, [[ranking] * 2] * 3)
+        slices = cfg.slices_for_hop(win, 0, 0, now)
+        ages = sorted(now - t.timestamp for s in slices for t in s.tuples)
+        eps = 1e-9  # age arithmetic rounds at window boundaries
+        assert all(
+            (2 - eps <= a < 3 + eps) or (0 - eps <= a < 1 + eps)
+            for a in ages
+        )
+        direct = [
+            t
+            for j in (3, 1)
+            for s in win.logical_window_slices(j, now)
+            for t in s.tuples
+        ]
+        assert len(ages) == len(direct)

@@ -1,0 +1,103 @@
+"""Tests for the memory-saving extension (paper Section 7's claim that
+the window-harvesting framework can shed memory as well as CPU)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GrubJoinOperator, PartitionedWindow
+from repro.engine import CpuModel, Simulation, SimulationConfig
+from repro.joins import EpsilonJoin
+from repro.streams import (
+    ConstantRate,
+    LinearDriftProcess,
+    StreamSource,
+    StreamTuple,
+)
+
+
+def tup(ts):
+    return StreamTuple(value=float(ts), timestamp=float(ts), stream=0,
+                       seq=int(ts * 10))
+
+
+class TestEvictOlderThan:
+    def _filled(self, now=9.5):
+        win = PartitionedWindow(10.0, 1.0)
+        t = 0.0
+        while t <= now:
+            win.insert(tup(t), now=t)
+            t += 0.1
+        return win
+
+    def test_evicts_whole_old_windows(self):
+        win = self._filled()
+        before = win.count_unexpired(9.5)
+        evicted = win.evict_older_than(3.0, 9.5)
+        assert evicted > 0
+        after = win.count_unexpired(9.5)
+        assert after == before - evicted
+        # nothing younger than the horizon was touched
+        ages = [9.5 - t.timestamp for t in win.iter_unexpired(9.5)]
+        assert all(a < 4.0 + 1e-9 for a in ages)  # whole-window granularity
+
+    def test_horizon_beyond_window_evicts_nothing(self):
+        win = self._filled()
+        assert win.evict_older_than(100.0, 9.5) == 0
+
+    def test_zero_horizon_keeps_only_newest_windows(self):
+        win = self._filled()
+        win.evict_older_than(0.0, 9.5)
+        ages = [9.5 - t.timestamp for t in win.iter_unexpired(9.5)]
+        # only the currently filling and previous window can survive
+        assert all(a <= 1.0 + 1e-9 for a in ages)
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            self._filled().evict_older_than(-1.0, 9.5)
+
+    def test_idempotent(self):
+        win = self._filled()
+        win.evict_older_than(3.0, 9.5)
+        assert win.evict_older_than(3.0, 9.5) == 0
+
+
+class TestMemorySavingMode:
+    def _run(self, memory_saving):
+        sources = [
+            StreamSource(
+                i,
+                ConstantRate(60.0, phase=i * 1e-3),
+                LinearDriftProcess(lag=1.0 * i, deviation=1.0, rng=i),
+            )
+            for i in range(3)
+        ]
+        op = GrubJoinOperator(
+            EpsilonJoin(1.0), [10.0] * 3, 1.0, rng=0,
+            memory_saving=memory_saving,
+        )
+        cfg = SimulationConfig(duration=20.0, warmup=5.0,
+                               adaptation_interval=2.0)
+        res = Simulation(sources, op, CpuModel(3e4), cfg).run()
+        return res, op
+
+    def test_eviction_happens_under_shedding(self):
+        res, op = self._run(memory_saving=True)
+        assert op.throttle_fraction < 1.0
+        assert op.tuples_evicted > 0
+
+    def test_memory_footprint_reduced(self):
+        _, keep_all = self._run(memory_saving=False)
+        _, evicting = self._run(memory_saving=False)
+        _, evicting = self._run(memory_saving=True)
+        stored_all = sum(len(w) for w in keep_all.windows)
+        stored_evict = sum(len(w) for w in evicting.windows)
+        assert stored_evict < stored_all
+
+    def test_output_still_produced(self):
+        res, op = self._run(memory_saving=True)
+        assert res.output_count_total > 0
+
+    def test_disabled_by_default(self):
+        op = GrubJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0)
+        assert not op.memory_saving
+        assert op.tuples_evicted == 0

@@ -1,0 +1,67 @@
+"""Tests for window shredding (Section 5.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import PartitionedWindow, shred_slices_for_hop, shredded_slices
+from repro.streams import StreamTuple
+
+
+def filled_window(now=9.5, w=10.0, b=2.0, spacing=0.1):
+    win = PartitionedWindow(w, b)
+    t = 0.0
+    while t <= now:
+        win.insert(
+            StreamTuple(value=t, timestamp=t, stream=0, seq=int(t / spacing)),
+            now=t,
+        )
+        t += spacing
+    win.rotate_to(now)
+    return win
+
+
+class TestShreddedSlices:
+    def test_full_fraction_returns_everything(self):
+        win = filled_window()
+        full = sum(len(s) for s in win.full_slices(9.5))
+        shredded = sum(len(s) for s in shredded_slices(win, 1.0, 9.5))
+        assert shredded == full
+
+    def test_fraction_respected(self):
+        win = filled_window()
+        full = sum(len(s) for s in win.full_slices(9.5))
+        sampled = sum(len(s) for s in shredded_slices(win, 0.25, 9.5))
+        assert sampled == pytest.approx(full * 0.25, rel=0.15)
+
+    def test_sample_evenly_spread(self):
+        """Selected tuples must cover the whole window's time range, not
+        cluster — that is the point of shredding vs harvesting."""
+        win = filled_window()
+        now = 9.5
+        ages = [
+            now - t.timestamp
+            for s in shredded_slices(win, 0.2, now)
+            for t in s.tuples
+        ]
+        horizon = win.n * win.basic_window_size
+        quarters = np.histogram(ages, bins=4, range=(0, horizon))[0]
+        assert quarters.min() > 0
+        assert quarters.max() <= 2.5 * max(quarters.min(), 1)
+
+    def test_invalid_fraction(self):
+        win = filled_window()
+        with pytest.raises(ValueError):
+            shredded_slices(win, 0.0, 9.5)
+        with pytest.raises(ValueError):
+            shredded_slices(win, 1.1, 9.5)
+
+
+class TestShredSlicesForHop:
+    def test_first_hop_sampled_later_hops_full(self):
+        windows = [filled_window(), filled_window(), filled_window()]
+        cb = shred_slices_for_hop(windows, [1, 2], 0.25, 9.5)
+        hop0 = sum(len(s) for s in cb(0, 1))
+        hop1 = sum(len(s) for s in cb(1, 2))
+        full = sum(len(s) for s in windows[2].full_slices(9.5))
+        assert hop1 == full
+        assert hop0 < full

@@ -1,0 +1,102 @@
+"""Tests for the operator-throttling controller (Section 3)."""
+
+import pytest
+
+from repro.core import ThrottleController
+from repro.engine import BufferStats
+
+
+def stats(pushed, popped):
+    return BufferStats(pushed=pushed, popped=popped, dropped=0, depth=0)
+
+
+class TestUpdateRule:
+    def test_starts_optimistic(self):
+        assert ThrottleController().z == 1.0
+
+    def test_overload_multiplies_by_beta(self):
+        t = ThrottleController()
+        z = t.update(consumed=50, arrived=100)  # beta = 0.5
+        assert z == pytest.approx(0.5)
+        assert t.last_beta == pytest.approx(0.5)
+
+    def test_successive_overloads_compound(self):
+        t = ThrottleController()
+        t.update(50, 100)
+        z = t.update(80, 100)
+        assert z == pytest.approx(0.4)
+
+    def test_keeping_up_boosts_by_gamma(self):
+        t = ThrottleController(gamma=1.5)
+        t.update(10, 100)  # z = 0.1
+        z = t.update(100, 100)  # beta = 1 -> boost
+        assert z == pytest.approx(0.15)
+
+    def test_boost_capped_at_one(self):
+        t = ThrottleController(gamma=2.0)
+        t.update(90, 100)  # z = 0.9
+        z = t.update(100, 100)
+        assert z == 1.0
+
+    def test_floor(self):
+        t = ThrottleController(z_min=0.05)
+        for _ in range(20):
+            t.update(1, 100)
+        assert t.z == 0.05
+
+    def test_no_arrivals_counts_as_keeping_up(self):
+        t = ThrottleController(gamma=1.2)
+        t.update(10, 100)
+        z = t.update(0, 0)
+        assert z == pytest.approx(0.12)
+
+    def test_negative_counts_rejected(self):
+        t = ThrottleController()
+        with pytest.raises(ValueError):
+            t.update(-1, 10)
+
+
+class TestFromBufferStats:
+    def test_aggregates_across_streams(self):
+        t = ThrottleController()
+        z = t.update_from_stats([stats(100, 60), stats(100, 40)])
+        assert z == pytest.approx(0.5)  # beta = 100/200
+
+
+class TestConvergence:
+    def test_settles_near_capacity_share(self):
+        """Feedback loop: suppose the operator can consume
+        ``capacity_fraction`` of arrivals at z=1 and consumption scales
+        with z.  The controller should hover near that fraction."""
+        capacity_fraction = 0.3
+        t = ThrottleController(gamma=1.1)
+        for _ in range(60):
+            arrived = 1000
+            consumable = capacity_fraction / max(t.z, 1e-9) * arrived
+            consumed = min(arrived, int(consumable))
+            t.update(consumed, arrived)
+        assert 0.2 <= t.z <= 0.45
+
+
+class TestValidationAndReset:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"gamma": 1.0},
+            {"z_min": 0.0},
+            {"z_min": 1.5},
+            {"initial": 0.001, "z_min": 0.01},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ThrottleController(**kwargs)
+
+    def test_reset(self):
+        t = ThrottleController()
+        t.update(10, 100)
+        t.reset()
+        assert t.z == 1.0
+        assert t.last_beta == 1.0
+        with pytest.raises(ValueError):
+            t.reset(initial=0.001)

@@ -1,0 +1,58 @@
+"""Tests for the filter/map graph operators."""
+
+import pytest
+
+from repro.engine import FilterOperator, MapOperator
+from repro.streams import StreamTuple
+
+
+def tup(value, ts=0.0):
+    return StreamTuple(value=value, timestamp=ts, stream=0, seq=0)
+
+
+class TestFilterOperator:
+    def test_passes_matching(self):
+        f = FilterOperator(lambda v: v > 5)
+        receipt = f.process(tup(7.0), 0.0)
+        assert len(receipt.outputs) == 1
+        assert receipt.outputs[0].value == 7.0
+
+    def test_drops_non_matching(self):
+        f = FilterOperator(lambda v: v > 5)
+        receipt = f.process(tup(3.0), 0.0)
+        assert receipt.outputs == []
+
+    def test_counters(self):
+        f = FilterOperator(lambda v: v % 2 == 0)
+        for v in range(10):
+            f.process(tup(v), 0.0)
+        assert f.examined == 10
+        assert f.passed == 5
+
+    def test_cost_charged(self):
+        f = FilterOperator(lambda v: True, cost=7.0)
+        assert f.process(tup(0), 0.0).comparisons == 7
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            FilterOperator("nope")
+        with pytest.raises(ValueError):
+            FilterOperator(lambda v: True, cost=-1)
+
+
+class TestMapOperator:
+    def test_transforms_value(self):
+        m = MapOperator(lambda v: v * 2)
+        out = m.process(tup(4.0, ts=3.0), 5.0).outputs[0]
+        assert out.value == 8.0
+        assert out.timestamp == 3.0  # provenance preserved
+
+    def test_preserves_identity_fields(self):
+        m = MapOperator(str)
+        src = StreamTuple(value=1, timestamp=2.0, stream=3, seq=4)
+        out = m.process(src, 5.0).outputs[0]
+        assert (out.stream, out.seq) == (3, 4)
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            MapOperator(42)

@@ -1,0 +1,89 @@
+"""Tests for input/output buffers and their rate accounting."""
+
+import pytest
+
+from repro.engine import InputBuffer, OutputBuffer
+from repro.streams import JoinResult, StreamTuple
+
+
+def tup(ts=0.0, stream=0, seq=0):
+    return StreamTuple(value=0.0, timestamp=ts, stream=stream, seq=seq)
+
+
+class TestInputBuffer:
+    def test_fifo(self):
+        buf = InputBuffer(0)
+        buf.push(tup(seq=1))
+        buf.push(tup(seq=2))
+        assert buf.pop().seq == 1
+        assert buf.pop().seq == 2
+
+    def test_head_does_not_remove(self):
+        buf = InputBuffer(0)
+        buf.push(tup(seq=5))
+        assert buf.head().seq == 5
+        assert len(buf) == 1
+
+    def test_empty_head_is_none(self):
+        assert InputBuffer(0).head() is None
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            InputBuffer(0).pop()
+
+    def test_capacity_drops(self):
+        buf = InputBuffer(0, capacity=2)
+        assert buf.push(tup(seq=1))
+        assert buf.push(tup(seq=2))
+        assert not buf.push(tup(seq=3))
+        stats = buf.interval_stats()
+        assert stats.pushed == 2
+        assert stats.dropped == 1
+        assert stats.depth == 2
+
+    def test_interval_stats_and_reset(self):
+        buf = InputBuffer(0)
+        for i in range(5):
+            buf.push(tup(seq=i))
+        buf.pop()
+        buf.pop()
+        stats = buf.interval_stats()
+        assert (stats.pushed, stats.popped, stats.depth) == (5, 2, 3)
+        buf.reset_interval()
+        stats = buf.interval_stats()
+        assert (stats.pushed, stats.popped) == (0, 0)
+        assert stats.depth == 3  # depth persists across intervals
+
+    def test_rates(self):
+        buf = InputBuffer(0)
+        for i in range(10):
+            buf.push(tup(seq=i))
+        for _ in range(4):
+            buf.pop()
+        stats = buf.interval_stats()
+        assert stats.push_rate(5.0) == pytest.approx(2.0)
+        assert stats.pop_rate(5.0) == pytest.approx(0.8)
+        assert stats.push_rate(0.0) == 0.0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            InputBuffer(0, capacity=0)
+
+
+class TestOutputBuffer:
+    def _result(self):
+        return JoinResult((tup(), tup(stream=1)))
+
+    def test_counts(self):
+        out = OutputBuffer()
+        out.push(self._result())
+        out.push_many([self._result(), self._result()])
+        assert out.count == 3
+        assert len(out) == 3
+        assert len(out.results) == 3
+
+    def test_no_retention(self):
+        out = OutputBuffer(retain=False)
+        out.push_many([self._result()] * 10)
+        assert out.count == 10
+        assert out.results == []

@@ -1,0 +1,36 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.engine import ClockError, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(5.0).now == 5.0
+
+    def test_advance(self):
+        c = VirtualClock()
+        c.advance_to(3.0)
+        assert c.now == 3.0
+
+    def test_advance_to_same_time_allowed(self):
+        c = VirtualClock(2.0)
+        c.advance_to(2.0)
+        assert c.now == 2.0
+
+    def test_backwards_rejected(self):
+        c = VirtualClock(2.0)
+        with pytest.raises(ClockError):
+            c.advance_to(1.9)
+
+    def test_reset(self):
+        c = VirtualClock()
+        c.advance_to(10.0)
+        c.reset()
+        assert c.now == 0.0
+        c.advance_to(1.0)
+        assert c.now == 1.0

@@ -1,0 +1,47 @@
+"""Tests for the simulated CPU model."""
+
+import pytest
+
+from repro.engine import CpuModel
+
+
+class TestCpuModel:
+    def test_service_time(self):
+        cpu = CpuModel(1000.0, tuple_overhead=0.0)
+        assert cpu.service_time(500) == pytest.approx(0.5)
+
+    def test_overhead_included(self):
+        cpu = CpuModel(100.0, tuple_overhead=10.0)
+        assert cpu.service_time(0) == pytest.approx(0.1)
+
+    def test_charge_accumulates(self):
+        cpu = CpuModel(100.0, tuple_overhead=0.0)
+        cpu.charge(50)
+        cpu.charge(150)
+        assert cpu.busy_time == pytest.approx(2.0)
+        assert cpu.serviced == 2
+
+    def test_utilization(self):
+        cpu = CpuModel(100.0, tuple_overhead=0.0)
+        cpu.charge(100)  # 1 second of work
+        assert cpu.utilization(4.0) == pytest.approx(0.25)
+
+    def test_utilization_capped_at_one(self):
+        cpu = CpuModel(10.0, tuple_overhead=0.0)
+        cpu.charge(1000)
+        assert cpu.utilization(1.0) == 1.0
+
+    def test_utilization_zero_elapsed(self):
+        assert CpuModel(10.0).utilization(0.0) == 0.0
+
+    def test_reset(self):
+        cpu = CpuModel(10.0)
+        cpu.charge(5)
+        cpu.reset()
+        assert cpu.busy_time == 0.0
+        assert cpu.serviced == 0
+
+    @pytest.mark.parametrize("cap,over", [(0, 1), (-5, 1), (10, -1)])
+    def test_invalid(self, cap, over):
+        with pytest.raises(ValueError):
+            CpuModel(cap, tuple_overhead=over)

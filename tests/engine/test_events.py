@@ -1,0 +1,43 @@
+"""Tests for the event queue's ordering semantics."""
+
+from repro.engine import EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(3.0, EventKind.ARRIVAL, "late")
+        q.push(1.0, EventKind.ARRIVAL, "early")
+        q.push(2.0, EventKind.ARRIVAL, "mid")
+        assert [q.pop().payload for _ in range(3)] == ["early", "mid", "late"]
+
+    def test_kind_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.COMPLETION, "completion")
+        q.push(1.0, EventKind.ADAPT, "adapt")
+        q.push(1.0, EventKind.ARRIVAL, "arrival")
+        kinds = [q.pop().payload for _ in range(3)]
+        # adaptation observes state before the simultaneous arrival
+        assert kinds == ["adapt", "arrival", "completion"]
+
+    def test_insertion_order_breaks_full_ties(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.ARRIVAL, "first")
+        q.push(1.0, EventKind.ARRIVAL, "second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(4.0, EventKind.MEASURE)
+        q.push(2.0, EventKind.MEASURE)
+        assert q.peek_time() == 2.0
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(1.0, EventKind.STOP)
+        assert q and len(q) == 1
+        q.pop()
+        assert not q

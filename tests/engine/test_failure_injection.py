@@ -1,0 +1,71 @@
+"""Failure injection: poisoned tuples and operator exceptions."""
+
+import pytest
+
+from repro.engine import (
+    CpuModel,
+    ProcessReceipt,
+    Simulation,
+    SimulationConfig,
+    StreamOperator,
+)
+from repro.streams import ConstantRate, StreamSource, UniformProcess
+from repro.streams.tuples import JoinResult
+
+
+class FragileOperator(StreamOperator):
+    """Raises on every poison-pill tuple (value below a threshold)."""
+
+    num_streams = 1
+
+    def __init__(self, poison_below=10.0):
+        self.poison_below = poison_below
+        self.processed = 0
+
+    def process(self, tup, now):
+        if tup.value < self.poison_below:
+            raise RuntimeError(f"poisoned payload {tup.value!r}")
+        self.processed += 1
+        return ProcessReceipt(comparisons=5, outputs=[JoinResult((tup,))])
+
+
+def make_source(rate=20.0):
+    return StreamSource(0, ConstantRate(rate), UniformProcess(0, 100,
+                                                              rng=0))
+
+
+class TestErrorPolicies:
+    def test_raise_policy_propagates(self):
+        op = FragileOperator()
+        cfg = SimulationConfig(duration=10.0, warmup=0.0,
+                               on_operator_error="raise")
+        with pytest.raises(RuntimeError, match="poisoned"):
+            Simulation([make_source()], op, CpuModel(1e9), cfg).run()
+
+    def test_skip_policy_keeps_flowing(self):
+        op = FragileOperator(poison_below=10.0)  # ~10% of tuples poisoned
+        cfg = SimulationConfig(duration=10.0, warmup=0.0,
+                               on_operator_error="skip")
+        sim = Simulation([make_source()], op, CpuModel(1e9), cfg)
+        res = sim.run()
+        assert sim.operator_errors > 0
+        assert op.processed + sim.operator_errors == 200
+        assert res.output_count_total == op.processed
+
+    def test_skip_policy_charges_no_work_for_failures(self):
+        op = FragileOperator(poison_below=200.0)  # everything poisoned
+        cfg = SimulationConfig(duration=5.0, warmup=0.0,
+                               on_operator_error="skip")
+        cpu = CpuModel(1e9, tuple_overhead=1.0)
+        sim = Simulation([make_source()], op, cpu, cfg)
+        sim.run()
+        assert sim.operator_errors == 100
+        # only the per-tuple overhead was charged
+        assert cpu.busy_time == pytest.approx(100 * 1.0 / 1e9)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(on_operator_error="explode")
+
+    def test_default_is_raise(self):
+        assert SimulationConfig().on_operator_error == "raise"

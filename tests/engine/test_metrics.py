@@ -1,0 +1,64 @@
+"""Tests for measurement types."""
+
+import pytest
+
+from repro.engine import SimulationResult, StreamCounters, TimeSeries
+
+
+class TestTimeSeries:
+    def test_append_and_read(self):
+        ts = TimeSeries()
+        ts.append(1.0, 10.0)
+        ts.append(2.0, 20.0)
+        assert ts.times == [1.0, 2.0]
+        assert ts.values == [10.0, 20.0]
+        assert len(ts) == 2
+
+    def test_out_of_order_rejected(self):
+        ts = TimeSeries()
+        ts.append(2.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.append(1.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        ts = TimeSeries()
+        ts.append(1.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert len(ts) == 2
+
+    def test_last_and_mean(self):
+        ts = TimeSeries()
+        assert ts.last() is None
+        assert ts.mean() == 0.0
+        ts.append(0.0, 4.0)
+        ts.append(1.0, 8.0)
+        assert ts.last() == 8.0
+        assert ts.mean() == 6.0
+
+
+class TestSimulationResult:
+    def _result(self):
+        return SimulationResult(
+            duration=30.0,
+            warmup=10.0,
+            output_count=100,
+            output_count_total=150,
+            output_rate=5.0,
+            streams=[
+                StreamCounters(arrived=10, dropped_at_admission=2),
+                StreamCounters(arrived=20, dropped_at_buffer=3),
+            ],
+            cpu_utilization=0.8,
+            mean_latency=0.1,
+            queue_depths=[TimeSeries(), TimeSeries()],
+            throttle_series=TimeSeries(),
+            output_series=TimeSeries(),
+        )
+
+    def test_measurement_window(self):
+        assert self._result().measurement_window == 20.0
+
+    def test_totals(self):
+        r = self._result()
+        assert r.total_arrived() == 30
+        assert r.total_dropped() == 5

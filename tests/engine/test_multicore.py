@@ -1,0 +1,94 @@
+"""Tests for multi-core CPU service (M/G/k instead of M/G/1)."""
+
+import pytest
+
+from repro.engine import (
+    CpuModel,
+    ProcessReceipt,
+    Simulation,
+    SimulationConfig,
+    StreamOperator,
+)
+from repro.streams import ConstantRate, StreamSource, UniformProcess
+from repro.streams.tuples import JoinResult
+
+
+class FixedCost(StreamOperator):
+    num_streams = 1
+
+    def __init__(self, cost=100):
+        self.cost = cost
+
+    def process(self, tup, now):
+        return ProcessReceipt(comparisons=self.cost,
+                              outputs=[JoinResult((tup,))])
+
+
+def run(cores, rate=20.0, per_core_capacity=1000.0, cost=100,
+        duration=20.0):
+    # service time per tuple: cost/capacity = 0.1 s -> one core sustains
+    # 10 tuples/sec
+    op = FixedCost(cost)
+    cfg = SimulationConfig(duration=duration, warmup=duration / 2)
+    src = StreamSource(0, ConstantRate(rate), UniformProcess(rng=0))
+    cpu = CpuModel(per_core_capacity, tuple_overhead=0.0, cores=cores)
+    res = Simulation([src], op, cpu, cfg).run()
+    return res, cpu
+
+
+class TestCores:
+    def test_single_core_saturates(self):
+        res, cpu = run(cores=1, rate=20.0)
+        # one core sustains 10/s of the 20/s offered
+        assert res.output_rate == pytest.approx(10.0, rel=0.1)
+        assert res.cpu_utilization > 0.95
+
+    def test_two_cores_double_throughput(self):
+        res, cpu = run(cores=2, rate=20.0)
+        assert res.output_rate == pytest.approx(20.0, rel=0.1)
+
+    def test_excess_cores_idle(self):
+        res, cpu = run(cores=4, rate=20.0)
+        assert res.output_rate == pytest.approx(20.0, rel=0.1)
+        # offered load is 2 core's worth: utilization ~ 0.5 of 4 cores
+        assert res.cpu_utilization == pytest.approx(0.5, abs=0.1)
+
+    def test_utilization_accounts_for_cores(self):
+        _, cpu1 = run(cores=1, rate=5.0)
+        _, cpu2 = run(cores=2, rate=5.0)
+        assert cpu1.utilization(20.0) == pytest.approx(
+            2 * cpu2.utilization(20.0), rel=0.05
+        )
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            CpuModel(100.0, cores=0)
+
+    def test_latency_improves_with_cores(self):
+        slow, _ = run(cores=1, rate=18.0)
+        fast, _ = run(cores=2, rate=18.0)
+        assert fast.mean_latency < slow.mean_latency
+
+
+class TestGraphCores:
+    def test_graph_throughput_scales_with_cores(self):
+        from repro.engine import DataflowGraph
+
+        def build():
+            g = DataflowGraph()
+            g.add_node("echo", FixedCost(100))
+            g.add_source(
+                "echo", 0,
+                StreamSource(0, ConstantRate(20.0), UniformProcess(rng=0)),
+            )
+            return g
+
+        cfg = SimulationConfig(duration=20.0, warmup=10.0)
+        one = build().run(CpuModel(1000.0, tuple_overhead=0.0, cores=1),
+                          cfg)
+        two = build().run(CpuModel(1000.0, tuple_overhead=0.0, cores=2),
+                          cfg)
+        assert one.nodes["echo"].output_rate == pytest.approx(10.0,
+                                                              rel=0.15)
+        assert two.nodes["echo"].output_rate == pytest.approx(20.0,
+                                                              rel=0.15)

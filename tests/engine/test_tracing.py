@@ -1,0 +1,102 @@
+"""Tests for the event tracing wrapper and GrubJoin's debug logging."""
+
+import logging
+
+import pytest
+
+from repro.core import GrubJoinOperator
+from repro.engine import (
+    CpuModel,
+    EventTrace,
+    Simulation,
+    SimulationConfig,
+    TracedOperator,
+)
+from repro.joins import EpsilonJoin, MJoinOperator
+from repro.streams import ConstantRate, LinearDriftProcess, StreamSource
+
+
+def make_sources(rate=20.0, m=3, seed=0):
+    return [
+        StreamSource(
+            i, ConstantRate(rate, phase=i * 1e-3),
+            LinearDriftProcess(lag=1.0 * i, deviation=1.0, rng=seed + i),
+        )
+        for i in range(m)
+    ]
+
+
+class TestTracedOperator:
+    def _run(self, trace=None, capacity=1e12):
+        op = MJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0)
+        traced = TracedOperator(op, trace)
+        cfg = SimulationConfig(duration=6.0, warmup=0.0,
+                               adaptation_interval=2.0)
+        Simulation(make_sources(), traced, CpuModel(capacity), cfg).run()
+        return traced
+
+    def test_services_recorded(self):
+        traced = self._run()
+        assert len(traced.trace.services) == 360  # 3 streams * 20/s * 6s
+        record = traced.trace.services[0]
+        assert record.comparisons >= 0
+        assert record.stream in (0, 1, 2)
+
+    def test_adaptations_recorded(self):
+        traced = self._run()
+        assert len(traced.trace.adaptations) == 3
+        assert traced.trace.adaptations[0].time == 2.0
+        assert traced.trace.adaptations[0].pushed[0] == 40
+
+    def test_total_comparisons_and_busiest(self):
+        traced = self._run()
+        assert traced.trace.total_comparisons() > 0
+        busiest = traced.trace.busiest_services(5)
+        assert len(busiest) == 5
+        assert busiest[0].comparisons >= busiest[-1].comparisons
+
+    def test_max_records_cap(self):
+        trace = EventTrace(max_records=10)
+        traced = self._run(trace=trace)
+        assert len(traced.trace.services) == 10
+
+    def test_throttle_forwarded(self):
+        grub = GrubJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0, rng=0)
+        traced = TracedOperator(grub)
+        cfg = SimulationConfig(duration=8.0, warmup=0.0,
+                               adaptation_interval=2.0)
+        res = Simulation(make_sources(rate=50.0), traced, CpuModel(2e4),
+                         cfg).run()
+        assert traced.throttle_fraction == grub.throttle_fraction
+        # the runtime's throttle series captured the inner operator's z
+        assert len(res.throttle_series) > 0
+        recorded = [a.throttle for a in traced.trace.adaptations]
+        assert all(z is not None for z in recorded)
+
+    def test_describe(self):
+        traced = TracedOperator(
+            MJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0)
+        )
+        assert traced.describe() == "Traced(MJoin(m=3))"
+
+
+class TestAdaptLogging:
+    def test_debug_log_emitted(self, caplog):
+        op = GrubJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0, rng=0)
+        cfg = SimulationConfig(duration=6.0, warmup=0.0,
+                               adaptation_interval=2.0)
+        with caplog.at_level(logging.DEBUG, logger="repro.core.grubjoin"):
+            Simulation(make_sources(rate=40.0), op, CpuModel(2e4),
+                       cfg).run()
+        adapt_logs = [r for r in caplog.records if "adapt" in r.message]
+        assert len(adapt_logs) == 3
+        assert "z=" in adapt_logs[0].getMessage()
+
+    def test_silent_by_default(self, caplog):
+        op = GrubJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0, rng=0)
+        cfg = SimulationConfig(duration=4.0, warmup=0.0,
+                               adaptation_interval=2.0)
+        with caplog.at_level(logging.INFO):
+            Simulation(make_sources(), op, CpuModel(1e12), cfg).run()
+        assert not [r for r in caplog.records
+                    if r.name == "repro.core.grubjoin"]

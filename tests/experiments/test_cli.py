@@ -1,0 +1,60 @@
+"""Tests for the experiment CLI (python -m repro.experiments)."""
+
+import pytest
+
+from repro.experiments.__main__ import FIGURES, main
+
+
+class TestCli:
+    def test_help(self, capsys):
+        assert main(["--help"]) == 0
+        assert "usage" in capsys.readouterr().out
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_unknown_figure(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_registry_covers_all_figures(self):
+        assert set(FIGURES) == {
+            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"
+        }
+
+    def test_runs_a_cheap_figure(self, capsys, monkeypatch):
+        from repro.experiments import fig6_runtime_vs_z
+
+        monkeypatch.setitem(
+            FIGURES, "fig6",
+            type("Stub", (), {
+                "run": staticmethod(
+                    lambda: fig6_runtime_vs_z.run(throttles=(0.2,),
+                                                  segments=4)
+                )
+            }),
+        )
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert "took" in out
+
+    def test_report_and_csv_flags(self, capsys, monkeypatch, tmp_path):
+        from repro.experiments import fig6_runtime_vs_z
+
+        monkeypatch.setitem(
+            FIGURES, "fig6",
+            type("Stub", (), {
+                "run": staticmethod(
+                    lambda: fig6_runtime_vs_z.run(throttles=(0.2,),
+                                                  segments=4)
+                )
+            }),
+        )
+        report = tmp_path / "report.md"
+        csv_dir = tmp_path / "csv"
+        assert main(["fig6", "--report", str(report),
+                     "--csv-dir", str(csv_dir)]) == 0
+        assert report.exists()
+        assert "GrubJoin reproduction report" in report.read_text()
+        assert (csv_dir / "fig6.csv").exists()

@@ -1,0 +1,135 @@
+"""Smoke + shape tests for every figure driver (tiny parameters)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig4_optimality,
+    fig5_solver_runtime,
+    fig6_runtime_vs_z,
+    fig7_output_vs_rate,
+    fig8_output_vs_correlation,
+    fig9_output_vs_m,
+    fig10_adaptation,
+)
+
+
+class TestFig4:
+    def test_runs_and_bounds(self):
+        table = fig4_optimality.run(throttles=(0.2, 0.8), runs=8)
+        for name in ("BO", "BOpC", "BDOpDC"):
+            col = table.column(name)
+            assert all(0 <= v <= 1 + 1e-9 for v in col)
+
+    def test_bdopdc_best_on_average(self):
+        table = fig4_optimality.run(throttles=(0.2, 0.5, 0.8), runs=15)
+        bdopdc = np.mean(table.column("BDOpDC"))
+        assert bdopdc >= np.mean(table.column("BOpC")) - 0.02
+        assert bdopdc > 0.93
+
+
+class TestFig5:
+    def test_runs(self):
+        table = fig5_solver_runtime.run(ns=(2, 4), naive_max_n=2)
+        assert len(table.rows) == 2
+        # naive timed at n=2 only
+        assert not math.isnan(table.rows[0][-1])
+        assert math.isnan(table.rows[1][-1])
+
+    def test_exhaustive_slower_than_greedy(self):
+        table = fig5_solver_runtime.run(ns=(4,), naive_max_n=4)
+        row = table.rows[0]
+        greedy_m3, exhaustive_m3 = row[1], row[4]
+        assert exhaustive_m3 > greedy_m3
+
+
+class TestFig6:
+    def test_runs_and_monotone_tendency(self):
+        table = fig6_runtime_vs_z.run(throttles=(0.1, 1.0), segments=8)
+        col = table.column("greedy m=4")
+        assert col[1] > col[0]  # z=1 costs more greedy steps than z=0.1
+
+
+@pytest.fixture(scope="module")
+def tiny_sim_kwargs(monkeypatch_module):
+    """Shrink simulation-based figures to seconds."""
+    return {}
+
+
+@pytest.fixture(scope="module")
+def monkeypatch_module():
+    from _pytest.monkeypatch import MonkeyPatch
+
+    mp = MonkeyPatch()
+    yield mp
+    mp.undo()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def small_runs(monkeypatch_module):
+    from repro.engine import SimulationConfig
+    from repro.experiments import harness
+
+    def tiny_config(adaptation_interval: float = 2.0):
+        # the nonaligned workload's tau_3 = 15 s lag means no 3-way match
+        # can exist before t = 15; keep runs past that point
+        return SimulationConfig(
+            duration=22.0, warmup=16.0,
+            adaptation_interval=min(adaptation_interval, 2.0),
+        )
+
+    for module in (
+        fig7_output_vs_rate,
+        fig8_output_vs_correlation,
+        fig9_output_vs_m,
+        fig10_adaptation,
+    ):
+        monkeypatch_module.setattr(module, "default_config", tiny_config)
+    yield
+
+
+class TestFig7:
+    def test_runs_and_columns(self):
+        table = fig7_output_vs_rate.run(rates=(50.0, 150.0), knee_rate=50.0)
+        assert len(table.rows) == 2
+        assert all(v >= 0 for v in table.column("grub nonaligned"))
+
+    def test_grubjoin_wins_under_overload(self):
+        table = fig7_output_vs_rate.run(rates=(200.0,), knee_rate=50.0)
+        assert table.rows[0][table.headers.index("impr% nonaligned")] > 0
+
+
+class TestFig8:
+    def test_runs(self):
+        table = fig8_output_vs_correlation.run(
+            kappa3_values=(2.0, 100.0), rate=150.0, knee_rate=50.0
+        )
+        assert len(table.rows) == 2
+        # GrubJoin ahead while any correlation exists (S1-S2 stays
+        # correlated even at large kappa_3); full convergence needs the
+        # paper-length runs exercised by the benchmark
+        assert table.column("impr%")[0] > 0
+        assert all(v > 0 for v in table.column("grubjoin"))
+
+
+class TestFig9:
+    def test_runs(self):
+        table = fig9_output_vs_m.run(ms=(3,), rate=120.0, knee_rate=50.0)
+        assert len(table.rows) == 1
+        assert table.rows[0][0] == 3
+
+
+class TestFig10:
+    def test_runs(self):
+        table = fig10_adaptation.run(deltas=(1.0, 4.0), ms=(3,),
+                                     knee_rate=50.0)
+        assert len(table.rows) == 2
+        assert all(v >= 0 for v in table.column("grub m=3"))
+
+    def test_step_profile_cycles(self):
+        profile = fig10_adaptation.step_profile(30.0)
+        assert profile[0] == (0.0, 100.0)
+        assert profile[1] == (8.0, 150.0)
+        assert profile[3] == (24.0, 100.0)

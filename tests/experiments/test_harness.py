@@ -1,0 +1,108 @@
+"""Tests for the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.engine import SimulationConfig
+from repro.experiments import (
+    ExperimentTable,
+    WorkloadSpec,
+    aligned_spec,
+    calibrate_capacity,
+    improvement_pct,
+    nonaligned_spec,
+    run_grubjoin,
+    run_random_drop,
+)
+
+
+class TestWorkloadSpec:
+    def test_sources_built_per_stream(self):
+        spec = nonaligned_spec(m=3, rate=50.0)
+        sources = spec.sources()
+        assert len(sources) == 3
+        assert sources[1].values.lag == 5.0
+        assert sources[2].values.deviation == 50.0
+
+    def test_aligned_spec_zero_lags(self):
+        spec = aligned_spec(m=4, rate=50.0)
+        assert spec.taus == (0.0, 0.0, 0.0, 0.0)
+
+    def test_rate_profile_workload(self):
+        spec = WorkloadSpec(
+            m=3,
+            rate=None,
+            rate_profile=((0.0, 100.0), (8.0, 150.0)),
+            taus=(0, 0, 0),
+            kappas=(1, 1, 1),
+        )
+        assert spec.arrivals(0).rate_at(10.0) == 150.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(m=3, taus=(0, 0), kappas=(1, 1, 1))
+        with pytest.raises(ValueError):
+            WorkloadSpec(m=3, rate=None, taus=(0, 0, 0), kappas=(1, 1, 1))
+        with pytest.raises(ValueError):
+            WorkloadSpec(
+                m=3,
+                rate=10.0,
+                rate_profile=((0.0, 5.0),),
+                taus=(0, 0, 0),
+                kappas=(1, 1, 1),
+            )
+
+
+class TestCalibration:
+    def test_knee_capacity_scales_with_rate(self):
+        cfg = SimulationConfig(duration=6.0, warmup=2.0)
+        spec = nonaligned_spec(m=3, rate=30.0, window=10.0, basic_window=2.0)
+        low = calibrate_capacity(spec, knee_rate=20.0, config=cfg)
+        high = calibrate_capacity(spec, knee_rate=40.0, config=cfg)
+        assert high > 1.5 * low
+
+
+class TestRunners:
+    def test_runners_produce_output(self):
+        cfg = SimulationConfig(duration=8.0, warmup=2.0,
+                               adaptation_interval=2.0)
+        # lags must fit inside the window or no m-way match can exist
+        spec = WorkloadSpec(
+            m=3, rate=40.0, taus=(0.0, 2.0, 4.0), kappas=(2.0, 2.0, 10.0),
+            window=10.0, basic_window=2.0,
+        )
+        capacity = calibrate_capacity(spec, knee_rate=20.0, config=cfg)
+        grub, op = run_grubjoin(spec, capacity, cfg)
+        drop, _ = run_random_drop(spec, capacity, cfg)
+        assert grub.output_rate > 0
+        assert drop.output_rate > 0
+        assert op.adaptations == 4
+
+
+class TestExperimentTable:
+    def test_add_and_columns(self):
+        t = ExperimentTable("demo", ["a", "b"])
+        t.add(1, 2.0)
+        t.add(3, 4.0)
+        assert t.column("a") == [1, 3]
+        assert t.column("b") == [2.0, 4.0]
+
+    def test_arity_checked(self):
+        t = ExperimentTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_formatted_contains_data(self):
+        t = ExperimentTable("demo", ["x", "y"])
+        t.add(1, 12345.678)
+        text = t.formatted()
+        assert "demo" in text
+        assert "12,346" in text
+
+
+class TestImprovement:
+    def test_pct(self):
+        assert improvement_pct(150, 100) == pytest.approx(50.0)
+        assert improvement_pct(100, 100) == 0.0
+        assert improvement_pct(1.0, 0.0) == float("inf")
+        assert improvement_pct(0.0, 0.0) == 0.0

@@ -1,0 +1,42 @@
+"""Tests for the random solver-instance generator."""
+
+import numpy as np
+
+from repro.experiments import random_instance
+
+
+class TestRandomInstance:
+    def test_shape(self):
+        p = random_instance(m=4, segments=7, rng=0)
+        assert p.m == 4
+        assert (p.segments == 7).all()
+        assert p.selectivity.shape == (4, 4)
+        assert len(p.masses) == 4
+        assert all(len(per) == 3 for per in p.masses)
+
+    def test_rates_in_range(self):
+        p = random_instance(rng=1, rate_range=(100.0, 500.0))
+        assert ((p.rates >= 100) & (p.rates <= 500)).all()
+
+    def test_masses_are_probability_like(self):
+        p = random_instance(rng=2)
+        for per_dir in p.masses:
+            for mass in per_dir:
+                assert (mass >= 0).all()
+                assert mass.sum() <= 1.0 + 1e-9
+
+    def test_reproducible_with_seed(self):
+        a = random_instance(rng=42)
+        b = random_instance(rng=42)
+        assert np.allclose(a.rates, b.rates)
+        assert np.allclose(a.selectivity, b.selectivity)
+
+    def test_instances_differ_across_seeds(self):
+        a = random_instance(rng=1)
+        b = random_instance(rng=2)
+        assert not np.allclose(a.rates, b.rates)
+
+    def test_masses_concentrated_not_uniform(self):
+        p = random_instance(rng=3)
+        mass = p.masses[0][0]
+        assert mass.max() > 2.0 * mass.min() + 1e-12

@@ -1,0 +1,47 @@
+"""Tests for the CSV / Markdown report writers."""
+
+import csv
+
+from repro.experiments import ExperimentTable
+from repro.experiments.report import (
+    to_markdown,
+    write_csv,
+    write_markdown_report,
+)
+
+
+def sample_table():
+    t = ExperimentTable("Fig. X — demo", ["rate", "output"])
+    t.add(50.0, 123.456)
+    t.add(100.0, 7890.12)
+    return t
+
+
+class TestCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(sample_table(), tmp_path / "t.csv")
+        with open(path) as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["rate", "output"]
+        assert float(rows[1][0]) == 50.0
+        assert float(rows[2][1]) == 7890.12
+
+
+class TestMarkdown:
+    def test_structure(self):
+        md = to_markdown(sample_table())
+        lines = md.splitlines()
+        assert lines[0].startswith("### Fig. X")
+        assert "| rate | output |" in md
+        separators = [l for l in lines if l.startswith("|---")]
+        assert len(separators) == 1
+        assert "7,890" in md
+
+    def test_report_combines_tables(self, tmp_path):
+        path = write_markdown_report(
+            [sample_table(), sample_table()], tmp_path / "report.md",
+            title="All figures",
+        )
+        text = path.read_text()
+        assert text.startswith("# All figures")
+        assert text.count("### Fig. X") == 2

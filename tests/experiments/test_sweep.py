@@ -1,0 +1,55 @@
+"""Tests for the generic parameter sweep."""
+
+import pytest
+
+from repro.experiments.sweep import sweep
+
+
+class TestSweep:
+    def test_scalar_runner(self):
+        table = sweep(lambda a, b: a * b, {"a": [1, 2], "b": [10, 20]})
+        assert table.headers == ["a", "b", "result"]
+        assert len(table.rows) == 4
+        assert table.rows[0] == [1, 10, 10]
+        assert table.rows[-1] == [2, 20, 40]
+
+    def test_last_dimension_varies_fastest(self):
+        table = sweep(lambda a, b: 0, {"a": [1, 2], "b": [10, 20]})
+        assert [r[:2] for r in table.rows] == [
+            [1, 10], [1, 20], [2, 10], [2, 20]
+        ]
+
+    def test_dict_runner(self):
+        table = sweep(
+            lambda x: {"double": 2 * x, "square": x * x},
+            {"x": [2, 3]},
+        )
+        assert table.headers == ["x", "double", "square"]
+        assert table.rows == [[2, 4, 4], [3, 6, 9]]
+
+    def test_inconsistent_metrics_rejected(self):
+        calls = iter([{"a": 1}, {"b": 2}])
+        with pytest.raises(ValueError, match="same metric keys"):
+            sweep(lambda x: next(calls), {"x": [1, 2]})
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            sweep(lambda: 0, {})
+        with pytest.raises(ValueError):
+            sweep(lambda x: 0, {"x": []})
+
+    def test_end_to_end_with_solver(self):
+        """A realistic sweep: greedy output vs throttle and segments."""
+        from repro.core import greedy_pick
+        from repro.experiments import random_instance
+
+        def runner(z, n):
+            profile = random_instance(m=3, segments=n, rng=1)
+            return greedy_pick(profile, z).output
+
+        table = sweep(runner, {"z": [0.2, 0.8], "n": [5, 10]},
+                      title="greedy output")
+        outputs = table.column("result")
+        assert all(v >= 0 for v in outputs)
+        # more budget, more output (same instance per n)
+        assert outputs[2] >= outputs[0]

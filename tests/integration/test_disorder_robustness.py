@@ -1,0 +1,128 @@
+"""Failure injection: the join stack under out-of-order deliveries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GrubJoinOperator
+from repro.core.basic_windows import BasicWindow, PartitionedWindow
+from repro.engine import CpuModel, Simulation, SimulationConfig
+from repro.joins import EpsilonJoin, MJoinOperator
+from repro.streams import (
+    ConstantRate,
+    DisorderedSource,
+    LinearDriftProcess,
+    StreamSource,
+    StreamTuple,
+)
+
+
+def tup(ts, value=None, seq=0):
+    return StreamTuple(
+        value=float(ts) if value is None else value,
+        timestamp=float(ts), stream=0, seq=seq,
+    )
+
+
+class TestInsertSorted:
+    def test_inserts_in_order_position(self):
+        bw = BasicWindow()
+        for ts in (1.0, 3.0, 5.0):
+            bw.append(tup(ts))
+        bw.insert_sorted(tup(2.0))
+        assert list(bw.timestamps) == [1.0, 2.0, 3.0, 5.0]
+        assert [t.timestamp for t in bw.tuples] == [1.0, 2.0, 3.0, 5.0]
+
+    def test_values_follow(self):
+        bw = BasicWindow()
+        bw.append(tup(1.0, value=10.0))
+        bw.append(tup(3.0, value=30.0))
+        bw.insert_sorted(tup(2.0, value=20.0))
+        assert list(bw.values) == [10.0, 20.0, 30.0]
+
+    def test_append_fast_path(self):
+        bw = BasicWindow()
+        bw.insert_sorted(tup(1.0))
+        bw.insert_sorted(tup(2.0))
+        assert list(bw.timestamps) == [1.0, 2.0]
+
+    def test_version_bumped(self):
+        bw = BasicWindow()
+        bw.append(tup(2.0))
+        v = bw.version
+        bw.insert_sorted(tup(1.0))
+        assert bw.version == v + 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        timestamps=st.lists(
+            st.floats(min_value=0, max_value=10), min_size=1, max_size=40
+        )
+    )
+    def test_property_any_order_stays_sorted(self, timestamps):
+        bw = BasicWindow()
+        for i, ts in enumerate(timestamps):
+            bw.insert_sorted(tup(ts, seq=i))
+        got = list(bw.timestamps)
+        assert got == sorted(got)
+        assert len(bw) == len(timestamps)
+
+
+class TestPartitionedWindowDisorder:
+    def test_out_of_order_inserts_keep_invariants(self):
+        win = PartitionedWindow(10.0, 2.0)
+        rng = np.random.default_rng(0)
+        now = 0.0
+        for i in range(200):
+            now += rng.uniform(0, 0.2)
+            ts = max(0.0, now - rng.uniform(0, 1.5))  # late by up to 1.5 s
+            win.insert(tup(ts, seq=i), now=now)
+        for bw in win._ring:
+            ts = list(bw.timestamps)
+            assert ts == sorted(ts)
+
+
+class TestJoinsUnderDisorder:
+    def _sources(self, max_delay, seed=4):
+        lags = (0.0, 2.0, 4.0)
+        base = [
+            StreamSource(
+                i,
+                ConstantRate(25.0, phase=i * 1e-3),
+                LinearDriftProcess(lag=lags[i], deviation=1.0, rng=seed + i),
+            )
+            for i in range(3)
+        ]
+        if max_delay == 0:
+            return base
+        return [
+            DisorderedSource(s, max_delay=max_delay, rng=seed + 10 + i)
+            for i, s in enumerate(base)
+        ]
+
+    def test_mjoin_runs_and_produces_under_disorder(self):
+        cfg = SimulationConfig(duration=20.0, warmup=5.0)
+        op = MJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0)
+        res = Simulation(self._sources(1.5), op, CpuModel(1e12), cfg).run()
+        assert res.output_count_total > 0
+
+    def test_grubjoin_runs_under_disorder_and_shedding(self):
+        cfg = SimulationConfig(duration=20.0, warmup=5.0,
+                               adaptation_interval=2.0)
+        op = GrubJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0, rng=0)
+        res = Simulation(self._sources(1.5), op, CpuModel(3e4), cfg).run()
+        assert res.output_count_total > 0
+
+    def test_mild_disorder_close_to_ordered_output(self):
+        cfg = SimulationConfig(duration=20.0, warmup=5.0)
+
+        def run(delay):
+            op = MJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0)
+            return Simulation(
+                self._sources(delay), op, CpuModel(1e12), cfg
+            ).run().output_count_total
+
+        ordered = run(0)
+        disordered = run(0.2)
+        assert disordered == pytest.approx(ordered, rel=0.2)

@@ -1,0 +1,98 @@
+"""GrubJoin end-to-end over every storage mode / predicate family."""
+
+import numpy as np
+import pytest
+
+from repro.core import GrubJoinOperator
+from repro.engine import CpuModel, Simulation, SimulationConfig
+from repro.joins import (
+    EquiJoin,
+    InnerProductJoin,
+    MJoinOperator,
+    VectorDistanceJoin,
+)
+from repro.streams import ObjectWorld, TopicWorld, TraceSource
+
+
+@pytest.fixture(scope="module")
+def topic_traces():
+    world = TopicWorld(
+        num_streams=3, story_rate=10.0, source_delays=(0.0, 1.0, 2.0),
+        filler_rate=3.0, rng=1,
+    )
+    return [TraceSource(i, t) for i, t in enumerate(world.generate(25.0))]
+
+
+@pytest.fixture(scope="module")
+def object_traces():
+    world = ObjectWorld(num_streams=3, object_rate=8.0, transit=2.0,
+                        feature_dim=3, rng=2)
+    return [TraceSource(i, t) for i, t in enumerate(world.generate(25.0))]
+
+
+def run(traces, operator, capacity=1e12, retain=False):
+    cfg = SimulationConfig(duration=25.0, warmup=5.0,
+                           adaptation_interval=2.0)
+    sim = Simulation(traces, operator, CpuModel(capacity), cfg,
+                     retain_outputs=retain)
+    result = sim.run()
+    return result, sim
+
+
+class TestInnerProductJoin:
+    def test_generic_storage_full_join_finds_stories(self, topic_traces):
+        op = MJoinOperator(InnerProductJoin(0.08), [10.0] * 3, 1.0)
+        result, _ = run(topic_traces, op)
+        assert result.output_count_total > 0
+
+    def test_grubjoin_subset_under_shedding(self, topic_traces):
+        full = MJoinOperator(InnerProductJoin(0.08), [10.0] * 3, 1.0)
+        _, sim_full = run(topic_traces, full, retain=True)
+        full_keys = {r.key() for r in sim_full.output_buffer.results}
+
+        grub = GrubJoinOperator(InnerProductJoin(0.08), [10.0] * 3, 1.0,
+                                rng=0)
+        _, sim_grub = run(topic_traces, grub, capacity=2e3, retain=True)
+        grub_keys = {r.key() for r in sim_grub.output_buffer.results}
+        assert grub_keys <= full_keys
+
+
+class TestVectorDistanceJoin:
+    def test_vector_storage_full_join(self, object_traces):
+        op = MJoinOperator(VectorDistanceJoin(1.0, dim=3), [8.0] * 3, 1.0)
+        result, _ = run(object_traces, op)
+        assert result.output_count_total > 0
+
+    def test_grubjoin_learns_transit_lag(self, object_traces):
+        grub = GrubJoinOperator(
+            VectorDistanceJoin(1.0, dim=3), [8.0] * 3, 1.0,
+            rng=0, sampling=0.4,
+        )
+        run(object_traces, grub)
+        hist = grub.histograms[1]
+        assert hist.total > 3
+        peak = hist.bucket_center(int(np.argmax(hist.counts)))
+        assert abs(abs(peak) - 2.0) < 1.5  # transit = 2 s
+
+
+class TestEquiJoin:
+    def test_equi_join_end_to_end(self):
+        from repro.streams import ConstantRate, StreamSource, UniformProcess
+
+        class Quantized(UniformProcess):
+            def sample(self, timestamp):
+                return float(int(super().sample(timestamp) / 10) * 10)
+
+        sources = [
+            StreamSource(i, ConstantRate(30.0, phase=i * 1e-3),
+                         Quantized(0, 100, rng=7))
+            for i in range(3)
+        ]
+        traces = [TraceSource(i, s.generate(20.0))
+                  for i, s in enumerate(sources)]
+        op = MJoinOperator(EquiJoin(), [5.0] * 3, 1.0)
+        result, sim = run(traces, op, retain=True)
+        assert result.output_count_total > 0
+        for r in sim.output_buffer.results[:50]:
+            values = [t.value for t in r.constituents]
+            assert len(set(values)) == 1

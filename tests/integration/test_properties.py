@@ -1,0 +1,110 @@
+"""End-to-end property tests: invariants that must hold for any workload.
+
+These drive the full stack (sources -> runtime -> GrubJoin) with
+hypothesis-generated parameters and check the load-shedding safety
+properties the paper's design implies:
+
+* shedding only loses output — never fabricates results (subset of the
+  full join's results on the same trace);
+* every emitted result satisfies the join predicate and window bounds;
+* the throttle fraction always stays in its legal range.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import GrubJoinOperator
+from repro.engine import CpuModel, Simulation, SimulationConfig
+from repro.joins import EpsilonJoin, MJoinOperator
+from repro.streams import (
+    ConstantRate,
+    LinearDriftProcess,
+    StreamSource,
+    TraceSource,
+)
+
+WINDOW = 8.0
+BASIC = 1.0
+DURATION = 14.0
+
+
+def build_traces(rate, lags, deviation, seed):
+    sources = [
+        StreamSource(
+            i,
+            ConstantRate(rate, phase=i * 1e-3),
+            LinearDriftProcess(lag=lags[i], deviation=deviation,
+                               rng=seed + i),
+        )
+        for i in range(3)
+    ]
+    return [TraceSource(i, s.generate(DURATION)) for i, s in
+            enumerate(sources)]
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    rate=st.sampled_from([15.0, 30.0, 50.0]),
+    lag=st.sampled_from([0.0, 2.0, 5.0]),
+    deviation=st.sampled_from([0.5, 2.0, 20.0]),
+    capacity=st.sampled_from([3e3, 2e4, 1e12]),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_property_shedding_is_sound(rate, lag, deviation, capacity, seed):
+    """For any workload and capacity, GrubJoin output is a subset of the
+    full join's, every result is a valid epsilon-clique within window
+    range, and the throttle stays in (0, 1]."""
+    traces = build_traces(rate, (0.0, lag, 2 * lag), deviation, seed)
+    cfg = SimulationConfig(duration=DURATION, warmup=0.0,
+                           adaptation_interval=2.0)
+
+    full = MJoinOperator(EpsilonJoin(1.0), [WINDOW] * 3, BASIC)
+    sim_full = Simulation(traces, full, CpuModel(1e15), cfg,
+                          retain_outputs=True)
+    sim_full.run()
+    full_keys = {r.key() for r in sim_full.output_buffer.results}
+
+    grub = GrubJoinOperator(EpsilonJoin(1.0), [WINDOW] * 3, BASIC,
+                            rng=seed)
+    sim_grub = Simulation(traces, grub, CpuModel(capacity), cfg,
+                          retain_outputs=True)
+    sim_grub.run()
+
+    assert 0 < grub.throttle_fraction <= 1.0
+    horizon = grub.windows[0].n * BASIC
+    for result in sim_grub.output_buffer.results:
+        assert result.key() in full_keys
+        values = [t.value for t in result.constituents]
+        assert max(values) - min(values) <= 2 * 1.0 + 1e-9
+        timestamps = sorted(t.timestamp for t in result.constituents)
+        assert timestamps[-1] - timestamps[0] <= horizon + 1e-9
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    rate=st.sampled_from([20.0, 60.0]),
+    capacity=st.sampled_from([5e3, 5e4]),
+    seed=st.integers(min_value=0, max_value=30),
+)
+def test_property_conservation_under_shedding(rate, capacity, seed):
+    """Tuples are conserved: arrived = consumed + queued (GrubJoin never
+    drops input tuples — only RandomDrop does)."""
+    traces = build_traces(rate, (0.0, 1.0, 2.0), 1.0, seed)
+    cfg = SimulationConfig(duration=DURATION, warmup=0.0,
+                           adaptation_interval=2.0)
+    grub = GrubJoinOperator(EpsilonJoin(1.0), [WINDOW] * 3, BASIC, rng=seed)
+    res = Simulation(traces, grub, CpuModel(capacity), cfg).run()
+    for i, counters in enumerate(res.streams):
+        queued = int(res.queue_depths[i].values[-1])
+        assert counters.arrived == counters.consumed + queued
+        assert counters.dropped_at_admission == 0

@@ -1,0 +1,109 @@
+"""Tests for the static drop-rate optimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins import (
+    default_orders,
+    evaluate_plan,
+    optimize_keep_fractions,
+)
+
+
+def symmetric_args(m=3, rate=100.0, window=10.0, sel=0.005):
+    return dict(
+        rates=[rate] * m,
+        window_sizes=[window] * m,
+        selectivity=np.full((m, m), sel),
+        orders=default_orders(m),
+    )
+
+
+class TestEvaluatePlan:
+    def test_full_keep_matches_full_join_model(self):
+        args = symmetric_args()
+        cost1, out1 = evaluate_plan(keep=[1.0] * 3, **args)
+        cost_half, out_half = evaluate_plan(keep=[0.5] * 3, **args)
+        assert cost_half < cost1
+        assert out_half < out1
+
+    def test_output_scales_with_cube_of_keep(self):
+        """For a symmetric 3-way join, every output tuple needs all three
+        constituents to survive dropping: output ~ x^3... with window
+        populations also scaled, output drops even faster (x^m for the
+        surviving pipeline applied at reduced window sizes)."""
+        args = symmetric_args()
+        _, out1 = evaluate_plan(keep=[1.0] * 3, **args)
+        _, out_half = evaluate_plan(keep=[0.5] * 3, **args)
+        assert out_half <= out1 * 0.5 ** 3 * (1 + 1e-9)
+
+    def test_zero_keep_zero_everything(self):
+        cost, out = evaluate_plan(keep=[0.0] * 3, **symmetric_args())
+        assert cost == 0.0
+        assert out == 0.0
+
+    def test_overhead_term(self):
+        args = symmetric_args()
+        c0, _ = evaluate_plan(keep=[1.0] * 3, **args)
+        c1, _ = evaluate_plan(keep=[1.0] * 3, tuple_overhead=1.0, **args)
+        assert c1 == pytest.approx(c0 + 300.0)
+
+
+class TestOptimizeKeepFractions:
+    def test_ample_capacity_keeps_everything(self):
+        args = symmetric_args()
+        full_cost, _ = evaluate_plan(keep=[1.0] * 3, **args)
+        plan = optimize_keep_fractions(capacity=full_cost * 2, **args)
+        assert np.allclose(plan.keep, 1.0)
+
+    def test_constrained_capacity_respected(self):
+        args = symmetric_args()
+        full_cost, _ = evaluate_plan(keep=[1.0] * 3, **args)
+        plan = optimize_keep_fractions(capacity=full_cost / 10, **args)
+        assert plan.cost <= full_cost / 10 * (1 + 1e-6)
+        assert 0 < plan.keep.max() < 1
+
+    def test_headroom(self):
+        args = symmetric_args()
+        full_cost, _ = evaluate_plan(keep=[1.0] * 3, **args)
+        plan = optimize_keep_fractions(
+            capacity=full_cost, headroom=0.5, **args
+        )
+        assert plan.cost <= full_cost * 0.5 * (1 + 1e-6)
+
+    def test_asymmetric_rates_favor_keeping_valuable_streams(self):
+        """Refinement should at least not lose to the uniform plan."""
+        args = symmetric_args()
+        args["rates"] = [300.0, 100.0, 100.0]
+        full_cost, _ = evaluate_plan(keep=[1.0] * 3, **args)
+        uniform = optimize_keep_fractions(
+            capacity=full_cost / 8, per_stream=False, **args
+        )
+        refined = optimize_keep_fractions(
+            capacity=full_cost / 8, per_stream=True, **args
+        )
+        assert refined.output >= uniform.output * (1 - 1e-9)
+
+    def test_invalid(self):
+        args = symmetric_args()
+        with pytest.raises(ValueError):
+            optimize_keep_fractions(capacity=0, **args)
+        with pytest.raises(ValueError):
+            optimize_keep_fractions(capacity=10, headroom=0, **args)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    capacity_frac=st.floats(min_value=0.01, max_value=2.0),
+    rate=st.floats(min_value=10, max_value=500),
+    sel=st.floats(min_value=1e-4, max_value=0.05),
+)
+def test_property_plan_always_within_budget(capacity_frac, rate, sel):
+    args = symmetric_args(rate=rate, sel=sel)
+    full_cost, _ = evaluate_plan(keep=[1.0] * 3, **args)
+    capacity = max(full_cost * capacity_frac, 1e-6)
+    plan = optimize_keep_fractions(capacity=capacity, **args)
+    assert plan.cost <= capacity * (1 + 1e-6)
+    assert ((0 <= plan.keep) & (plan.keep <= 1)).all()

@@ -1,0 +1,62 @@
+"""Tests for join direction / order handling."""
+
+import pytest
+
+from repro.joins import default_orders, low_selectivity_first, validate_order
+
+
+class TestValidateOrder:
+    def test_accepts_permutation(self):
+        validate_order([2, 1], direction=0, m=3)
+
+    def test_rejects_self(self):
+        with pytest.raises(ValueError):
+            validate_order([0, 1], direction=0, m=3)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            validate_order([1, 1], direction=0, m=3)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            validate_order([1], direction=0, m=3)
+
+
+class TestDefaultOrders:
+    def test_ascending(self):
+        assert default_orders(3) == [[1, 2], [0, 2], [0, 1]]
+
+    def test_each_is_valid(self):
+        m = 5
+        for i, order in enumerate(default_orders(m)):
+            validate_order(order, i, m)
+
+    def test_m_too_small(self):
+        with pytest.raises(ValueError):
+            default_orders(1)
+
+
+class TestLowSelectivityFirst:
+    def test_orders_by_ascending_selectivity(self):
+        sel = [
+            [0.0, 0.5, 0.1],
+            [0.5, 0.0, 0.9],
+            [0.1, 0.9, 0.0],
+        ]
+        orders = low_selectivity_first(sel)
+        assert orders[0] == [2, 1]  # sel(0,2)=0.1 < sel(0,1)=0.5
+        assert orders[1] == [0, 2]
+        assert orders[2] == [0, 1]
+
+    def test_tie_broken_by_index(self):
+        sel = [[0.0, 0.3, 0.3], [0.3, 0.0, 0.3], [0.3, 0.3, 0.0]]
+        assert low_selectivity_first(sel) == [[1, 2], [0, 2], [0, 1]]
+
+    def test_results_are_valid_orders(self):
+        sel = [[0.1] * 4 for _ in range(4)]
+        for i, order in enumerate(low_selectivity_first(sel)):
+            validate_order(order, i, 4)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            low_selectivity_first([[0.1, 0.2]])

@@ -1,0 +1,79 @@
+"""Tests for the Jaccard and theta predicates."""
+
+import numpy as np
+import pytest
+
+from repro.joins import JaccardJoin, ThetaJoin
+
+
+class TestJaccardJoin:
+    def test_pairwise(self):
+        p = JaccardJoin(0.5)
+        assert p.matches({1, 2, 3}, {2, 3, 4})  # 2/4 = 0.5
+        assert not p.matches({1, 2, 3}, {3, 4, 5, 6})  # 1/6
+
+    def test_identical_sets(self):
+        assert JaccardJoin(1.0).matches({1, 2}, {1, 2})
+
+    def test_empty_sets(self):
+        p = JaccardJoin(0.5)
+        assert p.matches(set(), set())  # defined as similarity 1
+        assert not p.matches({1}, set())
+
+    def test_accepts_any_iterable(self):
+        p = JaccardJoin(0.5)
+        assert p.matches([1, 2, 2, 3], (2, 3, 4))  # duplicates collapse
+
+    def test_probe_block_clique(self):
+        p = JaccardJoin(0.4)
+        ctx = p.probe_context([{1, 2, 3}, {2, 3, 4}])
+        block = [{2, 3}, {1, 2, 3, 4}, {7, 8}]
+        hits = set(p.probe_block(ctx, block))
+        expected = {
+            i for i, cand in enumerate(block)
+            if p.matches_all(cand, [{1, 2, 3}, {2, 3, 4}])
+        }
+        assert hits == expected
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            JaccardJoin(1.5)
+        with pytest.raises(ValueError):
+            JaccardJoin(-0.1)
+
+
+class TestThetaJoin:
+    def test_custom_condition(self):
+        p = ThetaJoin(lambda a, b: a * b > 10)
+        assert p.matches(3, 4)
+        assert not p.matches(2, 4)
+
+    def test_probe_block(self):
+        p = ThetaJoin(lambda a, b: abs(a - b) <= 1)
+        ctx = p.probe_context([5])
+        hits = p.probe_block(ctx, [3, 4, 5, 6, 7])
+        assert list(hits) == [1, 2, 3]
+
+    def test_clique_semantics(self):
+        p = ThetaJoin(lambda a, b: abs(a - b) <= 2)
+        ctx = p.probe_context([0, 3])
+        hits = p.probe_block(ctx, [1, 2, 5, -1])
+        assert list(hits) == [0, 1]
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            ThetaJoin("not callable")
+
+    def test_matches_epsilon_behaviour(self):
+        """Theta with an epsilon condition agrees with EpsilonJoin."""
+        from repro.joins import EpsilonJoin
+
+        eps = EpsilonJoin(1.5)
+        theta = ThetaJoin(lambda a, b: abs(a - b) <= 1.5)
+        rng = np.random.default_rng(0)
+        values = rng.uniform(0, 10, 40)
+        partial = [4.0, 5.0]
+        got = set(theta.probe_block(theta.probe_context(partial),
+                                    list(values)))
+        want = set(eps.probe_block(eps.probe_context(partial), values))
+        assert got == want

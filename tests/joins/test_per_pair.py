@@ -1,0 +1,154 @@
+"""Tests for heterogeneous per-pair join conditions."""
+
+import itertools
+
+import pytest
+
+from repro.engine import CpuModel, Simulation, SimulationConfig
+from repro.joins import (
+    EpsilonJoin,
+    EquiJoin,
+    MJoinOperator,
+    PerPairPredicate,
+    ThetaJoin,
+)
+from repro.streams import (
+    ConstantRate,
+    StreamSource,
+    TraceSource,
+    UniformProcess,
+)
+
+
+class QuantizedUniform(UniformProcess):
+    """Coarse values so equi-joins actually hit."""
+
+    def sample(self, timestamp):
+        return float(int(super().sample(timestamp) / 25) * 25)
+
+
+def make_traces(duration=15.0, rate=15.0):
+    sources = [
+        StreamSource(i, ConstantRate(rate, phase=i * 1e-3),
+                     QuantizedUniform(0, 100, rng=i))
+        for i in range(3)
+    ]
+    return [TraceSource(i, s.generate(duration)) for i, s in
+            enumerate(sources)]
+
+
+def hetero_predicate():
+    """S1-S2 equal; S3 within 30 of both."""
+    p = PerPairPredicate(3)
+    p.set_pair(0, 1, EquiJoin())
+    p.set_pair(0, 2, EpsilonJoin(30.0))
+    p.set_pair(1, 2, EpsilonJoin(30.0))
+    return p
+
+
+class TestConfiguration:
+    def test_pair_is_symmetric(self):
+        p = hetero_predicate()
+        assert isinstance(p.pair(1, 0), EquiJoin)
+        assert isinstance(p.pair(2, 0), EpsilonJoin)
+
+    def test_missing_pair_raises(self):
+        p = PerPairPredicate(3)
+        with pytest.raises(ValueError, match="no predicate"):
+            p.pair(0, 1)
+        with pytest.raises(ValueError):
+            p.validate_complete()
+
+    def test_default_fills_gaps(self):
+        p = PerPairPredicate(3, default=EpsilonJoin(1.0))
+        p.validate_complete()
+        assert isinstance(p.pair(0, 2), EpsilonJoin)
+
+    def test_set_pair_validation(self):
+        p = PerPairPredicate(3)
+        with pytest.raises(ValueError):
+            p.set_pair(0, 0, EquiJoin())
+        with pytest.raises(ValueError):
+            p.set_pair(0, 5, EquiJoin())
+
+    def test_stream_blind_api_rejected(self):
+        p = hetero_predicate()
+        with pytest.raises(TypeError):
+            p.matches(1.0, 2.0)
+        with pytest.raises(TypeError):
+            p.probe_context([1.0])
+
+    def test_matches_streams(self):
+        p = hetero_predicate()
+        assert p.matches_streams(0, 50.0, 1, 50.0)
+        assert not p.matches_streams(0, 50.0, 1, 75.0)
+        assert p.matches_streams(0, 50.0, 2, 75.0)
+
+
+class TestEndToEnd:
+    def test_outputs_satisfy_per_pair_conditions(self):
+        traces = make_traces()
+        op = MJoinOperator(hetero_predicate(), [8.0] * 3, 1.0,
+                           adapt_orders=False)
+        cfg = SimulationConfig(duration=15.0, warmup=0.0)
+        sim = Simulation(traces, op, CpuModel(1e12), cfg,
+                         retain_outputs=True)
+        sim.run()
+        results = sim.output_buffer.results
+        assert results
+        p = hetero_predicate()
+        for r in results:
+            for a, b in itertools.combinations(r.constituents, 2):
+                assert p.matches_streams(a.stream, a.value,
+                                         b.stream, b.value)
+
+    def test_matches_brute_force(self):
+        traces = make_traces(duration=10.0, rate=10.0)
+        op = MJoinOperator(hetero_predicate(), [8.0] * 3, 1.0,
+                           adapt_orders=False)
+        cfg = SimulationConfig(duration=10.0, warmup=0.0)
+        sim = Simulation(traces, op, CpuModel(1e12), cfg,
+                         retain_outputs=True)
+        sim.run()
+        got = {r.key() for r in sim.output_buffer.results}
+
+        p = hetero_predicate()
+        expected = set()
+        everything = sorted(
+            (t for tr in traces for t in tr.tuples),
+            key=lambda t: (t.timestamp, t.stream),
+        )
+        window = 8.0
+        for probe in everything:
+            others = [s for s in range(3) if s != probe.stream]
+            pools = []
+            for s in others:
+                pools.append([
+                    t for t in traces[s].tuples
+                    if 0 <= probe.timestamp - t.timestamp < window
+                    and (t.timestamp, t.stream)
+                    < (probe.timestamp, probe.stream)
+                ])
+            for combo in itertools.product(*pools):
+                trio = [probe, *combo]
+                if all(
+                    p.matches_streams(a.stream, a.value, b.stream, b.value)
+                    for a, b in itertools.combinations(trio, 2)
+                ):
+                    expected.add(
+                        tuple(sorted((t.stream, t.seq) for t in trio))
+                    )
+        assert got == expected
+
+    def test_theta_pairs_supported(self):
+        p = PerPairPredicate(3, default=ThetaJoin(lambda a, b: True))
+        p.set_pair(0, 1, ThetaJoin(lambda a, b: a + b > 100))
+        traces = make_traces(duration=8.0, rate=10.0)
+        op = MJoinOperator(p, [5.0] * 3, 1.0, adapt_orders=False)
+        cfg = SimulationConfig(duration=8.0, warmup=0.0)
+        sim = Simulation(traces, op, CpuModel(1e12), cfg,
+                         retain_outputs=True)
+        sim.run()
+        for r in sim.output_buffer.results:
+            by_stream = {t.stream: t.value for t in r.constituents}
+            assert by_stream[0] + by_stream[1] > 100

@@ -1,0 +1,87 @@
+"""Tests for the RandomDrop baseline wiring."""
+
+import numpy as np
+import pytest
+
+from repro.engine import CpuModel, Simulation, SimulationConfig
+from repro.joins import EpsilonJoin, MJoinOperator, RandomDropShedder
+from repro.streams import ConstantRate, LinearDriftProcess, StreamSource, StreamTuple
+
+
+def make_shedder(capacity=1e5, m=3):
+    op = MJoinOperator(EpsilonJoin(1.0), [10.0] * m, 2.0)
+    return op, RandomDropShedder(op, capacity, rng=0)
+
+
+def make_sources(rate=50.0, m=3, seed=0):
+    return [
+        StreamSource(
+            i,
+            ConstantRate(rate, phase=i * 0.001),
+            LinearDriftProcess(lag=2.0 * i, deviation=2.0, rng=seed + i),
+        )
+        for i in range(m)
+    ]
+
+
+class TestRandomDropFilter:
+    def test_keep_probability_statistical(self):
+        _, shedder = make_shedder()
+        f = shedder.filters[0]
+        f.keep = 0.3
+        t = StreamTuple(value=0.0, timestamp=0.0)
+        admitted = sum(f.admit(t, 0.0) for _ in range(5000))
+        assert admitted / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_keep_one_admits_all(self):
+        _, shedder = make_shedder()
+        f = shedder.filters[0]
+        t = StreamTuple(value=0.0, timestamp=0.0)
+        assert all(f.admit(t, 0.0) for _ in range(100))
+
+    def test_arrivals_counted_pre_drop(self):
+        _, shedder = make_shedder()
+        f = shedder.filters[0]
+        f.keep = 0.0
+        t = StreamTuple(value=0.0, timestamp=0.0)
+        for _ in range(10):
+            f.admit(t, 0.0)
+        assert f._arrivals == 10
+
+
+class TestShedderConfiguration:
+    def test_static_configure_sets_filters(self):
+        op, shedder = make_shedder(capacity=1e3)
+        plan = shedder.configure([200.0, 200.0, 200.0])
+        assert plan.keep.max() < 1.0
+        for f, keep in zip(shedder.filters, plan.keep):
+            assert f.keep == pytest.approx(keep)
+
+    def test_ample_capacity_no_dropping(self):
+        op, shedder = make_shedder(capacity=1e12)
+        plan = shedder.configure([10.0, 10.0, 10.0])
+        assert np.allclose(plan.keep, 1.0)
+
+    def test_adaptive_reconfigure_from_measured_rates(self):
+        op, shedder = make_shedder(capacity=1e4)
+        cfg = SimulationConfig(duration=10.0, warmup=0.0,
+                               adaptation_interval=2.0)
+        res = Simulation(
+            make_sources(rate=100.0),
+            op,
+            CpuModel(1e4),
+            cfg,
+            admission=shedder.filters,
+        ).run()
+        assert shedder.last_plan is not None
+        assert shedder.last_plan.keep.max() < 1.0
+        dropped = sum(s.dropped_at_admission for s in res.streams)
+        assert dropped > 0
+
+    def test_reconfigure_waits_for_all_streams(self):
+        op, shedder = make_shedder(capacity=1e3)
+        shedder.report_arrivals(0, 500, now=5.0)
+        assert shedder.last_plan is None
+        shedder.report_arrivals(1, 500, now=5.0)
+        shedder.report_arrivals(2, 500, now=5.0)
+        assert shedder.last_plan is not None

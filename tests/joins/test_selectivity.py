@@ -1,0 +1,86 @@
+"""Tests for the online selectivity estimator."""
+
+import pytest
+
+from repro.joins import SelectivityEstimator
+
+
+class TestObserveAndRate:
+    def test_default_before_observations(self):
+        est = SelectivityEstimator(3, default=0.01)
+        assert est.rate(0, 1) == 0.01
+
+    def test_rate_from_counts(self):
+        est = SelectivityEstimator(3)
+        est.observe(0, 1, scanned=1000, matched=5)
+        assert est.rate(0, 1) == pytest.approx(0.005)
+
+    def test_accumulates(self):
+        est = SelectivityEstimator(3)
+        est.observe(0, 1, 100, 1)
+        est.observe(0, 1, 100, 3)
+        assert est.rate(0, 1) == pytest.approx(0.02)
+
+    def test_zero_matches_floored(self):
+        est = SelectivityEstimator(3)
+        est.observe(0, 1, 1000, 0)
+        assert est.rate(0, 1) == pytest.approx(1e-9)
+
+    def test_symmetric_fallback(self):
+        est = SelectivityEstimator(3)
+        est.observe(0, 1, 100, 10)
+        assert est.rate(1, 0) == pytest.approx(0.1)
+
+    def test_zero_scan_ignored(self):
+        est = SelectivityEstimator(3, default=0.02)
+        est.observe(0, 1, 0, 0)
+        assert est.rate(0, 1) == 0.02
+
+    def test_matrix_shape(self):
+        est = SelectivityEstimator(3)
+        m = est.matrix()
+        assert len(m) == 3 and all(len(r) == 3 for r in m)
+
+
+class TestAging:
+    def test_decay_shrinks_weight(self):
+        est = SelectivityEstimator(3, decay=0.5)
+        est.observe(0, 1, 100, 10)
+        est.age()
+        assert est.observations(0, 1) == pytest.approx(50)
+        assert est.rate(0, 1) == pytest.approx(0.1)  # ratio preserved
+
+    def test_fully_aged_entries_removed(self):
+        est = SelectivityEstimator(3, decay=0.1, default=0.33)
+        est.observe(0, 1, 5, 1)
+        est.age()  # 0.5 < 1 -> removed
+        assert est.rate(0, 1) == 0.33
+
+    def test_decay_one_is_noop(self):
+        est = SelectivityEstimator(3, decay=1.0)
+        est.observe(0, 1, 100, 10)
+        est.age()
+        assert est.observations(0, 1) == 100
+
+    def test_new_data_dominates_after_decay(self):
+        est = SelectivityEstimator(3, decay=0.1)
+        est.observe(0, 1, 1000, 0)
+        for _ in range(3):
+            est.age()
+        est.observe(0, 1, 1000, 100)
+        assert est.rate(0, 1) > 0.05
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_streams": 1},
+            {"num_streams": 3, "default": 0.0},
+            {"num_streams": 3, "default": 1.5},
+            {"num_streams": 3, "decay": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SelectivityEstimator(**kwargs)

@@ -1,0 +1,85 @@
+"""Tests for the correlated event worlds behind the paper's examples."""
+
+import numpy as np
+
+from repro.streams import ObjectWorld, TopicWorld
+
+
+class TestTopicWorld:
+    def test_traces_sorted_per_stream(self):
+        traces = TopicWorld(rng=0).generate(20.0)
+        for trace in traces:
+            ts = [t.timestamp for t in trace]
+            assert ts == sorted(ts)
+
+    def test_stream_count_and_indices(self):
+        traces = TopicWorld(num_streams=4, rng=1).generate(10.0)
+        assert len(traces) == 4
+        for i, trace in enumerate(traces):
+            assert all(t.stream == i for t in trace)
+
+    def test_payloads_are_normalized_keyword_weights(self):
+        traces = TopicWorld(rng=2).generate(10.0)
+        for trace in traces:
+            for t in trace[:20]:
+                assert isinstance(t.value, dict)
+                assert abs(sum(t.value.values()) - 1.0) < 1e-6
+
+    def test_shared_stories_appear_across_streams(self):
+        world = TopicWorld(
+            num_streams=3, story_rate=5, filler_rate=0.0, noise=0.01,
+            source_delays=(0.0, 1.0, 2.0), jitter_std=0.0, rng=3,
+        )
+        traces = world.generate(30.0)
+
+        def dot(a, b):
+            return sum(w * b.get(k, 0.0) for k, w in a.items())
+
+        # most stream-0 items should have a same-story partner in stream 1
+        # published about a second later; unrelated items share almost no
+        # keywords, so any appreciable inner product marks a shared story
+        hits = 0
+        for t0 in traces[0]:
+            for t1 in traces[1]:
+                if 0.5 < t1.timestamp - t0.timestamp < 1.5 and dot(
+                    t0.value, t1.value
+                ) > 0.05:
+                    hits += 1
+                    break
+        assert hits >= 0.8 * len(traces[0]) - 2
+
+    def test_fillers_inflate_volume(self):
+        quiet = TopicWorld(story_rate=5, filler_rate=0.0, rng=4).generate(20.0)
+        noisy = TopicWorld(story_rate=5, filler_rate=20.0, rng=4).generate(20.0)
+        assert sum(map(len, noisy)) > sum(map(len, quiet))
+
+
+class TestObjectWorld:
+    def test_traces_sorted(self):
+        traces = ObjectWorld(rng=0).generate(30.0)
+        for trace in traces:
+            ts = [t.timestamp for t in trace]
+            assert ts == sorted(ts)
+
+    def test_camera_lag_structure(self):
+        world = ObjectWorld(
+            num_streams=3, object_rate=3, transit=4.0, noise=0.0, rng=1
+        )
+        traces = world.generate(60.0)
+        # each camera-0 sighting should have a near-identical camera-1
+        # sighting roughly one transit later
+        matched = 0
+        for t0 in traces[0]:
+            for t1 in traces[1]:
+                lag = t1.timestamp - t0.timestamp
+                if 3.0 < lag < 5.0 and np.allclose(t0.value, t1.value):
+                    matched += 1
+                    break
+        # sightings near the horizon end may lack partners
+        assert matched >= len(traces[0]) * 0.7
+
+    def test_feature_dimension(self):
+        traces = ObjectWorld(feature_dim=6, rng=2).generate(10.0)
+        for trace in traces:
+            for t in trace[:5]:
+                assert len(t.value) == 6

@@ -1,0 +1,69 @@
+"""Tests for delivery disorder (late / out-of-order arrivals)."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    ConstantRate,
+    DisorderedSource,
+    StreamSource,
+    StreamTuple,
+    UniformProcess,
+)
+
+
+def base_source(rate=20.0, stream=0):
+    return StreamSource(stream, ConstantRate(rate),
+                        UniformProcess(rng=stream))
+
+
+class TestStreamTupleDelivery:
+    def test_default_on_time(self):
+        t = StreamTuple(value=0.0, timestamp=3.0)
+        assert t.delivery_time == 3.0
+
+    def test_explicit_delivery(self):
+        t = StreamTuple(value=0.0, timestamp=3.0, delivery=4.5)
+        assert t.delivery_time == 4.5
+        assert t.timestamp == 3.0
+
+
+class TestDisorderedSource:
+    def test_preserves_timestamps(self):
+        src = DisorderedSource(base_source(), max_delay=1.0, rng=0)
+        originals = {t.seq: t.timestamp for t in base_source().generate(5.0)}
+        for t in src.generate(5.0):
+            assert t.timestamp == pytest.approx(originals[t.seq])
+
+    def test_delivery_bounded(self):
+        src = DisorderedSource(base_source(), max_delay=2.0, rng=0)
+        for t in src.generate(10.0):
+            assert t.timestamp <= t.delivery_time <= t.timestamp + 2.0
+
+    def test_delivery_order(self):
+        src = DisorderedSource(base_source(), max_delay=2.0, rng=1)
+        deliveries = [t.delivery_time for t in src.generate(10.0)]
+        assert deliveries == sorted(deliveries)
+
+    def test_timestamps_actually_disordered(self):
+        src = DisorderedSource(base_source(rate=50.0), max_delay=1.0, rng=2)
+        ts = [t.timestamp for t in src.generate(10.0)]
+        assert ts != sorted(ts)
+
+    def test_zero_delay_is_identity_order(self):
+        src = DisorderedSource(base_source(), max_delay=0.0, rng=0)
+        got = [t.seq for t in src.generate(5.0)]
+        assert got == sorted(got)
+
+    def test_horizon_respected(self):
+        src = DisorderedSource(base_source(), max_delay=5.0, rng=0)
+        for t in src.generate(10.0):
+            assert t.delivery_time < 10.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DisorderedSource(base_source(), max_delay=-1.0)
+
+    def test_rate_delegated(self):
+        src = DisorderedSource(base_source(rate=33.0), max_delay=1.0)
+        assert src.rate_at(0.0) == 33.0

@@ -1,0 +1,72 @@
+"""Tests for stream sources and the global merge."""
+
+import pytest
+
+from repro.streams import (
+    ConstantProcess,
+    ConstantRate,
+    SchemaError,
+    StreamSource,
+    UniformProcess,
+    merge_sources,
+    numeric_schema,
+)
+
+
+def make_source(stream=0, rate=10.0, phase=0.0):
+    return StreamSource(
+        stream, ConstantRate(rate, phase=phase), UniformProcess(rng=stream)
+    )
+
+
+class TestStreamSource:
+    def test_tuples_sorted_and_sequenced(self):
+        tuples = make_source().generate(2.0)
+        assert [t.seq for t in tuples] == list(range(len(tuples)))
+        ts = [t.timestamp for t in tuples]
+        assert ts == sorted(ts)
+
+    def test_stream_index_stamped(self):
+        tuples = make_source(stream=3).generate(1.0)
+        assert all(t.stream == 3 for t in tuples)
+
+    def test_default_name_matches_paper_notation(self):
+        assert make_source(stream=0).name == "S1"
+        assert make_source(stream=2).name == "S3"
+
+    def test_schema_validation_applied(self):
+        src = StreamSource(
+            0,
+            ConstantRate(5),
+            ConstantProcess("not a number"),
+            schema=numeric_schema("S1"),
+        )
+        with pytest.raises(SchemaError):
+            src.generate(1.0)
+
+    def test_rate_at_delegates(self):
+        assert make_source(rate=42.0).rate_at(0.0) == 42.0
+
+    def test_negative_stream_rejected(self):
+        with pytest.raises(ValueError):
+            StreamSource(-1, ConstantRate(1), UniformProcess())
+
+
+class TestMergeSources:
+    def test_global_timestamp_order(self):
+        sources = [make_source(i, rate=50.0, phase=i * 0.003) for i in range(3)]
+        merged = list(merge_sources(sources, 2.0))
+        ts = [t.timestamp for t in merged]
+        assert ts == sorted(ts)
+
+    def test_all_tuples_present(self):
+        sources = [make_source(i, rate=20.0) for i in range(2)]
+        merged = list(merge_sources(sources, 1.0))
+        assert len(merged) == sum(len(s.generate(1.0)) for s in sources)
+
+    def test_tie_break_by_stream(self):
+        sources = [make_source(i, rate=10.0) for i in range(3)]  # same phases
+        merged = list(merge_sources(sources, 0.5))
+        for k in range(0, len(merged), 3):
+            chunk = merged[k : k + 3]
+            assert [t.stream for t in chunk] == [0, 1, 2]

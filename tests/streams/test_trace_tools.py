@@ -1,0 +1,111 @@
+"""Tests for the trace utilities."""
+
+import numpy as np
+import pytest
+
+from repro.streams import (
+    ConstantRate,
+    PoissonArrivals,
+    TraceSource,
+    UniformProcess,
+    record_trace,
+)
+from repro.streams.trace_tools import (
+    concat_traces,
+    load_trace_csv,
+    rate_series,
+    save_trace_csv,
+    slice_trace,
+    trace_stats,
+)
+
+
+def regular_trace(rate=10.0, duration=10.0, stream=0):
+    return record_trace(stream, ConstantRate(rate),
+                        UniformProcess(rng=stream), duration)
+
+
+class TestCsvInterchange:
+    def test_roundtrip(self, tmp_path):
+        trace = regular_trace()
+        path = save_trace_csv(trace, tmp_path / "t.csv")
+        loaded = load_trace_csv(path)
+        assert len(loaded.tuples) == len(trace.tuples)
+        for a, b in zip(loaded.tuples, trace.tuples):
+            assert a.timestamp == pytest.approx(b.timestamp)
+            assert a.value == pytest.approx(b.value)
+            assert (a.stream, a.seq) == (b.stream, b.seq)
+
+
+class TestTraceStats:
+    def test_regular_arrivals(self):
+        stats = trace_stats(regular_trace(rate=20.0, duration=10.0))
+        assert stats.count == 200
+        assert stats.mean_rate == pytest.approx(20.0, rel=0.05)
+        assert stats.cv_inter_arrival < 0.01
+        assert stats.is_regular()
+
+    def test_poisson_arrivals_irregular(self):
+        trace = record_trace(0, PoissonArrivals(50, rng=0),
+                             UniformProcess(rng=0), 40.0)
+        stats = trace_stats(trace)
+        assert not stats.is_regular()
+        assert stats.cv_inter_arrival == pytest.approx(1.0, abs=0.2)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            trace_stats(TraceSource(0, regular_trace().tuples[:1]))
+
+
+class TestRateSeries:
+    def test_constant_rate_flat(self):
+        centers, rates = rate_series(regular_trace(rate=30.0), 1.0)
+        assert len(centers) >= 9
+        assert np.allclose(rates[:-1], 30.0, atol=1.0)
+
+    def test_empty_trace(self):
+        centers, rates = rate_series(TraceSource(0, []), 1.0)
+        assert len(centers) == 0
+
+    def test_invalid_bin(self):
+        with pytest.raises(ValueError):
+            rate_series(regular_trace(), 0.0)
+
+
+class TestSliceAndConcat:
+    def test_slice_bounds(self):
+        sliced = slice_trace(regular_trace(rate=10.0), 2.0, 5.0)
+        ts = [t.timestamp for t in sliced.tuples]
+        assert min(ts) >= 2.0
+        assert max(ts) < 5.0
+        assert len(ts) == 30
+
+    def test_rebase(self):
+        sliced = slice_trace(regular_trace(rate=10.0), 2.0, 5.0,
+                             rebase=True)
+        assert sliced.tuples[0].timestamp == pytest.approx(0.0)
+        assert [t.seq for t in sliced.tuples] == list(range(30))
+
+    def test_invalid_slice(self):
+        with pytest.raises(ValueError):
+            slice_trace(regular_trace(), 5.0, 2.0)
+
+    def test_concat_shifts_sessions(self):
+        a = regular_trace(rate=10.0, duration=5.0)
+        b = regular_trace(rate=10.0, duration=5.0)
+        combined = concat_traces([a, b])
+        assert len(combined.tuples) == 100
+        ts = [t.timestamp for t in combined.tuples]
+        assert ts == sorted(ts)
+        assert combined.tuples[50].timestamp > combined.tuples[
+            49
+        ].timestamp
+
+    def test_concat_stream_mismatch(self):
+        with pytest.raises(ValueError):
+            concat_traces([regular_trace(stream=0),
+                           regular_trace(stream=1)])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(ValueError):
+            concat_traces([])

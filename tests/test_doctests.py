@@ -1,0 +1,26 @@
+"""Run the doctest examples embedded in docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.ascii_plots
+import repro.core.scores
+import repro.joins.join_order
+
+MODULES = [
+    repro.analysis.ascii_plots,
+    repro.core.scores,
+    repro.joins.join_order,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(
+        module,
+        extraglobs={"np": __import__("numpy")},
+        optionflags=doctest.NORMALIZE_WHITESPACE,
+    )
+    assert results.failed == 0
+    assert results.attempted > 0
