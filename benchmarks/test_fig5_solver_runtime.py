@@ -18,7 +18,6 @@ def test_fig5_solver_runtime(benchmark, show_table):
     greedy_m5 = table.column("greedy m=5")
     exhaustive = [v for v in table.column("exhaustive m=3")
                   if not math.isnan(v)]
-    ns = table.column("n")
     # exhaustive orders of magnitude slower wherever it was run
     paired = [
         (e, g)

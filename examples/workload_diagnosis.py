@@ -14,7 +14,7 @@ Run:  python examples/workload_diagnosis.py
 from repro import ConstantRate, EpsilonJoin, LinearDriftProcess, StreamSource
 from repro.analysis import offset_match_profile, sparkline
 from repro.query import Query
-from repro.streams import TraceSource, record_trace
+from repro.streams import record_trace
 
 RATE = 60.0
 LAGS = (0.0, 3.0, 9.0)

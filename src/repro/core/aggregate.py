@@ -69,6 +69,8 @@ class ThrottledAggregateOperator(StreamOperator):
     """
 
     num_streams = 1
+    #: emits AggregateResult records; a downstream edge needs a transform
+    output_kind = "aggregate"
 
     def __init__(
         self,

@@ -46,6 +46,8 @@ class BasicWindow:
     tuple list.
     """
 
+    __slots__ = ("mode", "dim", "tuples", "_ts", "_vals", "_count", "version")
+
     def __init__(self, mode: str = SCALAR, dim: int | None = None) -> None:
         if mode not in _MODES:
             raise ValueError(f"unknown storage mode {mode!r}")
@@ -213,6 +215,11 @@ class PartitionedWindow:
         dim: vector dimension for ``vector`` mode.
         start_time: virtual time at which the window begins.
     """
+
+    __slots__ = (
+        "window_size", "basic_window_size", "n", "mode", "_ring",
+        "_epoch_start", "rotations",
+    )
 
     def __init__(
         self,

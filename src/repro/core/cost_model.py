@@ -178,7 +178,7 @@ class JoinProfile:
             partials *= self.selectivity[i, l] * w * self.harvest_mass(
                 i, j, count
             )
-            if partials == 0.0:
+            if partials <= 0.0:
                 break
         output = lam * partials
         cost = lam * comparisons + self.output_cost * output

@@ -181,7 +181,7 @@ def greedy_pick(
         steps += 1
 
     method = f"greedy-{metric.value}"
-    if fractional_fallback and counts.max() == 0.0 and budget > 0:
+    if fractional_fallback and counts.max() <= 0.0 and budget > 0:
         fallback = _fractional_initialization(profile, budget)
         if fallback is not None:
             counts, cur_cost, cur_out = fallback
@@ -221,14 +221,14 @@ def greedy_reverse(profile: JoinProfile, throttle: float) -> SolverResult:
         best_score = np.inf
         best: tuple[int, np.ndarray, float, float] | None = None
         for i in range(m):
-            if counts[i].max() == 0:
+            if counts[i].max() <= 0:
                 continue
             for j in range(hops):
                 if counts[i, j] < 1:
                     continue
                 cand = counts[i].copy()
                 cand[j] -= 1
-                if cand[j] == 0:
+                if cand[j] <= 0:
                     cand[:] = 0.0  # deactivate the direction entirely
                 c_i, o_i = profile.direction_terms(i, cand)
                 evaluations += 1

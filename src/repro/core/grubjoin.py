@@ -19,8 +19,7 @@ like the full :class:`repro.joins.mjoin.MJoinOperator` it descends from.
 from __future__ import annotations
 
 import logging
-import time
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
@@ -80,6 +79,12 @@ class GrubJoinOperator(StreamOperator):
         fractional_fallback: let the greedy initialize a direction below
             one logical basic window per hop when nothing integral fits
             the budget (recommended; an ablation bench covers it).
+        solver_timer: optional zero-argument callable returning seconds
+            (e.g. :func:`repro.timing.wall_clock_timer`); when given, the
+            per-adaptation solver runtime is accumulated into
+            ``solver_seconds_total``.  ``None`` (the default) keeps the
+            core free of wall-clock reads so runs are bit-deterministic
+            under a fixed seed.
         memory_saving: additionally use the harvesting decision to bound
             memory (the Section 7 claim): basic windows that no join
             direction will probe under the current configuration are
@@ -111,6 +116,7 @@ class GrubJoinOperator(StreamOperator):
         fractional_fallback: bool = True,
         memory_saving: bool = False,
         rng: np.random.Generator | int | None = None,
+        solver_timer: Callable[[], float] | None = None,
     ) -> None:
         m = len(window_sizes)
         if m < 2:
@@ -122,6 +128,7 @@ class GrubJoinOperator(StreamOperator):
         if output_cost < 0:
             raise ValueError("output_cost must be non-negative")
         self.num_streams = m
+        self.output_kind = "join-result"
         self.predicate = predicate
         self.window_sizes = [float(w) for w in window_sizes]
         self.basic_window_size = float(basic_window_size)
@@ -166,6 +173,7 @@ class GrubJoinOperator(StreamOperator):
             for i in range(1, m)
         ]
         self.harvest = HarvestConfiguration.full(m, self.segments)
+        self.solver_timer = solver_timer
         self._rng = np.random.default_rng(rng)
         self._rates = np.zeros(m)
         # diagnostics
@@ -313,7 +321,8 @@ class GrubJoinOperator(StreamOperator):
             )
             return
         profile = self.build_profile(now)
-        started = time.perf_counter()
+        timer = self.solver_timer
+        started = timer() if timer is not None else 0.0
         if self.solver == "double-sided":
             result = greedy_double_sided(
                 profile, z, self.metric, self.fractional_fallback
@@ -322,7 +331,8 @@ class GrubJoinOperator(StreamOperator):
             result = greedy_pick(
                 profile, z, self.metric, self.fractional_fallback
             )
-        self.solver_seconds_total += time.perf_counter() - started
+        if timer is not None:
+            self.solver_seconds_total += timer() - started
         rankings = [
             [profile.ranking(i, j) for j in range(self.num_streams - 1)]
             for i in range(self.num_streams)

@@ -44,6 +44,10 @@ class InputBuffer:
             than exhaust memory).
     """
 
+    __slots__ = (
+        "stream", "capacity", "_queue", "_pushed", "_popped", "_dropped",
+    )
+
     def __init__(self, stream: int, capacity: int | None = None) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive when given")
@@ -105,6 +109,8 @@ class OutputBuffer:
     Retaining every result of a long run can dominate memory, so retention
     is optional; counting is not.
     """
+
+    __slots__ = ("retain", "results", "count")
 
     def __init__(self, retain: bool = True) -> None:
         self.retain = retain

@@ -25,7 +25,7 @@ class EventKind(IntEnum):
     STOP = 4           # end of simulation
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """One scheduled simulation event."""
 
@@ -37,6 +37,8 @@ class Event:
 
 class EventQueue:
     """A min-heap of :class:`Event` objects."""
+
+    __slots__ = ("_heap", "_seq")
 
     def __init__(self) -> None:
         self._heap: list[Event] = []

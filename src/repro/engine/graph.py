@@ -26,7 +26,7 @@ from .buffers import InputBuffer
 from .clock import VirtualClock
 from .cpu import CpuModel
 from .events import EventKind, EventQueue
-from .metrics import StreamCounters, TimeSeries
+from .metrics import TimeSeries
 from .operator import AdmissionFilter, StreamOperator
 from .runtime import SimulationConfig
 
@@ -162,6 +162,33 @@ class DataflowGraph:
         self._nodes[source].edges.append(edge)
         self._edges.append(edge)
 
+    # ------------------------------------------------------------------
+    # introspection (consumed by the static plan analyzer)
+    # ------------------------------------------------------------------
+
+    def node_operators(self) -> dict[str, StreamOperator]:
+        """Mapping of node name -> operator (insertion order preserved)."""
+        return {name: node.operator for name, node in self._nodes.items()}
+
+    def edge_list(self) -> list[Edge]:
+        """All registered edges."""
+        return list(self._edges)
+
+    def source_list(self) -> list[tuple[str, int, Any]]:
+        """All ``(node, input_index, source)`` attachments."""
+        return list(self._sources)
+
+    def validate(self, assumptions=None):
+        """Run the static plan analyzer over this graph.
+
+        Returns a :class:`repro.lint.plan.PlanReport`; pass
+        ``assumptions`` (a :class:`repro.lint.plan.HarvestAssumptions`)
+        to additionally check harvest feasibility (P106).
+        """
+        from repro.lint.plan import analyze_graph
+
+        return analyze_graph(self, assumptions)
+
     def _check_input(self, node: str, input_index: int) -> None:
         if node not in self._nodes:
             raise ValueError(f"unknown node {node!r}")
@@ -181,8 +208,17 @@ class DataflowGraph:
         cpu: CpuModel,
         config: SimulationConfig | None = None,
         policy: SchedulingPolicy = SchedulingPolicy.OLDEST,
+        validate: bool = True,
     ) -> GraphResult:
-        """Execute the whole graph for ``config.duration`` virtual seconds."""
+        """Execute the whole graph for ``config.duration`` virtual seconds.
+
+        ``validate=True`` (the default) first runs the static plan
+        analyzer and raises :class:`repro.lint.plan.PlanValidationError`
+        on ERROR-level findings (cycles, missing edge transforms,
+        non-divisible windows, ...) instead of failing mid-simulation.
+        """
+        if validate:
+            self.validate().raise_for_errors()
         config = config or SimulationConfig()
         policy = SchedulingPolicy(policy)
         rr_order = list(self._nodes)

@@ -40,6 +40,12 @@ class StreamOperator(ABC):
     #: number of input streams the operator consumes
     num_streams: int = 1
 
+    #: what :meth:`process` emits: ``"tuple"`` for ``StreamTuple``-shaped
+    #: outputs, ``"join-result"`` for :class:`JoinResult` objects that
+    #: need an edge ``transform`` before a downstream operator can
+    #: consume them.  The static plan analyzer (P102) keys off this.
+    output_kind: str = "tuple"
+
     @abstractmethod
     def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
         """Service one input tuple at virtual time ``now``."""

@@ -11,7 +11,6 @@ were serviced when, at what cost, and what each adaptation decided.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
 from repro.streams.tuples import StreamTuple
 

@@ -14,9 +14,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Sequence
 
-import numpy as np
 
 from repro.core import GrubJoinOperator
 from repro.engine import CpuModel, Simulation, SimulationConfig, SimulationResult

@@ -78,11 +78,11 @@ class MemoryLimitedMJoin(StreamOperator):
             output_cost=output_cost,
         )
         self.num_streams = self._inner.num_streams
+        self.output_kind = "join-result"
         self.memory_budget = int(memory_budget)
         self.policy = EvictionPolicy(policy)
         self.sampling = float(sampling)
         self.stat_decay = float(stat_decay)
-        m = self.num_streams
         # per window l, per logical segment k: scans / matches
         self._scans = [np.zeros(w.n) for w in self._inner.windows]
         self._matches = [np.zeros(w.n) for w in self._inner.windows]

@@ -56,6 +56,7 @@ class IndexedMJoin(StreamOperator):
         if m < 2:
             raise ValueError("an m-way join needs at least 2 streams")
         self.num_streams = m
+        self.output_kind = "join-result"
         self.predicate = predicate
         self.windows = [
             PartitionedWindow(w, basic_window_size, mode=SCALAR)

@@ -56,6 +56,7 @@ class MJoinOperator(StreamOperator):
         if output_cost < 0:
             raise ValueError("output_cost must be non-negative")
         self.num_streams = m
+        self.output_kind = "join-result"
         self.predicate = predicate
         self.window_sizes = [float(w) for w in window_sizes]
         self.basic_window_size = float(basic_window_size)

@@ -70,6 +70,7 @@ class AdaptiveTwoWayJoin(StreamOperator):
         if not 0 < stat_decay <= 1:
             raise ValueError("stat_decay must be in (0, 1]")
         self.num_streams = 2
+        self.output_kind = "join-result"
         self.predicate = predicate
         self.windows = [
             PartitionedWindow(

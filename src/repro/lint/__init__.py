@@ -1,0 +1,56 @@
+"""Static analysis for the reproduction: source linter + plan analyzer.
+
+Two layers, one diagnostic vocabulary (:mod:`repro.lint.diagnostics`):
+
+* **Layer 1 — simulator-invariant linter** (``python -m repro.lint``):
+  AST rules R001-R006 guarding the virtual-clock/seeded-RNG substitution
+  and hot-path hygiene.  See :mod:`repro.lint.rules`.
+* **Layer 2 — static query-plan analyzer**
+  (:func:`repro.lint.plan.analyze_query` /
+  :func:`repro.lint.plan.analyze_graph`): P-series checks validating a
+  configured plan — graph shape, schemas, window algebra, and the §4
+  feasibility constraint ``z * C(1) >= C({z_ij})`` — before execution.
+  Wired into ``Query.run(validate=True)`` and ``DataflowGraph.run``.
+
+Full rule/check reference: ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from .checker import (
+    FileReport,
+    check_paths,
+    check_source,
+    iter_python_files,
+    module_path_of,
+    parse_suppressions,
+)
+from .diagnostics import Diagnostic, Severity
+from .plan import (
+    HarvestAssumptions,
+    PlanReport,
+    PlanValidationError,
+    analyze_graph,
+    analyze_query,
+    check_harvest_feasibility,
+)
+from .rules import REGISTRY, RULES_BY_CODE, Rule, rules_for
+
+__all__ = [
+    "Diagnostic",
+    "FileReport",
+    "HarvestAssumptions",
+    "PlanReport",
+    "PlanValidationError",
+    "REGISTRY",
+    "RULES_BY_CODE",
+    "Rule",
+    "Severity",
+    "analyze_graph",
+    "analyze_query",
+    "check_harvest_feasibility",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+    "module_path_of",
+    "parse_suppressions",
+    "rules_for",
+]

@@ -1,0 +1,16 @@
+"""Entry point for ``python -m repro.lint``."""
+
+import os
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    try:
+        code = main()
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # downstream pipe (e.g. `| head`) closed early; exit quietly
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 1
+    sys.exit(code)

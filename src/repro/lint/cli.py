@@ -1,0 +1,141 @@
+"""Command-line front-end: ``python -m repro.lint [paths...]``.
+
+Exit codes: ``0`` clean, ``1`` findings (or unparsable files), ``2``
+usage errors.  ``--format json`` emits a machine-readable document::
+
+    {
+      "version": 1,
+      "files_checked": 42,
+      "suppressed": 3,
+      "diagnostics": [
+        {"code": "R001", "severity": "error", "message": "...",
+         "path": "src/repro/core/x.py", "line": 10, "col": 5},
+        ...
+      ],
+      "counts": {"R001": 1}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import Sequence
+
+from .checker import FileReport, check_paths
+from .rules import REGISTRY
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Simulator-invariant linter for the GrubJoin reproduction "
+            "(rules R001-R006; see docs/STATIC_ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def _render_human(reports: list[FileReport]) -> str:
+    lines = []
+    findings = 0
+    suppressed = 0
+    for report in reports:
+        if report.error:
+            lines.append(f"{report.path}: {report.error}")
+            findings += 1
+        for diag in report.diagnostics:
+            lines.append(diag.render())
+            findings += 1
+        suppressed += report.suppressed
+    tail = f"{findings} finding(s) in {len(reports)} file(s)"
+    if suppressed:
+        tail += f", {suppressed} suppressed"
+    lines.append(tail)
+    return "\n".join(lines)
+
+
+def _render_json(reports: list[FileReport]) -> str:
+    diagnostics = []
+    errors = []
+    suppressed = 0
+    for report in reports:
+        if report.error:
+            errors.append({"path": report.path, "error": report.error})
+        diagnostics.extend(d.to_dict() for d in report.diagnostics)
+        suppressed += report.suppressed
+    counts = Counter(d["code"] for d in diagnostics)
+    return json.dumps(
+        {
+            "version": 1,
+            "files_checked": len(reports),
+            "suppressed": suppressed,
+            "diagnostics": diagnostics,
+            "counts": dict(sorted(counts.items())),
+            "file_errors": errors,
+        },
+        indent=2,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in REGISTRY:
+            scope = ", ".join(rule.scope) if rule.scope else "everywhere"
+            print(f"{rule.code}  {rule.name:<22} [{scope}]")
+            print(f"      {rule.summary}")
+        return 0
+
+    select = None
+    if args.select:
+        select = [c.strip().upper() for c in args.select.split(",")]
+        known = {rule.code for rule in REGISTRY}
+        unknown = [c for c in select if c not in known]
+        if unknown:
+            print(
+                f"unknown rule code(s): {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            return 2
+
+    reports = check_paths(args.paths, select)
+    if not reports:
+        print(f"no python files under: {' '.join(args.paths)}",
+              file=sys.stderr)
+        return 2
+
+    output = (
+        _render_json(reports)
+        if args.format == "json"
+        else _render_human(reports)
+    )
+    print(output)
+    dirty = any(r.diagnostics or r.error for r in reports)
+    return 1 if dirty else 0

@@ -1,0 +1,492 @@
+"""Static query-plan analyzer (the ``P``-series checks).
+
+Validates a configured :class:`repro.engine.graph.DataflowGraph` or a
+declarative :class:`repro.query.Query` *before* any tuple flows, the way
+compile-time front-ends of multi-way join systems validate operator
+graphs.  A misconfigured plan should fail here, with every problem
+reported at once, instead of raising (or silently misbehaving) minutes
+into a simulation.
+
+Checks
+======
+
+=====  ==================================================================
+P101   Operator graph must be acyclic (the scheduler assumes a DAG; a
+       cycle feeds outputs back into their own input buffers forever).
+P102   Schema compatibility: an edge whose source emits join results
+       (``output_kind == "join-result"``) must carry a ``transform``
+       turning them into the ``StreamTuple`` the target consumes.
+P103   Every join window ``w_i`` must be an integral multiple of the
+       basic window ``b`` (the logical basic-window algebra of §4.1.1
+       assumes ``w = n * b``).
+P104   Aggregates need ``slide <= window``.
+P105   The load-shedding policy must be one the builder knows.
+P106   Harvest feasibility: a hypothesised harvest configuration must
+       satisfy the paper's §4 constraint ``z * C(1) >= C({z_ij})``.
+P107   Every operator input should be fed by a source or an edge
+       (warning: a starved input usually means a wiring mistake).
+P108   Aggregate function must exist.
+P109   Aggregate windows should be an integral multiple of the slide
+       (warning: ragged emission boundaries).
+P110   A query aggregating join results needs ``.project(...)`` (or a
+       scalar ``.select(...)``): the default projection packs each
+       result into a tuple of constituent values, which the numeric
+       aggregate window cannot store.
+=====  ==================================================================
+
+Feasibility (P106) is *symbolic*: rates, selectivities and throttle come
+from :class:`HarvestAssumptions`, not from a run.  With uniform
+time-correlation masses it reduces to checking the §4.2.2 pipeline cost
+model, exactly what the greedy solver enforces at runtime — the analyzer
+catches configurations the solver could never make feasible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from .diagnostics import Diagnostic, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.graph import DataflowGraph
+
+#: relative tolerance for the divisibility checks
+_DIV_TOL = 1e-9
+
+
+class PlanValidationError(ValueError):
+    """Raised by ``raise_for_errors`` when a plan has ERROR findings."""
+
+    def __init__(self, report: "PlanReport") -> None:
+        self.report = report
+        lines = [d.render() for d in report.errors]
+        super().__init__(
+            "invalid query plan:\n  " + "\n  ".join(lines)
+        )
+
+
+@dataclass
+class PlanReport:
+    """All diagnostics from one plan analysis."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-level findings exist."""
+        return not self.errors
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        severity: Severity = Severity.ERROR,
+        node: str | None = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(code=code, message=message, severity=severity,
+                       node=node)
+        )
+
+    def raise_for_errors(self) -> None:
+        """Raise :class:`PlanValidationError` if any ERROR was found."""
+        if not self.ok:
+            raise PlanValidationError(self)
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return "plan ok: no findings"
+        return "\n".join(d.render() for d in self.diagnostics)
+
+
+@dataclass
+class HarvestAssumptions:
+    """Workload hypothesis for the symbolic feasibility check (P106).
+
+    Attributes:
+        rates: assumed per-stream arrival rates ``lambda_i`` (tuples/s).
+        throttle: the throttle fraction ``z`` the plan must survive.
+        counts: hypothesised harvest counts ``{z_ij}`` as an
+            ``(m, m-1)`` array of logical-basic-window counts; None
+            means the full join (every logical window selected) — the
+            strictest configuration.
+        selectivity: assumed uniform per-hop selectivity.
+    """
+
+    rates: Sequence[float]
+    throttle: float = 1.0
+    counts: Any = None
+    selectivity: float = 0.005
+
+    def __post_init__(self) -> None:
+        if not 0 < self.throttle <= 1:
+            raise ValueError("throttle must be in (0, 1]")
+        if not 0 < self.selectivity <= 1:
+            raise ValueError("selectivity must be in (0, 1]")
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+
+def _is_multiple(value: float, base: float) -> bool:
+    if base <= 0:
+        return False
+    ratio = value / base
+    return abs(ratio - round(ratio)) <= _DIV_TOL * max(ratio, 1.0)
+
+
+def _check_join_windows(
+    report: PlanReport,
+    window_sizes: Sequence[float],
+    basic: float,
+    node: str,
+) -> None:
+    for i, w in enumerate(window_sizes):
+        if not _is_multiple(w, basic):
+            report.add(
+                "P103",
+                f"window w_{i + 1}={w:g}s is not an integral multiple "
+                f"of the basic window b={basic:g}s; the logical "
+                "basic-window algebra assumes w = n*b",
+                node=node,
+            )
+
+
+def _check_aggregate(
+    report: PlanReport,
+    function: str,
+    window: float,
+    slide: float,
+    node: str,
+) -> None:
+    from repro.core.aggregate import _AGGREGATES
+
+    if function not in _AGGREGATES:
+        report.add(
+            "P108",
+            f"unknown aggregate function {function!r}; choose from "
+            f"{sorted(_AGGREGATES)}",
+            node=node,
+        )
+    if slide <= 0 or window <= 0:
+        report.add(
+            "P104",
+            f"aggregate window/slide must be positive "
+            f"(window={window:g}, slide={slide:g})",
+            node=node,
+        )
+    elif slide > window:
+        report.add(
+            "P104",
+            f"aggregate slide={slide:g}s exceeds its window="
+            f"{window:g}s; every emission would drop tuples unseen",
+            node=node,
+        )
+    elif not _is_multiple(window, slide):
+        report.add(
+            "P109",
+            f"aggregate window={window:g}s is not a multiple of "
+            f"slide={slide:g}s; emission boundaries will be ragged",
+            severity=Severity.WARNING,
+            node=node,
+        )
+
+
+def check_harvest_feasibility(
+    profile: Any,
+    throttle: float,
+    counts: Any = None,
+) -> Diagnostic | None:
+    """P106 against an explicit :class:`repro.core.cost_model.JoinProfile`.
+
+    Returns the diagnostic when ``throttle * C(1) < C(counts)``, else
+    None.  ``counts=None`` checks the full configuration.
+    """
+    if counts is None:
+        counts = profile.full_counts()
+    counts = np.asarray(counts, dtype=float)
+    cost = profile.cost(counts)
+    budget = throttle * profile.full_cost()
+    if cost <= budget * (1 + 1e-12):
+        return None
+    return Diagnostic(
+        code="P106",
+        message=(
+            f"harvest configuration infeasible: C({{z_ij}})={cost:.4g} "
+            f"exceeds the budget z*C(1)={budget:.4g} "
+            f"(z={throttle:g}); the §4 constraint z*C(1) >= C({{z_ij}}) "
+            "cannot hold"
+        ),
+        severity=Severity.ERROR,
+        node="join",
+    )
+
+
+def _feasibility_profile(
+    m: int,
+    window_sizes: Sequence[float],
+    basic: float,
+    assumptions: HarvestAssumptions,
+) -> Any:
+    """Build the symbolic JoinProfile the P106 check evaluates."""
+    from repro.core.cost_model import JoinProfile, uniform_masses
+    from repro.joins.join_order import default_orders
+
+    rates = np.asarray(assumptions.rates, dtype=float)
+    if len(rates) != m:
+        raise ValueError(
+            f"assumptions carry {len(rates)} rates for {m} streams"
+        )
+    segments = np.array(
+        [max(1, math.ceil(w / basic)) for w in window_sizes], dtype=int
+    )
+    window_counts = rates * np.asarray(window_sizes, dtype=float)
+    orders = default_orders(m)
+    selectivity = np.full((m, m), assumptions.selectivity)
+    return JoinProfile(
+        rates=rates,
+        window_counts=window_counts,
+        segments=segments,
+        selectivity=selectivity,
+        orders=orders,
+        masses=uniform_masses(segments, orders),
+    )
+
+
+# --------------------------------------------------------------------------
+# graph analysis
+# --------------------------------------------------------------------------
+
+
+def analyze_graph(
+    graph: "DataflowGraph",
+    assumptions: HarvestAssumptions | None = None,
+) -> PlanReport:
+    """Validate a constructed dataflow graph (checks P101-P109)."""
+    report = PlanReport()
+    nodes = graph.node_operators()
+    edges = graph.edge_list()
+    sources = graph.source_list()
+
+    # P101 — cycle detection (iterative DFS, 3-colour)
+    adjacency: dict[str, list[str]] = {name: [] for name in nodes}
+    for edge in edges:
+        adjacency[edge.source].append(edge.target)
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour = {name: WHITE for name in nodes}
+    for start in nodes:
+        if colour[start] != WHITE:
+            continue
+        stack: list[tuple[str, int]] = [(start, 0)]
+        trail = [start]
+        colour[start] = GREY
+        while stack:
+            name, idx = stack[-1]
+            if idx < len(adjacency[name]):
+                stack[-1] = (name, idx + 1)
+                nxt = adjacency[name][idx]
+                if colour[nxt] == GREY:
+                    cycle = trail[trail.index(nxt):] + [nxt]
+                    report.add(
+                        "P101",
+                        "operator graph contains a cycle: "
+                        + " -> ".join(cycle),
+                        node=nxt,
+                    )
+                elif colour[nxt] == WHITE:
+                    colour[nxt] = GREY
+                    stack.append((nxt, 0))
+                    trail.append(nxt)
+            else:
+                colour[name] = BLACK
+                stack.pop()
+                trail.pop()
+
+    # P102 — schema compatibility along edges
+    for edge in edges:
+        producer = nodes[edge.source]
+        kind = getattr(producer, "output_kind", "tuple")
+        if kind != "tuple" and edge.transform is None:
+            report.add(
+                "P102",
+                f"edge {edge.source!r} -> {edge.target!r} carries "
+                f"{kind} outputs but has no transform; the target "
+                "consumes StreamTuples",
+                node=edge.target,
+            )
+
+    # P103 / P104 / P108 / P109 — per-operator window parameters
+    for name, op in nodes.items():
+        window_sizes = getattr(op, "window_sizes", None)
+        basic = getattr(op, "basic_window_size", None)
+        if window_sizes is not None and basic is not None:
+            _check_join_windows(report, window_sizes, basic, name)
+        slide = getattr(op, "slide", None)
+        window = getattr(op, "window_size", None)
+        function = getattr(op, "function", None)
+        if slide is not None and window is not None and function is not None:
+            _check_aggregate(report, function, window, slide, name)
+
+    # P107 — starved inputs
+    fed: set[tuple[str, int]] = set()
+    for node_name, input_index, _source in sources:
+        fed.add((node_name, input_index))
+    for edge in edges:
+        fed.add((edge.target, edge.target_input))
+    for name, op in nodes.items():
+        for i in range(getattr(op, "num_streams", 1)):
+            if (name, i) not in fed:
+                report.add(
+                    "P107",
+                    f"input {i} of node {name!r} is fed by no source "
+                    "and no edge; the operator will starve",
+                    severity=Severity.WARNING,
+                    node=name,
+                )
+
+    # P106 — symbolic harvest feasibility, when a hypothesis is given
+    if assumptions is not None:
+        for name, op in nodes.items():
+            window_sizes = getattr(op, "window_sizes", None)
+            basic = getattr(op, "basic_window_size", None)
+            if window_sizes is None or basic is None:
+                continue
+            profile = _feasibility_profile(
+                len(window_sizes), window_sizes, basic, assumptions
+            )
+            diag = check_harvest_feasibility(
+                profile, assumptions.throttle, assumptions.counts
+            )
+            if diag is not None:
+                report.diagnostics.append(
+                    Diagnostic(
+                        code=diag.code,
+                        message=diag.message,
+                        severity=diag.severity,
+                        node=name,
+                    )
+                )
+    return report
+
+
+# --------------------------------------------------------------------------
+# query analysis
+# --------------------------------------------------------------------------
+
+
+def analyze_query(
+    query: Any,
+    assumptions: HarvestAssumptions | None = None,
+) -> PlanReport:
+    """Validate a declarative :class:`repro.query.Query` before it runs.
+
+    Works on the builder's declared state — no operator is constructed
+    unless the declaration is structurally sound — so *every* problem is
+    reported in one pass instead of whichever constructor raises first.
+    """
+    from repro.query import SHEDDING_POLICIES
+
+    report = PlanReport()
+
+    sources = getattr(query, "_sources", [])
+    window = getattr(query, "_window", None)
+    basic = getattr(query, "_basic", None)
+    predicate = getattr(query, "_predicate", None)
+    shedding = getattr(query, "_shedding", "grubjoin")
+    stages = getattr(query, "_stages", [])
+
+    if not sources:
+        report.add("P100", "no input streams; call .streams(...)",
+                   node="query")
+    elif len(sources) < 2:
+        report.add("P100", "a join needs at least two streams",
+                   node="query")
+    if window is None or predicate is None:
+        report.add("P100", "incomplete query: call .window(...) and "
+                   ".join(...) before running", node="query")
+
+    # P105 — shedding policy
+    if shedding not in SHEDDING_POLICIES:
+        report.add(
+            "P105",
+            f"unknown shedding policy {shedding!r}; expected one of "
+            f"{SHEDDING_POLICIES}",
+            node="join",
+        )
+
+    # P103 — window divisibility
+    m = len(sources)
+    if window is not None and basic is not None and m >= 2:
+        _check_join_windows(report, [window] * m, basic, "join")
+
+    # P104 / P108 / P109 — declared aggregate stages
+    for index, (kind, arg) in enumerate(stages):
+        if kind != "aggregate":
+            continue
+        function, agg_window, slide = arg
+        _check_aggregate(
+            report, function, agg_window, slide, f"aggregate{index}"
+        )
+
+    # P110 — aggregate over the default (tuple-of-values) projection.
+    # Without .project(...) every join result is packed into a tuple of
+    # its m constituent values; a numeric aggregate window cannot store
+    # that and the run would die on the first match.  A .select(...)
+    # before the aggregate may rescale the payload, so only the certain
+    # case is an error.
+    if getattr(query, "_projection", None) is None:
+        for index, (kind, arg) in enumerate(stages):
+            if kind == "select":
+                break
+            if kind == "aggregate":
+                report.add(
+                    "P110",
+                    "aggregate over the default projection: join "
+                    "results become tuples of constituent values, "
+                    "which the numeric aggregate window cannot store; "
+                    "add .project(...) (or a scalar .select(...)) "
+                    "before the aggregate",
+                    node=f"aggregate{index}",
+                )
+                break
+
+    # P106 — symbolic feasibility of the hypothesised harvest config
+    if (
+        assumptions is not None
+        and window is not None
+        and basic is not None
+        and m >= 2
+    ):
+        profile = _feasibility_profile(
+            m, [window] * m, basic, assumptions
+        )
+        diag = check_harvest_feasibility(
+            profile, assumptions.throttle, assumptions.counts
+        )
+        if diag is not None:
+            report.diagnostics.append(diag)
+
+    # graph-level checks (cycles are impossible from the linear builder,
+    # but schema/starvation checks still apply) — only when the declared
+    # state can actually be assembled
+    if report.ok and sources and window is not None and predicate is not None:
+        graph, _ = query.build(capacity=1.0)
+        graph_report = analyze_graph(graph)
+        report.diagnostics.extend(graph_report.diagnostics)
+    return report

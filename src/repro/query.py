@@ -26,7 +26,7 @@ introspection).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
 from .core import GrubJoinOperator, ThrottledAggregateOperator
 from .engine import (
@@ -217,19 +217,47 @@ class Query:
         )
         return graph, placeholder
 
+    def validate(self, assumptions=None):
+        """Run the static plan analyzer over the declared query.
+
+        Returns a :class:`repro.lint.plan.PlanReport` listing every
+        problem at once (unknown policy, non-divisible windows,
+        slide > window, schema mismatches, infeasible harvest
+        hypothesis, ...).  ``assumptions`` is an optional
+        :class:`repro.lint.plan.HarvestAssumptions` enabling the
+        symbolic §4 feasibility check ``z * C(1) >= C({z_ij})``.
+        """
+        from .lint.plan import analyze_query
+
+        return analyze_query(self, assumptions)
+
     def run(
         self,
         capacity: float,
         duration: float = 60.0,
         warmup: float = 20.0,
         adaptation_interval: float = 5.0,
+        validate: bool = True,
     ) -> QueryResult:
-        """Build and execute the query on a fresh simulated CPU."""
+        """Build and execute the query on a fresh simulated CPU.
+
+        ``validate=True`` (the default) first runs the static plan
+        analyzer and raises
+        :class:`repro.lint.plan.PlanValidationError` when it reports
+        ERROR-level findings, so misconfigured plans fail before any
+        virtual time is spent.
+        """
+        if validate:
+            self.validate().raise_for_errors()
         graph, result = self.build(capacity)
         config = SimulationConfig(
             duration=duration,
             warmup=warmup,
             adaptation_interval=adaptation_interval,
         )
-        result.graph_result = graph.run(CpuModel(capacity), config)
+        # the analyzer already ran (or the caller opted out) — skip the
+        # per-run graph validation to avoid doing the work twice
+        result.graph_result = graph.run(
+            CpuModel(capacity), config, validate=False
+        )
         return result

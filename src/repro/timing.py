@@ -1,0 +1,58 @@
+"""Injectable timers: the only sanctioned wall-clock access point.
+
+The deterministic simulator packages (``core/``, ``engine/``, ``joins/``,
+``streams/``) must never read the wall clock — lint rule R001 enforces
+it — because a single ``time.perf_counter()`` call makes per-run state
+(e.g. accumulated solver seconds) host-dependent and breaks bit-exact
+reproducibility under a fixed seed.  Code inside those packages that
+legitimately wants to *measure* real elapsed time (solver benchmarking,
+profiling) instead accepts a ``timer: Callable[[], float] | None``
+argument and charges time only when one is injected.
+
+This module, deliberately *outside* the protected packages, provides the
+implementations callers inject:
+
+* :func:`wall_clock_timer` — ``time.perf_counter`` for real measurements
+  (experiments, benchmarks);
+* :class:`ManualTimer` — a hand-advanced stub for deterministic tests of
+  the accounting itself.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+#: signature of an injectable timer: returns seconds from a fixed origin
+Timer = Callable[[], float]
+
+
+def wall_clock_timer() -> float:
+    """The real thing: a monotonic high-resolution wall-clock reading."""
+    return time.perf_counter()
+
+
+class ManualTimer:
+    """A deterministic timer for tests: advances only when told to.
+
+    >>> timer = ManualTimer()
+    >>> timer()
+    0.0
+    >>> timer.advance(2.5)
+    >>> timer()
+    2.5
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the timer forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        self._now += seconds

@@ -1,6 +1,5 @@
 """Tests for the offline time-correlation diagnostic."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.correlation import offset_match_profile

@@ -242,11 +242,6 @@ class TestLogicalWindows:
         now = 9.5
         win = self._filled(now)
         total = sum(len(s) for s in win.full_slices(now))
-        ages_ok = [
-            t.timestamp
-            for ts in [np.arange(0, now + 0.25, 0.25)]
-            for t in []
-        ]
         expected = sum(
             1 for ts in np.arange(0, now + 0.25, 0.25)
             if now - ts < win.n * win.basic_window_size

@@ -1,6 +1,5 @@
 """Tests for the exact window-harvesting solvers."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -10,13 +10,12 @@ from repro.core.checkpoint import (
     save_snapshot,
     snapshot,
 )
-from repro.engine import BufferStats, CpuModel, Simulation, SimulationConfig
+from repro.engine import CpuModel, Simulation, SimulationConfig
 from repro.joins import EpsilonJoin
 from repro.streams import (
     ConstantRate,
     LinearDriftProcess,
     StreamSource,
-    StreamTuple,
     TraceSource,
 )
 
@@ -101,7 +100,7 @@ class TestSnapshotRestore:
                   if t.timestamp >= half]
         second.sort(key=lambda t: (t.timestamp, t.stream))
         for t in second[:200]:
-            r_b = op_b.process(t, t.timestamp)
+            op_b.process(t, t.timestamp)
         # sanity: windows consistent with the full run's at the same time
         t_last = second[199].timestamp
         for i in range(3):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import GrubJoinOperator, Metric
+from repro.core import GrubJoinOperator
 from repro.engine import BufferStats, CpuModel, Simulation, SimulationConfig
 from repro.joins import EpsilonJoin, MJoinOperator
 from repro.streams import (

@@ -95,9 +95,9 @@ class TestDegenerateWorkloads:
             for i in range(6)
         ]
         op = GrubJoinOperator(EpsilonJoin(500.0), [5.0] * 6, 1.0, rng=0)
-        res = Simulation(sources, op, CpuModel(1e6),
-                         SimulationConfig(duration=6.0, warmup=0.0,
-                                          adaptation_interval=2.0)).run()
+        Simulation(sources, op, CpuModel(1e6),
+                   SimulationConfig(duration=6.0, warmup=0.0,
+                                    adaptation_interval=2.0)).run()
         # the 6-way join with epsilon = D/2 is massively overloaded at
         # this capacity; what matters is that it runs, adapts and sheds
         assert 0 < op.tuples_processed <= 360

@@ -1,7 +1,6 @@
 """Tests for the memory-saving extension (paper Section 7's claim that
 the window-harvesting framework can shed memory as well as CPU)."""
 
-import numpy as np
 import pytest
 
 from repro.core import GrubJoinOperator, PartitionedWindow

@@ -112,7 +112,21 @@ class TestJoinInGraph:
             "join"
         ].output_count
 
-    def test_missing_transform_raises(self):
+    def test_missing_transform_rejected_by_validation(self):
+        from repro.lint.plan import PlanValidationError
+
+        g = DataflowGraph()
+        join = MJoinOperator(EpsilonJoin(1.0), [10.0] * 2, 1.0)
+        g.add_node("join", join)
+        g.add_node("agg", ThrottledAggregateOperator("count"))
+        g.connect("join", "agg")  # JoinResult is not a StreamTuple
+        for i, src in enumerate(join_sources(m=2, rate=40.0)):
+            g.add_source("join", i, src)
+        with pytest.raises(PlanValidationError, match="transform"):
+            g.run(CpuModel(1e9),
+                  SimulationConfig(duration=5.0, warmup=0.0))
+
+    def test_missing_transform_raises_without_validation(self):
         g = DataflowGraph()
         join = MJoinOperator(EpsilonJoin(1.0), [10.0] * 2, 1.0)
         g.add_node("join", join)
@@ -122,7 +136,8 @@ class TestJoinInGraph:
             g.add_source("join", i, src)
         with pytest.raises(TypeError, match="transform"):
             g.run(CpuModel(1e9),
-                  SimulationConfig(duration=5.0, warmup=0.0))
+                  SimulationConfig(duration=5.0, warmup=0.0),
+                  validate=False)
 
 
 class TestSharedCpu:

@@ -6,7 +6,6 @@ from repro.engine import (
     CpuModel,
     DataflowGraph,
     FilterOperator,
-    MapOperator,
     SimulationConfig,
 )
 from repro.streams import ConstantRate, StreamSource, UniformProcess

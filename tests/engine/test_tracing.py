@@ -2,7 +2,6 @@
 
 import logging
 
-import pytest
 
 from repro.core import GrubJoinOperator
 from repro.engine import (

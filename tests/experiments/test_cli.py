@@ -1,6 +1,5 @@
 """Tests for the experiment CLI (python -m repro.experiments)."""
 
-import pytest
 
 from repro.experiments.__main__ import FIGURES, main
 

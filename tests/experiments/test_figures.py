@@ -70,7 +70,6 @@ def monkeypatch_module():
 @pytest.fixture(scope="module", autouse=True)
 def small_runs(monkeypatch_module):
     from repro.engine import SimulationConfig
-    from repro.experiments import harness
 
     def tiny_config(adaptation_interval: float = 2.0):
         # the nonaligned workload's tau_3 = 15 s lag means no 3-way match

@@ -1,6 +1,5 @@
 """Tests for the experiment harness."""
 
-import numpy as np
 import pytest
 
 from repro.engine import SimulationConfig

@@ -99,7 +99,6 @@ class TestThrottleDynamics:
 
         cfg = SimulationConfig(duration=30.0, warmup=5.0,
                                adaptation_interval=1.0)
-        profile = PiecewiseRate([(0.0, 80.0), (15.0, 8.0)])
         sources = [
             StreamSource(
                 i,

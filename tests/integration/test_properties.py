@@ -10,8 +10,6 @@ properties the paper's design implies:
 * the throttle fraction always stays in its legal range.
 """
 
-import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

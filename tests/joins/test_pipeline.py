@@ -3,7 +3,6 @@
 import itertools
 
 import numpy as np
-import pytest
 
 from repro.core import PartitionedWindow
 from repro.core.basic_windows import BasicWindow, WindowSlice

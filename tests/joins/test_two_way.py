@@ -1,6 +1,5 @@
 """Tests for the CIKM'05-style adaptive two-way join baseline."""
 
-import numpy as np
 import pytest
 
 from repro.engine import BufferStats, CpuModel, Simulation, SimulationConfig

@@ -1,0 +1,97 @@
+"""CLI behavior: exit codes, human output, and the JSON schema."""
+
+import json
+
+import pytest
+
+from repro.lint.cli import main
+
+CLEAN = "def f(x=None):\n    return x\n"
+DIRTY = (
+    "import time\n"
+    "\n"
+    "def f():\n"
+    "    return time.perf_counter()\n"
+)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A miniature repro-shaped tree with one clean and one dirty file."""
+    core = tmp_path / "repro" / "core"
+    core.mkdir(parents=True)
+    (core / "clean.py").write_text(CLEAN)
+    (core / "dirty.py").write_text(DIRTY)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "ok.py").write_text(CLEAN)
+        assert main([str(tmp_path)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_dirty_tree_exits_one(self, tree, capsys):
+        assert main([str(tree)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out
+        assert "dirty.py" in out
+
+    def test_unknown_rule_code_exits_two(self, tree, capsys):
+        assert main([str(tree), "--select", "R999"]) == 2
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert main([str(tmp_path / "nowhere")]) == 2
+
+    def test_unparsable_file_exits_one(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "broken.py").write_text("def broken(:\n")
+        assert main([str(tmp_path)]) == 1
+        assert "syntax error" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_schema(self, tree, capsys):
+        exit_code = main([str(tree), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 1
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 2
+        assert payload["counts"] == {"R001": 1}
+        assert payload["file_errors"] == []
+        (diag,) = payload["diagnostics"]
+        assert diag["code"] == "R001"
+        assert diag["severity"] == "error"
+        assert diag["path"].endswith("dirty.py")
+        assert diag["line"] == 4
+        assert diag["col"] >= 1
+        assert "perf_counter" in diag["message"]
+
+    def test_suppressions_counted(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "hushed.py").write_text(
+            "import time\n"
+            "x = time.time()  # lint: disable=R001\n"
+        )
+        assert main([str(tmp_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["suppressed"] == 1
+        assert payload["diagnostics"] == []
+
+    def test_json_is_selectable(self, tree, capsys):
+        assert main([str(tree), "--format", "json",
+                     "--select", "R003"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["diagnostics"] == []
+
+
+class TestListRules:
+    def test_lists_all_six_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("R001", "R002", "R003", "R004", "R005", "R006"):
+            assert code in out

@@ -1,0 +1,328 @@
+"""Static query-plan analyzer: seeded misconfigurations and clean plans.
+
+The six seeded misconfigurations required by the issue:
+
+1. cyclic operator graph                     -> P101
+2. join window not divisible by basic window -> P103
+3. aggregate slide > window                  -> P104
+4. unknown shedding policy                   -> P105
+5. schema mismatch (join -> stage, no transform) -> P102
+6. infeasible harvest configuration          -> P106
+
+Plus: the plans built by the repo's examples (quickstart-/dataflow-
+pipeline-shaped) must validate clean, and ``Query.run(validate=True)``
+must refuse to execute an invalid plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EpsilonJoin
+from repro.core import GrubJoinOperator, ThrottledAggregateOperator
+from repro.engine import (
+    CpuModel,
+    DataflowGraph,
+    FilterOperator,
+    MapOperator,
+    SimulationConfig,
+)
+from repro.joins import MJoinOperator
+from repro.lint import Severity
+from repro.lint.plan import (
+    HarvestAssumptions,
+    PlanValidationError,
+    analyze_graph,
+    analyze_query,
+    check_harvest_feasibility,
+)
+from repro.query import Query
+from repro.streams import ConstantRate, LinearDriftProcess, StreamSource, StreamTuple
+
+
+def make_sources(m=3, rate=30.0, seed=0):
+    return [
+        StreamSource(
+            i,
+            ConstantRate(rate, phase=i * 1e-3),
+            LinearDriftProcess(lag=2.0 * i, deviation=1.0, rng=seed + i),
+        )
+        for i in range(m)
+    ]
+
+
+def make_query(window=10.0, basic=1.0, **join_kwargs):
+    return (
+        Query()
+        .streams(*make_sources())
+        .window(window, basic=basic)
+        .join(EpsilonJoin(1.0), **join_kwargs)
+    )
+
+
+def error_codes(report):
+    return {d.code for d in report.errors}
+
+
+def to_tuple(result):
+    return StreamTuple(
+        value=max(t.value for t in result.constituents),
+        timestamp=result.timestamp,
+        stream=0,
+        seq=0,
+    )
+
+
+# --------------------------------------------------------------------------
+# the six seeded misconfigurations
+# --------------------------------------------------------------------------
+
+
+class TestSeededMisconfigurations:
+    def test_1_cyclic_graph_rejected(self):
+        g = DataflowGraph()
+        g.add_node("a", MapOperator(lambda v: v))
+        g.add_node("b", FilterOperator(lambda v: True))
+        g.connect("a", "b")
+        g.connect("b", "a")  # feedback loop
+        report = analyze_graph(g)
+        assert "P101" in error_codes(report)
+        assert not report.ok
+
+    def test_2_window_not_divisible_rejected(self):
+        q = make_query(window=10.0, basic=3.0)  # 10 / 3 is not integral
+        report = analyze_query(q)
+        assert "P103" in error_codes(report)
+
+    def test_3_slide_exceeding_window_rejected(self):
+        q = make_query().aggregate("count", window=2.0, slide=5.0)
+        report = analyze_query(q)
+        assert "P104" in error_codes(report)
+
+    def test_4_unknown_shedding_policy_rejected(self):
+        q = make_query()
+        # Query.join() raises on unknown policies at call time; the
+        # analyzer is the defense for programmatic construction paths.
+        q._shedding = "magic"
+        report = analyze_query(q)
+        assert "P105" in error_codes(report)
+
+    def test_5_schema_mismatch_rejected(self):
+        g = DataflowGraph()
+        join = MJoinOperator(EpsilonJoin(1.0), [10.0] * 2, 1.0)
+        g.add_node("join", join)
+        g.add_node("flt", FilterOperator(lambda v: True))
+        g.connect("join", "flt")  # JoinResult needs a transform
+        for i, src in enumerate(make_sources(m=2)):
+            g.add_source("join", i, src)
+        report = analyze_graph(g)
+        assert "P102" in error_codes(report)
+
+    def test_6_infeasible_harvest_config_rejected(self):
+        q = make_query()
+        # full harvest counts at z = 0.05: C({z_ij}) = C(1) > z * C(1)
+        assumptions = HarvestAssumptions(
+            rates=[100.0, 100.0, 100.0], throttle=0.05
+        )
+        report = analyze_query(q, assumptions)
+        assert "P106" in error_codes(report)
+        (diag,) = [d for d in report.errors if d.code == "P106"]
+        assert "z*C(1)" in diag.message
+
+
+# --------------------------------------------------------------------------
+# additional checks
+# --------------------------------------------------------------------------
+
+
+class TestOtherChecks:
+    def test_unknown_aggregate_function(self):
+        q = make_query().aggregate("median", window=5.0, slide=1.0)
+        report = analyze_query(q)
+        assert "P108" in error_codes(report)
+
+    def test_starved_input_is_warning(self):
+        g = DataflowGraph()
+        g.add_node("flt", FilterOperator(lambda v: True))
+        report = analyze_graph(g)
+        assert report.ok  # warnings do not invalidate
+        assert any(
+            d.code == "P107" and d.severity is Severity.WARNING
+            for d in report.diagnostics
+        )
+
+    def test_ragged_aggregate_window_is_warning(self):
+        q = (
+            make_query()
+            .project(lambda r: r.timestamp)
+            .aggregate("count", window=5.0, slide=2.0)
+        )
+        report = analyze_query(q)
+        assert report.ok
+        assert any(d.code == "P109" for d in report.warnings)
+
+    def test_aggregate_without_projection_rejected(self):
+        # the default projection emits tuple-of-values payloads, which
+        # the numeric aggregate window cannot store
+        q = make_query().aggregate("count", window=5.0, slide=1.0)
+        report = analyze_query(q)
+        assert "P110" in error_codes(report)
+        # a scalar select before the aggregate silences it ...
+        q2 = (
+            make_query()
+            .select(lambda v: max(v))
+            .aggregate("count", window=5.0, slide=1.0)
+        )
+        assert "P110" not in error_codes(analyze_query(q2))
+        # ... as does an explicit projection
+        q3 = (
+            make_query()
+            .project(lambda r: r.timestamp)
+            .aggregate("count", window=5.0, slide=1.0)
+        )
+        assert "P110" not in error_codes(analyze_query(q3))
+
+    def test_incomplete_query_reported(self):
+        report = analyze_query(Query())
+        assert "P100" in error_codes(report)
+
+    def test_all_problems_reported_at_once(self):
+        q = (
+            make_query(window=10.0, basic=3.0)
+            .aggregate("median", window=2.0, slide=5.0)
+        )
+        q._shedding = "magic"
+        report = analyze_query(q)
+        assert {"P103", "P104", "P105", "P108"} <= error_codes(report)
+
+    def test_feasibility_helper_accepts_feasible(self):
+        from repro.core.cost_model import JoinProfile, uniform_masses
+        from repro.joins.join_order import default_orders
+
+        orders = default_orders(3)
+        profile = JoinProfile(
+            rates=np.full(3, 50.0),
+            window_counts=np.full(3, 500.0),
+            segments=np.full(3, 10, dtype=int),
+            selectivity=np.full((3, 3), 0.01),
+            orders=orders,
+            masses=uniform_masses(np.full(3, 10, dtype=int), orders),
+        )
+        # the full configuration at z = 1 is feasible by definition
+        assert check_harvest_feasibility(profile, 1.0) is None
+        # one basic window per hop costs far less than 10 per hop
+        tiny = np.ones((3, 2))
+        assert check_harvest_feasibility(profile, 0.9, tiny) is None
+        # ... but not under a 1e-6 throttle
+        assert check_harvest_feasibility(profile, 1e-6, tiny) is not None
+
+
+# --------------------------------------------------------------------------
+# wiring: Query.run / DataflowGraph.run
+# --------------------------------------------------------------------------
+
+
+class TestRunValidation:
+    def test_query_run_rejects_invalid_plan(self):
+        q = (
+            Query()
+            .streams(*make_sources())
+            .window(10.0, basic=3.0)
+            .join(EpsilonJoin(1.0))
+        )
+        with pytest.raises(PlanValidationError, match="P103"):
+            q.run(capacity=1e6, duration=2.0, warmup=0.0)
+
+    def test_query_run_validate_off_still_executes(self):
+        q = (
+            Query()
+            .streams(*make_sources())
+            .window(10.0, basic=3.0)
+            .join(EpsilonJoin(1.0), rng=0)
+        )
+        result = q.run(
+            capacity=1e9, duration=4.0, warmup=1.0,
+            adaptation_interval=2.0, validate=False,
+        )
+        assert result.graph_result is not None
+
+    def test_graph_run_rejects_cycle(self):
+        g = DataflowGraph()
+        g.add_node("a", MapOperator(lambda v: v))
+        g.add_node("b", MapOperator(lambda v: v))
+        g.connect("a", "b")
+        g.connect("b", "a")
+        with pytest.raises(PlanValidationError, match="cycle"):
+            g.run(CpuModel(1e6),
+                  SimulationConfig(duration=1.0, warmup=0.0))
+
+    def test_error_message_lists_findings(self):
+        q = make_query(window=10.0, basic=3.0)
+        try:
+            q.run(capacity=1e6)
+        except PlanValidationError as exc:
+            assert "P103" in str(exc)
+            assert exc.report.errors
+        else:  # pragma: no cover
+            pytest.fail("expected PlanValidationError")
+
+
+# --------------------------------------------------------------------------
+# clean plans: the example-shaped workloads must pass
+# --------------------------------------------------------------------------
+
+
+class TestCleanPlans:
+    def test_query_builder_pipeline_validates(self):
+        q = (
+            make_query()
+            .project(lambda r: max(t.value for t in r.constituents))
+            .where(lambda v: v < 900)
+            .select(lambda v: v / 10)
+            .aggregate("count", window=5.0, slide=1.0)
+        )
+        report = analyze_query(q)
+        assert report.ok, report.render()
+
+    def test_dataflow_pipeline_example_shape_validates(self):
+        # mirrors examples/dataflow_pipeline.py
+        g = DataflowGraph()
+        join = GrubJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0, rng=1)
+        g.add_node("join", join)
+        g.add_node("spread", MapOperator(lambda v: v))
+        g.add_node("tight", FilterOperator(lambda s: s <= 0.5))
+        g.add_node("rate", ThrottledAggregateOperator(
+            "count", window_size=5.0, slide=1.0))
+        for i, source in enumerate(make_sources()):
+            g.add_source("join", i, source)
+        g.connect("join", "spread", transform=to_tuple)
+        g.connect("spread", "tight")
+        g.connect("tight", "rate")
+        report = analyze_graph(g)
+        assert report.ok, report.render()
+        assert not report.warnings
+
+    def test_quickstart_example_shape_validates(self):
+        # mirrors examples/quickstart.py (bare join, divisible windows)
+        q = (
+            Query()
+            .streams(*make_sources())
+            .window(20.0, basic=2.0)
+            .join(EpsilonJoin(1.0), shedding="grubjoin", rng=7)
+        )
+        report = analyze_query(q)
+        assert report.ok, report.render()
+
+    def test_feasible_assumptions_pass(self):
+        q = make_query()
+        assumptions = HarvestAssumptions(
+            rates=[30.0, 30.0, 30.0],
+            throttle=0.5,
+            counts=np.ones((3, 2)),  # one basic window per hop
+        )
+        report = analyze_query(q, assumptions)
+        assert report.ok, report.render()
+
+    def test_randomdrop_and_none_policies_validate(self):
+        for policy in ("randomdrop", "none"):
+            report = analyze_query(make_query(shedding=policy))
+            assert report.ok, report.render()

@@ -1,0 +1,19 @@
+"""The repo must satisfy its own invariants: ``repro.lint`` on ``src``
+finds nothing, which is exactly what CI enforces."""
+
+from pathlib import Path
+
+from repro.lint import check_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_source_tree_is_lint_clean():
+    reports = check_paths([SRC])
+    assert reports, f"no python files found under {SRC}"
+    problems = []
+    for report in reports:
+        if report.error:
+            problems.append(f"{report.path}: {report.error}")
+        problems.extend(d.render() for d in report.diagnostics)
+    assert not problems, "\n".join(problems)

@@ -1,6 +1,5 @@
 """Tests for delivery disorder (late / out-of-order arrivals)."""
 
-import numpy as np
 import pytest
 
 from repro.streams import (
