@@ -29,3 +29,9 @@ def test_fig5_solver_runtime(benchmark, show_table):
     assert greedy_m5[-1] > greedy_m3[-1]
     # exhaustive grows explosively with n
     assert exhaustive[-1] > 5 * exhaustive[0]
+    # the applied-step count is a fraction of the candidate evaluations
+    # (each step scans up to m*(m-1) candidates) and grows with n
+    steps = table.column("steps m=5")
+    evals = table.column("evals m=5")
+    assert all(0 < s <= e for s, e in zip(steps, evals))
+    assert steps[-1] > steps[0]

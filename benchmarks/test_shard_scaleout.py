@@ -1,0 +1,35 @@
+"""Shard scale-out — merged output rate vs shard count under overload.
+
+Expected shape: on a 4-core CPU the merged output rate grows strictly
+with the shard count over 1 -> 2 -> 4 (hash sharding is lossless for the
+equi-join and prunes each shard's scans to its own key partition), the
+router backlog shrinks, and the run is bit-identical when repeated (no
+wall-clock reads, no unseeded RNG).
+"""
+
+from repro.experiments import shard_scaleout
+
+
+def test_shard_scaleout(benchmark, show_table):
+    table = benchmark.pedantic(
+        shard_scaleout.run, rounds=1, iterations=1
+    )
+    show_table(table)
+    shards = table.column("shards")
+    rates = dict(zip(shards, table.column("output rate")))
+    # strictly increasing output as shards unlock the idle cores
+    assert rates[1] < rates[2] < rates[4]
+    # every configuration is genuinely overloaded (routed-but-unjoined
+    # tuples pile up behind the shard joins), and each doubling of the
+    # shard count shrinks that backlog
+    backlog = dict(zip(shards, table.column("backlog")))
+    assert all(depth > 0 for depth in backlog.values())
+    assert backlog[4] < backlog[2] < backlog[1]
+    # the CPU is genuinely loaded throughout
+    assert all(u > 0.5 for u in table.column("cpu util"))
+
+
+def test_shard_scaleout_deterministic():
+    a = shard_scaleout.run(shard_counts=(4,))
+    b = shard_scaleout.run(shard_counts=(4,))
+    assert a.rows == b.rows

@@ -124,6 +124,7 @@ def greedy_pick(
     counts = np.zeros((m, hops))
     initialized = [False] * m
     frozen = np.zeros((m, hops), dtype=bool)
+    init_frozen = [False] * m
     dir_cost = np.zeros(m)
     dir_out = np.zeros(m)
     cur_cost = cur_out = 0.0
@@ -156,11 +157,18 @@ def greedy_pick(
                         best_score, best = score, (i, j)
                         best_terms = (c_i, o_i)
             else:
+                if init_frozen[i]:
+                    continue
                 cand = np.ones(hops)
                 c_i, o_i = profile.direction_terms(i, cand)
                 evaluations += 1
                 new_cost = cur_cost - dir_cost[i] + c_i
                 if new_cost > budget:
+                    # cur_cost only grows (each applied step raises its
+                    # direction's cost), so this all-hops increment can
+                    # never become feasible later: freeze the direction
+                    # instead of re-evaluating it every round
+                    init_frozen[i] = True
                     continue
                 new_out = cur_out - dir_out[i] + o_i
                 score = _score(metric, new_out, new_cost, cur_out, cur_cost)
@@ -193,6 +201,7 @@ def greedy_pick(
         output=cur_out,
         evaluations=evaluations,
         method=method,
+        steps=steps,
     )
 
 
@@ -258,6 +267,7 @@ def greedy_reverse(profile: JoinProfile, throttle: float) -> SolverResult:
         output=cur_out,
         evaluations=evaluations,
         method="greedy-reverse",
+        steps=steps,
     )
 
 
@@ -283,4 +293,5 @@ def greedy_double_sided(
         output=result.output,
         evaluations=result.evaluations,
         method=f"greedy-double-sided({result.method})",
+        steps=result.steps,
     )

@@ -159,15 +159,21 @@ class GrubJoinOperator(StreamOperator):
         self.selectivity = SelectivityEstimator(
             m, default=selectivity_default, decay=selectivity_decay
         )
-        if histogram_buckets is None:
-            histogram_buckets = 2 * (max(self.segments) + self.segments[0])
         self.histogram_decay = float(histogram_decay)
         b = self.basic_window_size
+        # Each stream's lag histogram spans [-n_i*b, n_1*b], which differs
+        # per stream when the windows do; size each from its *own* span so
+        # every stream really gets two buckets per basic window.  An
+        # explicit ``histogram_buckets`` overrides for all streams.
         self.histograms: list[EquiWidthHistogram | None] = [None] + [
             EquiWidthHistogram(
                 low=-self.segments[i] * b,
                 high=self.segments[0] * b,
-                buckets=histogram_buckets,
+                buckets=(
+                    histogram_buckets
+                    if histogram_buckets is not None
+                    else 2 * (self.segments[i] + self.segments[0])
+                ),
                 smoothing=histogram_smoothing,
             )
             for i in range(1, m)
@@ -205,7 +211,7 @@ class GrubJoinOperator(StreamOperator):
             outputs, comparisons = self._harvested_probe(tup, now)
         self.tuples_processed += 1
         self.comparisons_total += comparisons
-        work = comparisons + int(self.output_cost * len(outputs))
+        work = comparisons + round(self.output_cost * len(outputs))
         return ProcessReceipt(comparisons=work, outputs=outputs)
 
     def _harvested_probe(

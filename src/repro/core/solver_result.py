@@ -20,6 +20,10 @@ class SolverResult:
         cost: modeled ``C({z})`` of the returned setting.
         output: modeled ``O({z})`` of the returned setting.
         evaluations: how many candidate settings the solver evaluated.
+        steps: how many candidate settings the solver *applied* (greedy
+            increments/decrements; 0 for one-shot solvers).  Always
+            ``steps <= evaluations``: the ratio is the per-step scan
+            width Fig. 5 plots against.
         method: solver label (``greedy-bdopdc``, ``brute-force``, ...).
     """
 
@@ -28,6 +32,7 @@ class SolverResult:
     output: float
     evaluations: int
     method: str
+    steps: int = 0
 
     def fractions(self, profile) -> np.ndarray:
         """The harvest fractions ``z_{i,j}`` implied by :attr:`counts`."""

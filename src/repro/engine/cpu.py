@@ -61,6 +61,11 @@ class CpuModel:
         self.cores = int(cores)
         self.busy_time = 0.0
         self.serviced = 0
+        #: per-core virtual time at which the core finishes its current
+        #: service; a core with ``busy_until <= now`` is idle.
+        self.core_busy_until = [0.0] * self.cores
+        #: per-core cumulative busy seconds (sums to :attr:`busy_time`)
+        self.core_busy_time = [0.0] * self.cores
 
     def service_time(self, comparisons: int) -> float:
         """Virtual seconds needed to perform ``comparisons`` comparisons
@@ -69,20 +74,67 @@ class CpuModel:
         return units / self.comparisons_per_second
 
     def charge(self, comparisons: int) -> float:
-        """Account for one serviced tuple and return its service time."""
+        """Account for one serviced tuple and return its service time.
+
+        Aggregate accounting only — callers that need per-core contention
+        (the simulation runtimes) use :meth:`begin` instead.
+        """
         t = self.service_time(comparisons)
         self.busy_time += t
         self.serviced += 1
         return t
 
+    def idle_cores(self, now: float) -> int:
+        """Number of cores whose current service has finished by ``now``."""
+        return sum(1 for t in self.core_busy_until if t <= now)
+
+    def begin(self, now: float, comparisons: int) -> float:
+        """Start one service on the earliest-free core at ``now``.
+
+        Picks the core with the smallest ``busy_until`` (lowest index on
+        ties, so assignment is deterministic), charges the work to that
+        core, and returns the virtual time at which the service completes.
+        The runtimes only call this when :meth:`idle_cores` is positive, so
+        the service normally starts at ``now``; if every core is busy the
+        work queues on the soonest-free core and starts when it frees up.
+        """
+        service = self.service_time(comparisons)
+        core = 0
+        for c in range(1, self.cores):
+            if self.core_busy_until[c] < self.core_busy_until[core]:
+                core = c
+        start = max(now, self.core_busy_until[core])
+        done = start + service
+        self.core_busy_until[core] = done
+        self.core_busy_time[core] += service
+        self.busy_time += service
+        self.serviced += 1
+        return done
+
     def utilization(self, elapsed: float) -> float:
         """Fraction of the total core-seconds in ``elapsed`` that were
-        busy (1.0 = all cores saturated)."""
+        busy (1.0 = all cores saturated).
+
+        Returns the *true* ratio: values slightly above 1.0 mean charged
+        work spilled past the measurement horizon (e.g. the final service
+        of a saturated run completes after the STOP event).  Hiding that
+        by clamping here would mask oversaturation from metrics and
+        series; clamp at display sites instead.
+        """
         if elapsed <= 0:
             return 0.0
-        return min(1.0, self.busy_time / (elapsed * self.cores))
+        return self.busy_time / (elapsed * self.cores)
+
+    def per_core_utilization(self, elapsed: float) -> list[float]:
+        """Per-core busy fraction over ``elapsed`` (unclamped, like
+        :meth:`utilization`) — exposes imbalance across cores."""
+        if elapsed <= 0:
+            return [0.0] * self.cores
+        return [t / elapsed for t in self.core_busy_time]
 
     def reset(self) -> None:
         """Zero the accounting (between runs)."""
         self.busy_time = 0.0
         self.serviced = 0
+        self.core_busy_until = [0.0] * self.cores
+        self.core_busy_time = [0.0] * self.cores

@@ -12,6 +12,11 @@ indefinitely starve another with equal load).
 Edges may carry a ``transform`` turning an upstream output (e.g. a
 ``JoinResult``) into the ``StreamTuple`` the downstream operator expects;
 pass-through is the default for outputs that already are stream tuples.
+Edges may also carry a ``filter`` predicate evaluated on the *raw*
+upstream output (before the transform): only outputs it accepts travel
+the edge.  Filters are what makes partitioned fan-out possible — a
+router node emits routed outputs once, and each router->shard edge picks
+out the outputs addressed to its shard (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -52,12 +57,18 @@ class SchedulingPolicy(str, Enum):
 
 @dataclass(slots=True)
 class Edge:
-    """Directed connection: source node's outputs feed a target input."""
+    """Directed connection: source node's outputs feed a target input.
+
+    ``filter`` (if given) sees each raw upstream output and returns True
+    for the outputs this edge should carry; ``transform`` then converts
+    the accepted output into the :class:`StreamTuple` the target consumes.
+    """
 
     source: str
     target: str
     target_input: int
     transform: Callable[[Any], StreamTuple] | None = None
+    filter: Callable[[Any], bool] | None = None
 
 
 @dataclass
@@ -153,12 +164,18 @@ class DataflowGraph:
         target: str,
         target_input: int = 0,
         transform: Callable[[Any], StreamTuple] | None = None,
+        filter: Callable[[Any], bool] | None = None,
     ) -> None:
-        """Wire one node's outputs into another node's input buffer."""
+        """Wire one node's outputs into another node's input buffer.
+
+        ``filter`` restricts the edge to the upstream outputs it accepts
+        (evaluated on the raw output, before ``transform``) — the
+        building block for partitioned fan-out.
+        """
         if source not in self._nodes:
             raise ValueError(f"unknown source node {source!r}")
         self._check_input(target, target_input)
-        edge = Edge(source, target, target_input, transform)
+        edge = Edge(source, target, target_input, transform, filter)
         self._nodes[source].edges.append(edge)
         self._edges.append(edge)
 
@@ -177,6 +194,16 @@ class DataflowGraph:
     def source_list(self) -> list[tuple[str, int, Any]]:
         """All ``(node, input_index, source)`` attachments."""
         return list(self._sources)
+
+    def queue_depth(self, name: str) -> int:
+        """Total buffered tuples across a node's input buffers right now.
+
+        Adaptive routers use this (via a depth probe closure) to observe
+        per-shard backlog at adaptation ticks and rebalance accordingly.
+        """
+        if name not in self._nodes:
+            raise ValueError(f"unknown node {name!r}")
+        return sum(len(buf) for buf in self._nodes[name].buffers)
 
     def validate(self, assumptions=None):
         """Run the static plan analyzer over this graph.
@@ -225,7 +252,6 @@ class DataflowGraph:
         rr_next = 0
         clock = VirtualClock()
         events = EventQueue()
-        busy_count = 0
 
         for node in self._nodes.values():
             node.result.queue_depth_series = [
@@ -304,17 +330,16 @@ class DataflowGraph:
             tup = buf.pop()
             node.result.consumed += 1
             receipt = node.operator.process(tup, now)
-            service = cpu.charge(receipt.comparisons)
+            done = cpu.begin(now, receipt.comparisons)
             events.push(
-                now + service, EventKind.COMPLETION,
+                done, EventKind.COMPLETION,
                 (node.name, receipt.outputs),
             )
             return True
 
         def fill_cores(now: float) -> None:
-            nonlocal busy_count
-            while busy_count < cpu.cores and start_service(now):
-                busy_count += 1
+            while cpu.idle_cores(now) > 0 and start_service(now):
+                pass
 
         while events:
             event = events.pop()
@@ -340,6 +365,8 @@ class DataflowGraph:
                 for edge in node.edges:
                     target = self._nodes[edge.target]
                     for out in outputs:
+                        if edge.filter is not None and not edge.filter(out):
+                            continue
                         tup = (
                             edge.transform(out)
                             if edge.transform is not None
@@ -352,7 +379,6 @@ class DataflowGraph:
                                 "transform"
                             )
                         deliver(target, edge.target_input, tup, now)
-                busy_count -= 1
                 fill_cores(now)
             elif event.kind is EventKind.ADAPT:
                 interval = config.adaptation_interval

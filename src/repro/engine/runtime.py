@@ -120,7 +120,6 @@ class Simulation:
         ]
         self._output = OutputBuffer(retain=retain_outputs)
         self._counters = [StreamCounters() for _ in self.sources]
-        self._busy_count = 0
         self._latency_sum = 0.0
         self._latency_count = 0
         self._queue_series = [TimeSeries() for _ in self.sources]
@@ -212,7 +211,6 @@ class Simulation:
             self._warm_output_start = self._output.count - len(outputs)
         self._latency_sum += now - probe.timestamp
         self._latency_count += 1
-        self._busy_count -= 1
         self._fill_cores()
 
     def _on_adapt(self, _payload) -> None:
@@ -241,7 +239,10 @@ class Simulation:
 
     def _fill_cores(self) -> None:
         """Start services until every core is busy or the buffers drain."""
-        while self._busy_count < self.cpu.cores and self._start_service():
+        while (
+            self.cpu.idle_cores(self._clock.now) > 0
+            and self._start_service()
+        ):
             pass
 
     def _start_service(self) -> bool:
@@ -258,10 +259,9 @@ class Simulation:
                 raise
             self.operator_errors += 1
             receipt = ProcessReceipt(comparisons=0, outputs=[])
-        service = self.cpu.charge(receipt.comparisons)
-        self._busy_count += 1
+        done = self.cpu.begin(now, receipt.comparisons)
         self._events.push(
-            now + service, EventKind.COMPLETION, (receipt.outputs, tup)
+            done, EventKind.COMPLETION, (receipt.outputs, tup)
         )
         return True
 

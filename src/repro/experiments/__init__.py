@@ -14,6 +14,7 @@ from . import (
     fig8_output_vs_correlation,
     fig9_output_vs_m,
     fig10_adaptation,
+    shard_scaleout,
 )
 from .harness import (
     ExperimentTable,
@@ -55,6 +56,7 @@ __all__ = [
     "replicate",
     "run_grubjoin",
     "run_random_drop",
+    "shard_scaleout",
     "sweep",
     "to_markdown",
     "write_csv",

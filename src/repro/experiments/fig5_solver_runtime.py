@@ -52,14 +52,21 @@ def run(
             "greedy m=3",
             "greedy m=4",
             "greedy m=5",
+            "steps m=5",
+            "evals m=5",
             "exhaustive m=3",
         ],
     )
     for n in ns:
         row: list = [n]
+        steps = evals = 0
         for m in (3, 4, 5):
             profile = random_instance(m=m, segments=n, rng=rng)
             row.append(_time_solver(lambda p=profile: greedy_pick(p, throttle)))
+            if m == 5:
+                result = greedy_pick(profile, throttle)
+                steps, evals = result.steps, result.evaluations
+        row += [steps, evals]
         if n <= naive_max_n:
             profile = random_instance(m=3, segments=n, rng=rng)
             row.append(

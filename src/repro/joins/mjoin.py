@@ -97,7 +97,7 @@ class MJoinOperator(StreamOperator):
             )
         self.tuples_processed += 1
         self.comparisons_total += result.comparisons
-        work = result.comparisons + int(
+        work = result.comparisons + round(
             self.output_cost * len(result.outputs)
         )
         return ProcessReceipt(comparisons=work, outputs=result.outputs)

@@ -32,6 +32,12 @@ P110   A query aggregating join results needs ``.project(...)`` (or a
        scalar ``.select(...)``): the default projection packs each
        result into a tuple of constituent values, which the numeric
        aggregate window cannot store.
+P111   Router fan-out: a partitioning router (``output_kind ==
+       "routed"``, declaring ``num_shards``) must feed exactly
+       ``num_shards`` distinct shard targets, and every fan-out edge
+       must carry a ``filter`` — an unfiltered edge would deliver every
+       routed tuple to every shard (duplicated results), a missing
+       target would silently drop that shard's share of the input.
 =====  ==================================================================
 
 Feasibility (P106) is *symbolic*: rates, selectivities and throttle come
@@ -357,6 +363,34 @@ def analyze_graph(
                     f"input {i} of node {name!r} is fed by no source "
                     "and no edge; the operator will starve",
                     severity=Severity.WARNING,
+                    node=name,
+                )
+
+    # P111 — router fan-out coverage and filtering
+    for name, op in nodes.items():
+        if getattr(op, "output_kind", "tuple") != "routed":
+            continue
+        num_shards = getattr(op, "num_shards", None)
+        if num_shards is None:
+            continue
+        fanout = [e for e in edges if e.source == name]
+        targets = {e.target for e in fanout}
+        if len(targets) != num_shards:
+            report.add(
+                "P111",
+                f"router {name!r} declares {num_shards} shards but its "
+                f"fan-out reaches {len(targets)} distinct target(s); "
+                "unreached shards would silently receive none of the "
+                "input",
+                node=name,
+            )
+        for e in fanout:
+            if e.filter is None:
+                report.add(
+                    "P111",
+                    f"fan-out edge {name!r} -> {e.target!r} has no "
+                    "filter; every routed tuple would be delivered to "
+                    "every shard, duplicating results",
                     node=name,
                 )
 

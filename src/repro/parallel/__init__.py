@@ -1,0 +1,38 @@
+"""Sharded parallel execution of windowed stream joins.
+
+The paper sheds CPU load on a *single* operator; this package scales the
+same operators *out*: ``K`` independent join instances (GrubJoin, MJoin,
+or any :class:`~repro.engine.operator.StreamOperator`) run behind a
+:class:`RouterOperator` that partitions the input streams (hash or
+round-robin, with skew-aware rebalancing driven by per-shard backlog),
+and a :class:`MergerOperator` that combines the shard outputs into one
+result stream with correct output-rate accounting.  The architecture
+follows the shared-nothing partitioned designs of Chakraborty's
+parallel windowed stream joins and Hu & Qiu's runtime-optimized m-way
+operator (see PAPERS.md); ``docs/PARALLEL.md`` describes it in detail.
+
+Shards contend for the engine's M/G/k :class:`~repro.engine.cpu.CpuModel`
+(per-core busy-until accounting), and each adaptive shard keeps its own
+:class:`~repro.core.throttle.ThrottleController`, so load shedding stays
+local to the overloaded shards when routing is skewed.
+"""
+
+from .merger import MergerOperator, shard_result_transform
+from .router import (
+    ROUTING_POLICIES,
+    RoutedTuple,
+    RouterOperator,
+    stable_key_hash,
+)
+from .sharded import ShardedPlan, build_sharded_graph
+
+__all__ = [
+    "MergerOperator",
+    "ROUTING_POLICIES",
+    "RoutedTuple",
+    "RouterOperator",
+    "ShardedPlan",
+    "build_sharded_graph",
+    "shard_result_transform",
+    "stable_key_hash",
+]

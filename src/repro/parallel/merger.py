@@ -1,0 +1,70 @@
+"""The Merger operator: combines shard outputs into one result stream.
+
+Each shard's join results travel a ``shard -> merger`` edge whose
+transform (:func:`shard_result_transform`) wraps the
+:class:`~repro.streams.tuples.JoinResult` in a :class:`StreamTuple` whose
+``stream`` field records the originating shard.  The merger passes results
+through (charging a small fixed merge cost) and keeps per-shard counts, so
+the merger node's ``output_rate`` in the :class:`GraphResult` *is* the
+combined join output rate of the sharded plan — measured with the same
+warm-up accounting as every other node, and never double-counted (shard
+nodes report their own local rates separately).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.operator import ProcessReceipt, StreamOperator
+from repro.streams.tuples import JoinResult, StreamTuple
+
+
+def shard_result_transform(
+    shard: int,
+) -> Callable[[JoinResult], StreamTuple]:
+    """Edge transform for ``shard -> merger``: pack a join result into a
+    stream tuple stamped with the shard index and the result's logical
+    emission time (its youngest constituent's timestamp — graph nodes do
+    not restamp outputs, so this keeps merger-side ordering meaningful).
+    """
+
+    def _pack(result: JoinResult) -> StreamTuple:
+        ts = max(t.timestamp for t in result.constituents)
+        return StreamTuple(
+            value=result, timestamp=ts, stream=shard, seq=0
+        )
+
+    return _pack
+
+
+class MergerOperator(StreamOperator):
+    """Funnels the ``K`` shards' results into one output stream.
+
+    Args:
+        num_shards: shards feeding this merger (for per-shard accounting).
+        merge_cost: comparisons charged per merged result (serialization
+            and hand-off are cheap but not free).
+    """
+
+    num_streams = 1
+    output_kind = "tuple"
+
+    def __init__(self, num_shards: int, merge_cost: int = 1) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if merge_cost < 0:
+            raise ValueError("merge_cost must be non-negative")
+        self.num_shards = int(num_shards)
+        self.merge_cost = int(merge_cost)
+        self.merged = 0
+        self.merged_per_shard = [0] * self.num_shards
+
+    def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
+        """Count one shard result and pass it through."""
+        if 0 <= tup.stream < self.num_shards:
+            self.merged_per_shard[tup.stream] += 1
+        self.merged += 1
+        return ProcessReceipt(comparisons=self.merge_cost, outputs=[tup])
+
+    def describe(self) -> str:
+        return f"Merger(shards={self.num_shards})"

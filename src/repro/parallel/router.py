@@ -1,0 +1,225 @@
+"""The Router operator: partitions input streams across join shards.
+
+A sharded join runs ``K`` independent join instances behind one router.
+The router sees every input tuple exactly once, decides which shard owns
+it, and emits a :class:`RoutedTuple` naming that shard; the graph's
+filtered fan-out edges (``Edge.filter``) then deliver the tuple to the
+owning shard's input buffer only.
+
+Two partitioning policies:
+
+* **hash** — the join key is hashed into a fixed set of virtual buckets
+  and a bucket->shard map assigns ownership.  For equi-joins this
+  co-partitions matching tuples, so the union of the shard outputs equals
+  the unsharded join's output.  The indirection through virtual buckets is
+  what makes *rebalancing* cheap: moving one bucket re-homes a 1/B slice
+  of the key domain without touching the rest of the map.
+* **round-robin** — tuples cycle through the shards per input stream.
+  This balances load perfectly but co-partitions nothing; it suits
+  shard-local workloads (e.g. aggregation, filtering) or joins that
+  tolerate approximate output, and serves as the load-balance reference
+  point in the scale-out experiments.
+
+Skew handling: at every adaptation tick the router consults a *depth
+probe* (wired by :func:`repro.parallel.sharded.build_sharded_graph`) for
+each shard's input-buffer backlog.  When the most loaded shard's depth
+exceeds ``rebalance_threshold`` times the least loaded one's, hash routing
+migrates virtual buckets from hot to cold and round-robin routing
+re-weights its cycle.  Migrated keys leave their window history behind on
+the old shard — matches spanning the migration instant are lost as that
+history expires, the classic state-migration trade-off (documented in
+``docs/PARALLEL.md``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.engine.buffers import BufferStats
+from repro.engine.operator import ProcessReceipt, StreamOperator
+from repro.streams.tuples import StreamTuple
+
+#: routing policies the router (and the P105-style plan checks) know
+ROUTING_POLICIES = ("hash", "round-robin")
+
+
+@dataclass(frozen=True, slots=True)
+class RoutedTuple:
+    """A stream tuple annotated with the shard that owns it."""
+
+    shard: int
+    tuple: StreamTuple
+
+
+def stable_key_hash(key: Any) -> int:
+    """Deterministic, process-independent hash of a join key.
+
+    Python's builtin ``hash`` is salted per process for strings, which
+    would break bit-identical reruns; CRC32 over the canonical repr is
+    stable everywhere and cheap.
+    """
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+class RouterOperator(StreamOperator):
+    """Partitions ``m`` input streams across ``num_shards`` join shards.
+
+    Args:
+        num_streams: inputs (one per joined stream).
+        num_shards: join instances behind this router.
+        policy: ``"hash"`` or ``"round-robin"``.
+        key: join-key extractor for hash routing; default uses the
+            tuple's ``value`` (the join attribute).
+        buckets: virtual hash buckets; more buckets means finer-grained
+            rebalancing.  Must be >= ``num_shards``.
+        rebalance_threshold: hot/cold depth ratio beyond which an
+            adaptation tick triggers a rebalance; ``None`` disables
+            rebalancing entirely.
+        route_cost: comparisons charged per routed tuple (routing is not
+            free on a real system, but it is far cheaper than a probe).
+    """
+
+    output_kind = "routed"
+
+    def __init__(
+        self,
+        num_streams: int,
+        num_shards: int,
+        policy: str = "hash",
+        key: Callable[[StreamTuple], Any] | None = None,
+        buckets: int = 64,
+        rebalance_threshold: float | None = 2.0,
+        route_cost: int = 1,
+    ) -> None:
+        if num_streams < 1:
+            raise ValueError("router needs at least one input stream")
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; "
+                f"expected one of {ROUTING_POLICIES}"
+            )
+        if buckets < num_shards:
+            raise ValueError("need at least one bucket per shard")
+        if rebalance_threshold is not None and rebalance_threshold <= 1:
+            raise ValueError("rebalance_threshold must exceed 1")
+        if route_cost < 0:
+            raise ValueError("route_cost must be non-negative")
+        self.num_streams = int(num_streams)
+        self.num_shards = int(num_shards)
+        self.policy = policy
+        self.key = key if key is not None else (lambda tup: tup.value)
+        self.buckets = int(buckets)
+        self.rebalance_threshold = rebalance_threshold
+        self.route_cost = int(route_cost)
+        #: virtual bucket -> shard map (hash policy)
+        self.bucket_map = [b % self.num_shards for b in range(self.buckets)]
+        #: per-stream position in the round-robin cycle
+        self._rr_positions = [0] * self.num_streams
+        #: round-robin cycle (rebuilt from weights at rebalance)
+        self._rr_cycle = list(range(self.num_shards))
+        # wiring + diagnostics
+        self._depth_probe: Callable[[], Sequence[int]] | None = None
+        self.routed_per_shard = [0] * self.num_shards
+        self.rebalances = 0
+        self.last_depths: list[int] = []
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def shard_of(self, tup: StreamTuple) -> int:
+        """The shard that would own ``tup`` right now (no side effects
+        for hash routing; round-robin peeks without advancing)."""
+        if self.policy == "hash":
+            bucket = stable_key_hash(self.key(tup)) % self.buckets
+            return self.bucket_map[bucket]
+        pos = self._rr_positions[tup.stream]
+        return self._rr_cycle[pos % len(self._rr_cycle)]
+
+    def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
+        """Assign ``tup`` to its shard and emit the routed envelope."""
+        shard = self.shard_of(tup)
+        if self.policy == "round-robin":
+            self._rr_positions[tup.stream] += 1
+        self.routed_per_shard[shard] += 1
+        return ProcessReceipt(
+            comparisons=self.route_cost,
+            outputs=[RoutedTuple(shard, tup)],
+        )
+
+    # ------------------------------------------------------------------
+    # skew-aware rebalancing
+    # ------------------------------------------------------------------
+
+    def attach_depth_probe(
+        self, probe: Callable[[], Sequence[int]]
+    ) -> None:
+        """Wire the per-shard backlog probe consulted at adaptation ticks.
+
+        ``probe()`` must return one input-buffer depth per shard, in
+        shard order.  :func:`~repro.parallel.sharded.build_sharded_graph`
+        attaches one reading the live graph buffers.
+        """
+        self._depth_probe = probe
+
+    def on_adapt(
+        self, now: float, stats: list[BufferStats], interval: float
+    ) -> None:
+        """Rebalance shard ownership when the backlog skew is too large."""
+        if self._depth_probe is None or self.rebalance_threshold is None:
+            return
+        depths = [int(d) for d in self._depth_probe()]
+        if len(depths) != self.num_shards:
+            raise ValueError(
+                f"depth probe returned {len(depths)} depths for "
+                f"{self.num_shards} shards"
+            )
+        self.last_depths = depths
+        if self.num_shards < 2:
+            return
+        hot = max(range(self.num_shards), key=lambda k: (depths[k], k))
+        cold = min(range(self.num_shards), key=lambda k: (depths[k], k))
+        # +1 keeps the ratio finite on empty buffers and ignores noise
+        # around near-empty shards
+        if depths[hot] + 1 <= self.rebalance_threshold * (depths[cold] + 1):
+            return
+        if self.policy == "hash":
+            self._migrate_buckets(hot, cold)
+        else:
+            self._reweight_cycle(depths)
+        self.rebalances += 1
+
+    def _migrate_buckets(self, hot: int, cold: int) -> None:
+        """Move ~a quarter of the hot shard's buckets to the cold shard."""
+        owned = [b for b, s in enumerate(self.bucket_map) if s == hot]
+        if not owned:
+            return
+        for b in owned[: max(1, len(owned) // 4)]:
+            self.bucket_map[b] = cold
+
+    def _reweight_cycle(self, depths: Sequence[int]) -> None:
+        """Rebuild the round-robin cycle with slots inversely
+        proportional to backlog, interleaved to avoid bursts."""
+        inv = [1.0 / (1 + d) for d in depths]
+        total = sum(inv)
+        slots = [
+            max(1, round(4 * self.num_shards * w / total)) for w in inv
+        ]
+        credits = list(slots)
+        cycle: list[int] = []
+        while any(c > 0 for c in credits):
+            for k in range(self.num_shards):
+                if credits[k] > 0:
+                    cycle.append(k)
+                    credits[k] -= 1
+        self._rr_cycle = cycle
+
+    def describe(self) -> str:
+        return (
+            f"Router(shards={self.num_shards}, policy={self.policy}, "
+            f"buckets={self.buckets})"
+        )

@@ -1,0 +1,199 @@
+"""Assemble a sharded join plan: router -> K shard joins -> merger.
+
+:func:`build_sharded_graph` wires the whole partitioned-parallel topology
+into a :class:`repro.engine.graph.DataflowGraph`:
+
+* the :class:`~repro.parallel.router.RouterOperator` receives every
+  source stream and emits routed envelopes;
+* ``K * m`` filtered fan-out edges deliver each envelope to the owning
+  shard's matching input only (``Edge.filter`` keys on the envelope's
+  shard and stream, the transform unwraps the plain tuple);
+* ``K`` edges funnel shard join results into the
+  :class:`~repro.parallel.merger.MergerOperator`, stamped with their
+  shard of origin.
+
+Every shard is an independent :class:`StreamOperator` instance — a
+GrubJoin shard keeps its own :class:`ThrottleController`, selectivity
+estimates and histograms, so shards shed independently when routing skew
+overloads some of them.  All nodes contend for the one M/G/k
+:class:`CpuModel` passed to :meth:`ShardedPlan.run`; per-core busy-until
+accounting in the engine means K shards genuinely run in parallel up to
+the core count.
+
+The plan passes the static analyzer (``repro.lint.plan``): the router's
+``"routed"`` output kind forces transforms on its fan-out edges (P102),
+and P111 checks that the fan-out reaches exactly ``num_shards`` targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.engine.cpu import CpuModel
+from repro.engine.graph import DataflowGraph, GraphResult, SchedulingPolicy
+from repro.engine.operator import StreamOperator
+from repro.engine.runtime import SimulationConfig
+from repro.streams.tuples import StreamTuple
+
+from .merger import MergerOperator, shard_result_transform
+from .router import RoutedTuple, RouterOperator
+
+
+def _unwrap(routed: RoutedTuple) -> StreamTuple:
+    return routed.tuple
+
+
+def _shard_stream_filter(
+    shard: int, stream: int
+) -> Callable[[RoutedTuple], bool]:
+    def _accept(routed: RoutedTuple) -> bool:
+        return routed.shard == shard and routed.tuple.stream == stream
+
+    return _accept
+
+
+@dataclass
+class ShardedPlan:
+    """A fully wired sharded join topology, ready to run.
+
+    Attributes:
+        graph: the underlying dataflow graph.
+        router: router node name.
+        shards: shard node names, in shard order.
+        merger: merger node name.
+        router_op: the router operator (rebalance diagnostics).
+        merger_op: the merger operator (per-shard output accounting).
+        shard_ops: the shard operators, in shard order.
+    """
+
+    graph: DataflowGraph
+    router: str
+    shards: list[str]
+    merger: str
+    router_op: RouterOperator
+    merger_op: MergerOperator
+    shard_ops: list[StreamOperator] = field(default_factory=list)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def run(
+        self,
+        cpu: CpuModel,
+        config: SimulationConfig | None = None,
+        scheduling: SchedulingPolicy = SchedulingPolicy.OLDEST,
+        validate: bool = True,
+    ) -> GraphResult:
+        """Execute the sharded plan on ``cpu`` (see DataflowGraph.run)."""
+        return self.graph.run(cpu, config, scheduling, validate)
+
+    def output_rate(self, result: GraphResult) -> float:
+        """The combined (merged) join output rate of a finished run."""
+        return result.nodes[self.merger].output_rate
+
+    def output_count(self, result: GraphResult) -> int:
+        """Total merged join results over the whole run."""
+        return result.nodes[self.merger].output_count
+
+    def shard_output_counts(self, result: GraphResult) -> list[int]:
+        """Per-shard local result counts (pre-merge), in shard order."""
+        return [result.nodes[name].output_count for name in self.shards]
+
+
+def build_sharded_graph(
+    sources: Sequence[Any],
+    make_shard: Callable[[int], StreamOperator],
+    num_shards: int,
+    policy: str = "hash",
+    key: Callable[[StreamTuple], Any] | None = None,
+    buckets: int = 64,
+    rebalance_threshold: float | None = 2.0,
+    route_cost: int = 1,
+    merge_cost: int = 1,
+    shard_buffer_capacity: int | None = None,
+) -> ShardedPlan:
+    """Wire router, shards and merger into one dataflow graph.
+
+    Args:
+        sources: one stream source per joined stream (attached to the
+            router's inputs).
+        make_shard: factory called with each shard index; every returned
+            operator must consume ``len(sources)`` streams.  Give each
+            shard its own operator instance — shards must not share
+            windows or controllers.
+        num_shards: how many join instances to run in parallel.
+        policy: router partitioning policy (``"hash"``/``"round-robin"``).
+        key: join-key extractor for hash routing (default: tuple value).
+        buckets: virtual hash buckets (rebalancing granularity).
+        rebalance_threshold: skew ratio that triggers a rebalance at an
+            adaptation tick; ``None`` pins the initial assignment.
+        route_cost: comparisons charged per routed tuple.
+        merge_cost: comparisons charged per merged result.
+        shard_buffer_capacity: optional bound on each shard input buffer.
+
+    Returns:
+        The assembled :class:`ShardedPlan` (depth probe already attached).
+    """
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    m = len(sources)
+    router = RouterOperator(
+        num_streams=m,
+        num_shards=num_shards,
+        policy=policy,
+        key=key,
+        buckets=buckets,
+        rebalance_threshold=rebalance_threshold,
+        route_cost=route_cost,
+    )
+    merger = MergerOperator(num_shards, merge_cost=merge_cost)
+    graph = DataflowGraph()
+    graph.add_node("router", router)
+    for s, source in enumerate(sources):
+        graph.add_source("router", s, source)
+
+    shard_names: list[str] = []
+    shard_ops: list[StreamOperator] = []
+    for k in range(num_shards):
+        operator = make_shard(k)
+        if operator.num_streams != m:
+            raise ValueError(
+                f"shard {k} consumes {operator.num_streams} streams, "
+                f"but {m} sources were given"
+            )
+        name = f"shard{k}"
+        graph.add_node(name, operator,
+                       buffer_capacity=shard_buffer_capacity)
+        for s in range(m):
+            graph.connect(
+                "router",
+                name,
+                target_input=s,
+                transform=_unwrap,
+                filter=_shard_stream_filter(k, s),
+            )
+        shard_names.append(name)
+        shard_ops.append(operator)
+
+    graph.add_node("merger", merger)
+    for k, name in enumerate(shard_names):
+        graph.connect(
+            name, "merger", target_input=0,
+            transform=shard_result_transform(k),
+        )
+
+    def _depths() -> list[int]:
+        return [graph.queue_depth(name) for name in shard_names]
+
+    router.attach_depth_probe(_depths)
+    return ShardedPlan(
+        graph=graph,
+        router="router",
+        shards=shard_names,
+        merger="merger",
+        router_op=router,
+        merger_op=merger,
+        shard_ops=shard_ops,
+    )

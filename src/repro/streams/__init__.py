@@ -19,6 +19,7 @@ from .schema import Attribute, SchemaError, StreamSchema, numeric_schema
 from .source import StreamSource, merge_sources
 from .stochastic import (
     ConstantProcess,
+    DiscreteUniformProcess,
     LinearDriftProcess,
     RandomWalkProcess,
     UniformProcess,
@@ -33,6 +34,7 @@ __all__ = [
     "BurstyArrivals",
     "ConstantProcess",
     "ConstantRate",
+    "DiscreteUniformProcess",
     "DisorderedSource",
     "JoinResult",
     "LinearDriftProcess",

@@ -140,3 +140,27 @@ class ConstantProcess(ValueProcess):
 
     def sample(self, timestamp: float) -> Any:
         return self.value
+
+
+class DiscreteUniformProcess(ValueProcess):
+    """Integer-valued keys drawn i.i.d. uniform from ``{0, .., n - 1}``.
+
+    The natural workload for partitioned (sharded) equi-joins: tuples with
+    equal keys always hash to the same shard, so a hash-partitioned join
+    over these streams loses no results.  Values are returned as floats so
+    the scalar window storage and the epsilon/equi predicates apply
+    unchanged.
+    """
+
+    def __init__(
+        self,
+        n_values: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_values <= 0:
+            raise ValueError("n_values must be positive")
+        self.n_values = int(n_values)
+        self._rng = np.random.default_rng(rng)
+
+    def sample(self, timestamp: float) -> float:
+        return float(self._rng.integers(self.n_values))

@@ -1,5 +1,7 @@
 """Tests for the greedy harvest-fraction heuristics (Fig. 3)."""
 
+from collections import Counter
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -12,6 +14,7 @@ from repro.core import (
     greedy_reverse,
     solve_optimal,
 )
+from repro.core.greedy import _score
 from repro.experiments import random_instance
 
 ALL_METRICS = list(Metric)
@@ -84,6 +87,153 @@ class TestGreedyPick:
         p = random_instance(m=3, segments=4, rng=3)
         with pytest.raises(ValueError):
             greedy_pick(p, 0.0)
+
+
+class _CountingProfile:
+    """Delegating wrapper counting ``direction_terms`` calls per direction."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.calls = Counter()
+
+    def direction_terms(self, i, counts):
+        self.calls[i] += 1
+        return self._inner.direction_terms(i, counts)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _greedy_pick_no_freeze(profile, throttle, metric):
+    """Pre-fix forward greedy: an uninitialized direction whose all-hops
+    increment exceeds the budget is *re-evaluated every round* instead of
+    being frozen.  Reference for the regression tests below."""
+    m = profile.m
+    hops = m - 1
+    budget = throttle * profile.full_cost() * (1 + 1e-12)
+    counts = np.zeros((m, hops))
+    initialized = [False] * m
+    frozen = np.zeros((m, hops), dtype=bool)
+    dir_cost = np.zeros(m)
+    dir_out = np.zeros(m)
+    cur_cost = cur_out = 0.0
+    evaluations = 0
+    while True:
+        best_score = -np.inf
+        best = None
+        best_terms = (0.0, 0.0)
+        for i in range(m):
+            if initialized[i]:
+                cands = [
+                    j for j in range(hops)
+                    if not frozen[i, j]
+                    and counts[i, j] < profile.hop_segments(i, j)
+                ]
+            else:
+                cands = [None]
+            for j in cands:
+                cand = counts[i].copy() if j is not None else np.ones(hops)
+                if j is not None:
+                    cand[j] += 1
+                c_i, o_i = profile.direction_terms(i, cand)
+                evaluations += 1
+                new_cost = cur_cost - dir_cost[i] + c_i
+                if new_cost > budget:
+                    if j is not None:
+                        frozen[i, j] = True
+                    continue  # the bug: uninitialized i is never frozen
+                new_out = cur_out - dir_out[i] + o_i
+                score = _score(metric, new_out, new_cost, cur_out, cur_cost)
+                if score > best_score:
+                    best_score, best = score, (i, j)
+                    best_terms = (c_i, o_i)
+        if best is None:
+            break
+        i, j = best
+        if j is None:
+            counts[i, :] = 1.0
+            initialized[i] = True
+        else:
+            counts[i, j] += 1
+        cur_cost += best_terms[0] - dir_cost[i]
+        cur_out += best_terms[1] - dir_out[i]
+        dir_cost[i], dir_out[i] = best_terms
+    return counts, cur_cost, cur_out, evaluations
+
+
+class TestFrozenInitialization:
+    """Regression: infeasible all-hops increments freeze their direction.
+
+    ``cur_cost`` only grows, so an uninitialized direction that once blew
+    the budget can never become feasible; re-scanning it every round was
+    pure waste.  The fix must change *only* the evaluation count.
+    """
+
+    # fixtures where a direction goes infeasible-to-initialize *before*
+    # the final round, so the freeze actually saves evaluations
+    CASES = [(5, 0.05), (11, 0.12)]
+
+    @pytest.mark.parametrize("metric", ALL_METRICS)
+    @pytest.mark.parametrize("seed,z", CASES)
+    def test_fewer_evaluations_unchanged_counts(self, seed, z, metric):
+        p = random_instance(m=3, segments=10, rng=seed)
+        fixed = greedy_pick(p, z, metric, fractional_fallback=False)
+        counts, cost, out, evals = _greedy_pick_no_freeze(p, z, metric)
+        assert np.array_equal(fixed.counts, counts)
+        assert fixed.cost == pytest.approx(cost)
+        assert fixed.output == pytest.approx(out)
+        assert fixed.evaluations < evals
+
+    @pytest.mark.parametrize("seed,z", CASES)
+    def test_frozen_direction_not_rescanned(self, seed, z):
+        counting = _CountingProfile(
+            random_instance(m=3, segments=10, rng=seed)
+        )
+        result = greedy_pick(counting, z, fractional_fallback=False)
+        inactive = [i for i in range(3) if result.counts[i].max() == 0]
+        assert inactive  # the fixture exercises the frozen branch
+        assert result.evaluations == sum(counting.calls.values())
+        for i in inactive:
+            # pre-fix the direction was scanned in every one of the
+            # steps+1 rounds; frozen, it drops out early
+            assert counting.calls[i] < result.steps + 1
+
+
+class TestStepsSurfaced:
+    def test_steps_bounded_by_evaluations(self):
+        p = random_instance(m=3, segments=10, rng=0)
+        for z in (0.1, 0.4, 0.8):
+            result = greedy_pick(p, z)
+            assert 0 < result.steps <= result.evaluations
+
+    def test_forward_steps_equal_applied_increments(self):
+        # one step initializes a direction (all hops to 1); each further
+        # step adds a single basic window, so the step count is readable
+        # off the returned counts
+        p = random_instance(m=3, segments=10, rng=2)
+        result = greedy_pick(p, 0.3, fractional_fallback=False)
+        hops = p.m - 1
+        expected = sum(
+            1 + int(result.counts[i].sum()) - hops
+            for i in range(p.m)
+            if result.counts[i].max() > 0
+        )
+        assert result.steps == expected
+
+    def test_reverse_steps_counted(self):
+        p = random_instance(m=3, segments=10, rng=3)
+        result = greedy_reverse(p, 0.5)
+        assert 0 < result.steps <= result.evaluations
+
+    def test_double_sided_propagates_steps(self):
+        p = random_instance(m=3, segments=8, rng=4)
+        for z in (0.2, 0.9):
+            result = greedy_double_sided(p, z)
+            assert result.steps > 0
+
+    def test_one_shot_solvers_default_to_zero(self):
+        p = random_instance(m=3, segments=3, rng=5)
+        assert solve_optimal(p, 0.5).steps == 0
 
 
 class TestGreedyReverse:

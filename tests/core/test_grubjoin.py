@@ -64,6 +64,25 @@ class TestConstruction:
         with pytest.raises(ValueError):
             GrubJoinOperator(EpsilonJoin(1.0), [10.0], 1.0)
 
+    def test_histograms_sized_per_stream(self):
+        # unequal windows: stream i's lag histogram spans
+        # [-n_i*b, n_1*b], so a shared bucket count cannot give every
+        # stream two buckets per basic window — sizing must be per stream
+        op = GrubJoinOperator(EpsilonJoin(1.0), [10.0, 6.0, 4.0], 1.0,
+                              rng=0)
+        b = op.basic_window_size
+        for s in (1, 2):
+            hist = op.histograms[s]
+            assert hist.low == -op.segments[s] * b
+            assert hist.high == op.segments[0] * b
+            assert hist.buckets == 2 * (op.segments[s] + op.segments[0])
+            assert hist.width == pytest.approx(b / 2)
+
+    def test_explicit_bucket_count_overrides_all_streams(self):
+        op = GrubJoinOperator(EpsilonJoin(1.0), [10.0, 6.0, 4.0], 1.0,
+                              histogram_buckets=16, rng=0)
+        assert [op.histograms[s].buckets for s in (1, 2)] == [16, 16]
+
 
 class TestSubsetProperty:
     def test_harvested_output_is_subset_of_full_join(self):

@@ -26,10 +26,13 @@ class TestCpuModel:
         cpu.charge(100)  # 1 second of work
         assert cpu.utilization(4.0) == pytest.approx(0.25)
 
-    def test_utilization_capped_at_one(self):
+    def test_utilization_reports_oversaturation(self):
+        # 100 seconds of work in a 1-second horizon: the true ratio is
+        # reported (clamping to 1.0 would hide oversaturation; display
+        # sites clamp instead)
         cpu = CpuModel(10.0, tuple_overhead=0.0)
         cpu.charge(1000)
-        assert cpu.utilization(1.0) == 1.0
+        assert cpu.utilization(1.0) == pytest.approx(100.0)
 
     def test_utilization_zero_elapsed(self):
         assert CpuModel(10.0).utilization(0.0) == 0.0
@@ -45,3 +48,43 @@ class TestCpuModel:
     def test_invalid(self, cap, over):
         with pytest.raises(ValueError):
             CpuModel(cap, tuple_overhead=over)
+
+
+class TestPerCoreService:
+    def test_begin_assigns_earliest_free_core(self):
+        cpu = CpuModel(100.0, tuple_overhead=0.0, cores=2)
+        assert cpu.begin(0.0, 100) == pytest.approx(1.0)   # core 0
+        assert cpu.begin(0.0, 50) == pytest.approx(0.5)    # core 1
+        # core 1 frees first; the next service lands there
+        assert cpu.begin(0.5, 100) == pytest.approx(1.5)
+        assert cpu.core_busy_until == pytest.approx([1.0, 1.5])
+
+    def test_begin_queues_when_all_cores_busy(self):
+        cpu = CpuModel(100.0, tuple_overhead=0.0, cores=1)
+        assert cpu.begin(0.0, 100) == pytest.approx(1.0)
+        # forced in while busy: starts when the core frees, not at now
+        assert cpu.begin(0.2, 100) == pytest.approx(2.0)
+
+    def test_idle_cores(self):
+        cpu = CpuModel(100.0, tuple_overhead=0.0, cores=3)
+        assert cpu.idle_cores(0.0) == 3
+        cpu.begin(0.0, 100)
+        cpu.begin(0.0, 200)
+        assert cpu.idle_cores(0.0) == 1
+        assert cpu.idle_cores(1.0) == 2
+        assert cpu.idle_cores(2.0) == 3
+
+    def test_per_core_accounting_sums_to_busy_time(self):
+        cpu = CpuModel(100.0, tuple_overhead=0.0, cores=2)
+        cpu.begin(0.0, 100)
+        cpu.begin(0.0, 300)
+        assert sum(cpu.core_busy_time) == pytest.approx(cpu.busy_time)
+        assert cpu.per_core_utilization(4.0) == pytest.approx([0.25, 0.75])
+
+    def test_reset_clears_core_state(self):
+        cpu = CpuModel(100.0, tuple_overhead=0.0, cores=2)
+        cpu.begin(0.0, 100)
+        cpu.reset()
+        assert cpu.core_busy_until == [0.0, 0.0]
+        assert cpu.core_busy_time == [0.0, 0.0]
+        assert cpu.idle_cores(0.0) == 2

@@ -107,6 +107,18 @@ class TestOperatorMechanics:
         r_charged = charged.process(t, 0.0)
         assert r_charged.comparisons >= r_plain.comparisons
 
+    def test_fractional_output_cost_rounds_not_floors(self):
+        # one result via a 2-way join: insert a partner, probe with a match
+        op = MJoinOperator(EpsilonJoin(1.0), [10.0] * 2, 2.0,
+                           output_cost=1.75)
+        partner = StreamTuple(value=5.0, timestamp=0.0, stream=0, seq=0)
+        probe = StreamTuple(value=5.0, timestamp=0.5, stream=1, seq=0)
+        op.process(partner, 0.0)
+        receipt = op.process(probe, 0.5)
+        assert len(receipt.outputs) == 1
+        # 1 comparison + round(1.75) = 3; int() would truncate to 2
+        assert receipt.comparisons == 3
+
     def test_orders_adapt_toward_low_selectivity(self):
         op = MJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 2.0)
         # feed fake observations: stream 2 is much more selective vs 0

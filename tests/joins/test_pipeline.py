@@ -186,3 +186,54 @@ class TestMergeSlices:
             )
         )
         assert covered == list(range(12))
+
+    def test_strided_interleaved_with_mergeable(self):
+        # a strided slice between two abutting unit slices must not
+        # break their merge, and must itself survive untouched
+        bw = self._bw()
+        merged = merge_slices([
+            WindowSlice(bw, 0, 5),
+            WindowSlice(bw, 5, 15, step=2),
+            WindowSlice(bw, 5, 9),
+        ])
+        assert len(merged) == 2
+        strided = [s for s in merged if s.step != 1]
+        assert [(s.lo, s.hi, s.step) for s in strided] == [(5, 15, 2)]
+        unit = [s for s in merged if s.step == 1]
+        assert [(s.lo, s.hi) for s in unit] == [(0, 9)]
+
+    def test_contained_range_absorbed(self):
+        bw = self._bw()
+        merged = merge_slices(
+            [WindowSlice(bw, 0, 10), WindowSlice(bw, 2, 5)]
+        )
+        assert [(s.lo, s.hi) for s in merged] == [(0, 10)]
+
+    def test_duplicate_slices_collapse(self):
+        bw = self._bw()
+        merged = merge_slices(
+            [WindowSlice(bw, 3, 7), WindowSlice(bw, 3, 7)]
+        )
+        assert [(s.lo, s.hi) for s in merged] == [(3, 7)]
+
+    def test_chain_of_overlaps_collapses_to_one(self):
+        bw = self._bw()
+        merged = merge_slices([
+            WindowSlice(bw, 6, 11),
+            WindowSlice(bw, 0, 4),
+            WindowSlice(bw, 3, 8),
+        ])
+        assert [(s.lo, s.hi) for s in merged] == [(0, 11)]
+
+    def test_multiple_windows_first_seen_order(self):
+        # groups come out in the order their window first appeared in
+        # the input, regardless of how their slices interleave
+        a, b = self._bw(), self._bw()
+        merged = merge_slices([
+            WindowSlice(b, 4, 8),
+            WindowSlice(a, 0, 5),
+            WindowSlice(b, 0, 4),
+            WindowSlice(a, 5, 9),
+        ])
+        assert [s.window for s in merged] == [b, a]
+        assert [(s.lo, s.hi) for s in merged] == [(0, 8), (0, 9)]

@@ -326,3 +326,43 @@ class TestCleanPlans:
         for policy in ("randomdrop", "none"):
             report = analyze_query(make_query(shedding=policy))
             assert report.ok, report.render()
+
+
+class TestRouterFanout:
+    """P111: routed fan-out must cover every shard, with filters."""
+
+    def make_plan(self, num_shards=2):
+        from repro.joins import EquiJoin
+        from repro.parallel import build_sharded_graph
+
+        def make_shard(_k):
+            return MJoinOperator(EquiJoin(), [10.0] * 3, 1.0)
+
+        return build_sharded_graph(make_sources(), make_shard, num_shards)
+
+    def test_wellformed_sharded_plan_validates(self):
+        report = analyze_graph(self.make_plan().graph)
+        assert report.ok, report.render()
+        assert not [d for d in report.diagnostics if d.code == "P111"]
+
+    def test_missing_shard_target_rejected(self):
+        plan = self.make_plan(num_shards=2)
+        # sever every edge into shard1: the router still declares 2 shards
+        plan.graph._edges = [
+            e for e in plan.graph._edges if e.target != "shard1"
+        ]
+        report = analyze_graph(plan.graph)
+        assert "P111" in error_codes(report)
+
+    def test_unfiltered_fanout_edge_rejected(self):
+        plan = self.make_plan(num_shards=2)
+        for edge in plan.graph.edge_list():
+            if edge.source == "router":
+                edge.filter = None
+                break
+        report = analyze_graph(plan.graph)
+        assert "P111" in error_codes(report)
+        assert any(
+            "duplicat" in d.message
+            for d in report.errors if d.code == "P111"
+        )

@@ -1,0 +1,43 @@
+"""Tests for the Merger operator and the shard->merger edge transform."""
+
+import pytest
+
+from repro.parallel import MergerOperator, shard_result_transform
+from repro.streams import JoinResult, StreamTuple
+
+
+def result(timestamps):
+    return JoinResult(tuple(
+        StreamTuple(value=float(i), timestamp=ts, stream=i, seq=0)
+        for i, ts in enumerate(timestamps)
+    ))
+
+
+class TestShardResultTransform:
+    def test_packs_result_with_shard_and_logical_time(self):
+        pack = shard_result_transform(2)
+        res = result([1.0, 4.0, 3.0])
+        packed = pack(res)
+        assert isinstance(packed, StreamTuple)
+        assert packed.stream == 2
+        assert packed.timestamp == 4.0  # youngest constituent
+        assert packed.value is res
+
+
+class TestMerger:
+    def test_counts_per_shard_and_passes_through(self):
+        merger = MergerOperator(num_shards=3, merge_cost=2)
+        for shard, n in ((0, 2), (2, 1)):
+            pack = shard_result_transform(shard)
+            for _ in range(n):
+                receipt = merger.process(pack(result([1.0, 2.0])), 5.0)
+                assert receipt.comparisons == 2
+                assert len(receipt.outputs) == 1
+        assert merger.merged == 3
+        assert merger.merged_per_shard == [2, 0, 1]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MergerOperator(num_shards=0)
+        with pytest.raises(ValueError):
+            MergerOperator(num_shards=1, merge_cost=-1)

@@ -1,0 +1,141 @@
+"""Tests for the Router operator: partitioning and skew rebalancing."""
+
+import pytest
+
+from repro.parallel import RoutedTuple, RouterOperator, stable_key_hash
+from repro.streams import StreamTuple
+
+
+def tup(value, stream=0, ts=0.0, seq=0):
+    return StreamTuple(value=value, timestamp=ts, stream=stream, seq=seq)
+
+
+class TestHashRouting:
+    def test_same_key_same_shard(self):
+        router = RouterOperator(num_streams=3, num_shards=4)
+        shards = {
+            router.shard_of(tup(42.0, stream=s)) for s in range(3)
+        }
+        assert len(shards) == 1  # co-partitioned across streams
+
+    def test_stable_hash_is_deterministic(self):
+        assert stable_key_hash(42.0) == stable_key_hash(42.0)
+        assert stable_key_hash("a") == stable_key_hash("a")
+
+    def test_routing_follows_bucket_map(self):
+        router = RouterOperator(num_streams=1, num_shards=2, buckets=8)
+        t = tup(7.0)
+        bucket = stable_key_hash(7.0) % 8
+        assert router.shard_of(t) == router.bucket_map[bucket]
+        # re-home the bucket; routing must follow
+        target = 1 - router.bucket_map[bucket]
+        router.bucket_map[bucket] = target
+        assert router.shard_of(t) == target
+
+    def test_process_emits_routed_envelope_and_counts(self):
+        router = RouterOperator(num_streams=1, num_shards=2,
+                                route_cost=3)
+        t = tup(5.0)
+        receipt = router.process(t, 0.0)
+        assert receipt.comparisons == 3
+        [routed] = receipt.outputs
+        assert isinstance(routed, RoutedTuple)
+        assert routed.tuple is t
+        assert router.routed_per_shard[routed.shard] == 1
+
+    def test_keys_spread_over_shards(self):
+        router = RouterOperator(num_streams=1, num_shards=4, buckets=64)
+        hit = {router.shard_of(tup(float(v))) for v in range(200)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_custom_key_extractor(self):
+        router = RouterOperator(
+            num_streams=1, num_shards=4,
+            key=lambda t: int(t.value) // 10,
+        )
+        assert router.shard_of(tup(20.0)) == router.shard_of(tup(29.0))
+
+
+class TestRoundRobinRouting:
+    def test_cycles_per_stream(self):
+        router = RouterOperator(num_streams=2, num_shards=3,
+                                policy="round-robin")
+        seen = []
+        for i in range(6):
+            [routed] = router.process(tup(float(i), stream=0), 0.0).outputs
+            seen.append(routed.shard)
+        assert seen == [0, 1, 2, 0, 1, 2]
+        # stream 1 keeps its own independent position
+        [routed] = router.process(tup(0.0, stream=1), 0.0).outputs
+        assert routed.shard == 0
+
+
+class TestValidation:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            RouterOperator(num_streams=0, num_shards=2)
+        with pytest.raises(ValueError):
+            RouterOperator(num_streams=1, num_shards=0)
+        with pytest.raises(ValueError):
+            RouterOperator(num_streams=1, num_shards=2, policy="range")
+        with pytest.raises(ValueError):
+            RouterOperator(num_streams=1, num_shards=4, buckets=2)
+        with pytest.raises(ValueError):
+            RouterOperator(num_streams=1, num_shards=2,
+                           rebalance_threshold=1.0)
+        with pytest.raises(ValueError):
+            RouterOperator(num_streams=1, num_shards=2, route_cost=-1)
+
+
+class TestRebalancing:
+    def probe(self, depths):
+        return lambda: depths
+
+    def test_hash_rebalance_migrates_buckets_hot_to_cold(self):
+        router = RouterOperator(num_streams=1, num_shards=2, buckets=8,
+                                rebalance_threshold=2.0)
+        owned_by_0 = router.bucket_map.count(0)
+        router.attach_depth_probe(self.probe([100, 0]))
+        router.on_adapt(5.0, [], 5.0)
+        assert router.rebalances == 1
+        assert router.bucket_map.count(0) < owned_by_0
+        assert router.last_depths == [100, 0]
+
+    def test_no_rebalance_below_threshold(self):
+        router = RouterOperator(num_streams=1, num_shards=2,
+                                rebalance_threshold=2.0)
+        before = list(router.bucket_map)
+        router.attach_depth_probe(self.probe([10, 9]))
+        router.on_adapt(5.0, [], 5.0)
+        assert router.rebalances == 0
+        assert router.bucket_map == before
+
+    def test_threshold_none_disables_rebalancing(self):
+        router = RouterOperator(num_streams=1, num_shards=2,
+                                rebalance_threshold=None)
+        router.attach_depth_probe(self.probe([1000, 0]))
+        router.on_adapt(5.0, [], 5.0)
+        assert router.rebalances == 0
+
+    def test_no_probe_no_rebalance(self):
+        router = RouterOperator(num_streams=1, num_shards=2)
+        router.on_adapt(5.0, [], 5.0)  # must not raise
+        assert router.rebalances == 0
+
+    def test_probe_arity_mismatch_raises(self):
+        router = RouterOperator(num_streams=1, num_shards=3)
+        router.attach_depth_probe(self.probe([1, 2]))
+        with pytest.raises(ValueError):
+            router.on_adapt(5.0, [], 5.0)
+
+    def test_round_robin_reweights_away_from_hot_shard(self):
+        router = RouterOperator(num_streams=1, num_shards=2,
+                                policy="round-robin",
+                                rebalance_threshold=2.0)
+        router.attach_depth_probe(self.probe([99, 0]))
+        router.on_adapt(5.0, [], 5.0)
+        assert router.rebalances == 1
+        cycle = router._rr_cycle
+        # the cold shard now receives most of the slots
+        assert cycle.count(1) > cycle.count(0)
+        assert cycle.count(0) >= 1  # hot shard is starved, never cut off
