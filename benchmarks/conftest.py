@@ -8,6 +8,20 @@ runs (60 s simulations, 500-instance solver averages).
 
 import pytest
 
+from repro.testkit import workloads as testkit_workloads
+
+
+@pytest.fixture
+def workloads():
+    """The repo's canonical seeded workload builders.
+
+    Single home: :mod:`repro.testkit.workloads` — the same builders the
+    differential harness validates against the brute-force oracle.
+    Benchmarks draw drift/key sources from here rather than hand-rolling
+    ``StreamSource`` lists.
+    """
+    return testkit_workloads
+
 
 @pytest.fixture
 def show_table(capsys):

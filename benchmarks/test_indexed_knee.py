@@ -10,7 +10,7 @@ overload (and hence the need for a shedding policy) never disappears.
 from repro.engine import CpuModel, Simulation, SimulationConfig
 from repro.experiments import ExperimentTable
 from repro.joins import EpsilonJoin, IndexedMJoin, MJoinOperator
-from repro.streams import ConstantRate, LinearDriftProcess, StreamSource
+from repro.testkit.workloads import drift_sources
 
 RATES = (25.0, 50.0, 100.0)
 WINDOW = 10.0
@@ -18,14 +18,7 @@ BASIC = 1.0
 
 
 def make_sources(rate, seed=0):
-    return [
-        StreamSource(
-            i,
-            ConstantRate(rate, phase=i * 1e-3),
-            LinearDriftProcess(lag=2.0 * i, deviation=1.0, rng=seed + i),
-        )
-        for i in range(3)
-    ]
+    return drift_sources(m=3, rate=rate, seed=seed)
 
 
 def demand(operator_factory, rate) -> float:

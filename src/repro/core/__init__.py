@@ -25,12 +25,13 @@ from .histograms import EquiWidthHistogram
 from .scores import rank_scores, scores_from_histograms, scores_from_pdf
 from .shredding import shred_slices_for_hop, shredded_slices
 from .solver_result import SolverResult
-from .throttle import ThrottleController
+from .throttle import FixedThrottle, ThrottleController
 
 __all__ = [
     "AggregateResult",
     "BasicWindow",
     "EquiWidthHistogram",
+    "FixedThrottle",
     "GENERIC",
     "GrubJoinOperator",
     "HarvestConfiguration",

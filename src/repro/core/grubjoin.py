@@ -376,6 +376,16 @@ class GrubJoinOperator(StreamOperator):
                 horizon, now
             )
 
+    def testkit_profile(self) -> dict:
+        """Join semantics for the correctness oracle: the ideal (no
+        shedding) join this operator approximates under load (consumed by
+        :mod:`repro.testkit.differential`)."""
+        return {
+            "predicate": self.predicate,
+            "window_sizes": list(self.window_sizes),
+            "basic_window_size": self.basic_window_size,
+        }
+
     def describe(self) -> str:
         return (
             f"GrubJoin(m={self.num_streams}, solver={self.solver}, "

@@ -72,3 +72,29 @@ class ThrottleController:
             raise ValueError("initial z must be in [z_min, 1]")
         self.z = float(initial)
         self.last_beta = 1.0
+
+
+class FixedThrottle(ThrottleController):
+    """A controller pinned at a constant ``z`` — no feedback.
+
+    Correctness harnesses use it to drive GrubJoin at an exact throttle
+    fraction regardless of load, so invariants like "output at z < 1 is a
+    subset of the full join's" can be tested on a grid of ``z`` values
+    instead of whatever the feedback loop happens to settle on.  ``beta``
+    is still recorded for introspection; ``z`` never moves.
+    """
+
+    def __init__(self, z: float) -> None:
+        if not 0 < z <= 1:
+            raise ValueError("pinned z must be in (0, 1]")
+        super().__init__(z_min=min(z, 1.0), initial=z)
+
+    def update(self, consumed: float, arrived: float) -> float:
+        if consumed < 0 or arrived < 0:
+            raise ValueError("counts must be non-negative")
+        self.last_beta = consumed / arrived if arrived > 0 else 1.0
+        return self.z
+
+    def reset(self, initial: float | None = None) -> None:
+        """Pinned controllers ignore ``initial`` and keep their z."""
+        self.last_beta = 1.0

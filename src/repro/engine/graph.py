@@ -81,6 +81,10 @@ class NodeResult:
     output_rate: float = 0.0
     consumed: int = 0
     queue_depth_series: list[TimeSeries] = field(default_factory=list)
+    #: raw operator outputs in emission order; populated only when the
+    #: graph ran with ``retain_outputs=True`` (memory-heavy — used by the
+    #: testkit's differential harness, not by benchmarks)
+    outputs: list[Any] = field(default_factory=list)
 
 
 @dataclass
@@ -236,6 +240,7 @@ class DataflowGraph:
         config: SimulationConfig | None = None,
         policy: SchedulingPolicy = SchedulingPolicy.OLDEST,
         validate: bool = True,
+        retain_outputs: bool = False,
     ) -> GraphResult:
         """Execute the whole graph for ``config.duration`` virtual seconds.
 
@@ -243,6 +248,10 @@ class DataflowGraph:
         analyzer and raises :class:`repro.lint.plan.PlanValidationError`
         on ERROR-level findings (cycles, missing edge transforms,
         non-divisible windows, ...) instead of failing mid-simulation.
+
+        ``retain_outputs=True`` keeps every node's raw outputs on its
+        :class:`NodeResult` so correctness harnesses can diff actual
+        result sets, not just counts.
         """
         if validate:
             self.validate().raise_for_errors()
@@ -357,6 +366,8 @@ class DataflowGraph:
                 node_name, outputs = event.payload
                 node = self._nodes[node_name]
                 node.result.output_count += len(outputs)
+                if retain_outputs:
+                    node.result.outputs.extend(outputs)
                 if not node.warm_marked and now >= config.warmup:
                     node.result.output_count_warm = (
                         node.result.output_count - len(outputs)

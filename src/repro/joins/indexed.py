@@ -114,5 +114,14 @@ class IndexedMJoin(StreamOperator):
     ) -> None:
         """Nothing to adapt: the full join has no shedding knobs."""
 
+    def testkit_profile(self) -> dict:
+        """Join semantics for the correctness oracle (see
+        :meth:`repro.joins.mjoin.MJoinOperator.testkit_profile`)."""
+        return {
+            "predicate": self.predicate,
+            "window_sizes": [w.window_size for w in self.windows],
+            "basic_window_size": self.windows[0].basic_window_size,
+        }
+
     def describe(self) -> str:
         return f"IndexedMJoin(m={self.num_streams})"

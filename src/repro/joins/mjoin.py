@@ -110,5 +110,15 @@ class MJoinOperator(StreamOperator):
         if self.adapt_orders:
             self.orders = low_selectivity_first(self.selectivity.matrix())
 
+    def testkit_profile(self) -> dict:
+        """Join semantics for the correctness oracle: the predicate and
+        window geometry this operator actually joins over (consumed by
+        :mod:`repro.testkit.differential`)."""
+        return {
+            "predicate": self.predicate,
+            "window_sizes": list(self.window_sizes),
+            "basic_window_size": self.basic_window_size,
+        }
+
     def describe(self) -> str:
         return f"MJoin(m={self.num_streams})"

@@ -85,9 +85,11 @@ class ShardedPlan:
         config: SimulationConfig | None = None,
         scheduling: SchedulingPolicy = SchedulingPolicy.OLDEST,
         validate: bool = True,
+        retain_outputs: bool = False,
     ) -> GraphResult:
         """Execute the sharded plan on ``cpu`` (see DataflowGraph.run)."""
-        return self.graph.run(cpu, config, scheduling, validate)
+        return self.graph.run(cpu, config, scheduling, validate,
+                              retain_outputs)
 
     def output_rate(self, result: GraphResult) -> float:
         """The combined (merged) join output rate of a finished run."""
@@ -100,6 +102,26 @@ class ShardedPlan:
     def shard_output_counts(self, result: GraphResult) -> list[int]:
         """Per-shard local result counts (pre-merge), in shard order."""
         return [result.nodes[name].output_count for name in self.shards]
+
+    def merged_result_ids(self, result: GraphResult) -> set:
+        """Identity set of the merged join results of a retained run.
+
+        Requires the plan to have run with ``retain_outputs=True``; each
+        merger output is a :class:`StreamTuple` wrapping the shard's
+        :class:`~repro.streams.tuples.JoinResult`, whose ``key()`` — the
+        ``(stream, seq)`` pairs of its constituents — identifies the
+        result independently of which shard produced it.  This is what
+        the testkit's differential harness diffs against the oracle.
+        """
+        outputs = result.nodes[self.merger].outputs
+        return {tup.value.key() for tup in outputs}
+
+    def testkit_profile(self) -> dict:
+        """Join semantics for the correctness oracle, taken from shard 0
+        (every shard joins with identical geometry by construction)."""
+        profile = self.shard_ops[0].testkit_profile()
+        profile["num_shards"] = self.num_shards
+        return profile
 
 
 def build_sharded_graph(

@@ -63,6 +63,17 @@ class StreamSource:
         """Instantaneous arrival rate of this stream."""
         return self.arrivals.rate_at(timestamp)
 
+    def to_testkit_trace(self, until: float):
+        """Freeze this source into a replayable recorded trace.
+
+        Generation consumes the underlying RNG state, so freeze *once*
+        and feed the same trace to every system under comparison — the
+        contract the testkit's differential harness depends on.
+        """
+        from .trace import TraceSource
+
+        return TraceSource(self.stream, self.generate(until))
+
 
 def merge_sources(
     sources: Iterable[StreamSource], until: float

@@ -1,0 +1,117 @@
+"""Correctness testkit: oracle, differential harness, properties, chaos.
+
+Four pieces, one contract:
+
+* :mod:`~repro.testkit.oracle` — a brute-force reference join over
+  recorded traces: the ground truth;
+* :mod:`~repro.testkit.differential` — run any join path (MJoin,
+  IndexedMJoin, GrubJoin, RandomDrop, ShardedPlan) on the same frozen
+  workload and diff its identity set against the oracle (``equal`` for
+  unconstrained runs, ``subset`` for shedding ones);
+* :mod:`~repro.testkit.properties` — a dependency-free seeded property
+  runner (generate / check / shrink-by-halving) over the workload space;
+* :mod:`~repro.testkit.chaos` — deterministic fault injection (stalls,
+  spikes, duplicates, reordering, CPU degradation), all replayable from
+  a seed.
+
+``python -m repro.testkit`` runs the standard matrix and prints a
+canonical JSON verdict; CI diffs two runs byte-for-byte.
+"""
+
+from .chaos import (
+    ChaosScenario,
+    DegradedCpu,
+    FrozenSource,
+    chaos_ids,
+    chaos_matrix,
+    default_scenarios,
+    duplicate_delivery,
+    rate_spike,
+    reorder,
+    stall,
+)
+from .differential import (
+    DifferentialReport,
+    MatrixSpec,
+    calibrated_shed_capacity,
+    compare,
+    differential_matrix,
+    grubjoin_ids,
+    indexed_ids,
+    mjoin_ids,
+    oracle_ids,
+    randomdrop_ids,
+    run_config,
+    sharded_ids,
+)
+from .oracle import (
+    OracleResult,
+    dedupe_tuples,
+    effective_horizon,
+    oracle_join,
+    window_state,
+)
+from .properties import (
+    PropertyFailure,
+    PropertyOutcome,
+    check_full_join_matches_oracle,
+    check_shedding_is_subset,
+    default_shrink,
+    random_workload,
+    run_builtin_properties,
+    run_property,
+)
+from .workloads import (
+    Workload,
+    default_workloads,
+    drift_sources,
+    drift_workload,
+    freeze,
+    key_sources,
+    key_workload,
+)
+
+__all__ = [
+    "ChaosScenario",
+    "DegradedCpu",
+    "DifferentialReport",
+    "FrozenSource",
+    "MatrixSpec",
+    "OracleResult",
+    "PropertyFailure",
+    "PropertyOutcome",
+    "Workload",
+    "calibrated_shed_capacity",
+    "chaos_ids",
+    "chaos_matrix",
+    "check_full_join_matches_oracle",
+    "check_shedding_is_subset",
+    "compare",
+    "dedupe_tuples",
+    "default_scenarios",
+    "default_shrink",
+    "default_workloads",
+    "differential_matrix",
+    "drift_sources",
+    "drift_workload",
+    "duplicate_delivery",
+    "effective_horizon",
+    "freeze",
+    "grubjoin_ids",
+    "indexed_ids",
+    "key_sources",
+    "key_workload",
+    "mjoin_ids",
+    "oracle_ids",
+    "oracle_join",
+    "random_workload",
+    "randomdrop_ids",
+    "rate_spike",
+    "reorder",
+    "run_builtin_properties",
+    "run_config",
+    "run_property",
+    "sharded_ids",
+    "stall",
+    "window_state",
+]

@@ -1,0 +1,232 @@
+"""Brute-force reference join: the ground truth every join path must match.
+
+The oracle computes the *ideal* output of an m-way windowed stream join
+over recorded traces — no shedding, no indexes, no simulation: a direct
+transcription of the paper's Section 2 semantics.  A tuple joins, at the
+moment it arrives, with one strictly older tuple from every other stream
+that is still inside that stream's window, provided the whole combination
+satisfies the clique predicate.  Each valid combination is therefore
+produced exactly once: by its globally newest member.
+
+Window semantics mirror the operators' basic-window substrate: a window
+declared as ``w`` seconds with basic windows of ``b`` seconds physically
+retains ages in ``[0, n*b)`` with ``n = ceil(w / b)`` (see
+:class:`repro.core.basic_windows.PartitionedWindow`), so the oracle uses
+the same *effective horizon* — ages strictly below ``n*b``.  "Strictly
+older" is the engines' deterministic tie-break: tuple ``t`` precedes the
+probe iff ``(T(t), stream(t)) < (T(probe), stream(probe))``.
+
+Outputs are **identity vectors**: per result, the ``(stream, seq)`` pair
+of each constituent, ordered by stream — the same canonical identity
+:meth:`repro.streams.tuples.JoinResult.key` produces — collected into a
+sorted tuple so two oracle runs (or an oracle and an engine run) compare
+with ``==``.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.joins.predicates import JoinPredicate
+from repro.streams.tuples import StreamTuple
+
+#: identity of one join result: ``((stream, seq), ...)`` ordered by stream
+IdVector = tuple[tuple[int, int], ...]
+
+
+def effective_horizon(window_size: float, basic_window_size: float) -> float:
+    """The age span a basic-window partitioned window actually retains:
+    ``ceil(w / b) * b`` (equals ``w`` whenever ``b`` divides ``w``)."""
+    if window_size <= 0 or basic_window_size <= 0:
+        raise ValueError("window sizes must be positive")
+    if basic_window_size > window_size:
+        raise ValueError("basic window cannot exceed the join window")
+    return math.ceil(window_size / basic_window_size) * basic_window_size
+
+
+def dedupe_tuples(tuples: Sequence[StreamTuple]) -> list[StreamTuple]:
+    """Drop repeated ``(stream, seq)`` deliveries, keeping first occurrence.
+
+    At-least-once chaos traces deliver some tuples twice; the ideal join
+    is over the logical stream, where a tuple exists once.
+    """
+    seen: set[tuple[int, int]] = set()
+    out: list[StreamTuple] = []
+    for t in tuples:
+        ident = (t.stream, t.seq)
+        if ident in seen:
+            continue
+        seen.add(ident)
+        out.append(t)
+    return out
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Canonical output of one oracle run.
+
+    Attributes:
+        ids: sorted, duplicate-free identity vectors of every result.
+        horizons: the per-stream effective age horizons used.
+        probes: tuples considered (after dedup), for diagnostics.
+    """
+
+    ids: tuple[IdVector, ...]
+    horizons: tuple[float, ...]
+    probes: int
+
+    @property
+    def id_set(self) -> frozenset[IdVector]:
+        """The identity vectors as a set (subset/equality checks)."""
+        return frozenset(self.ids)
+
+
+def oracle_join(
+    traces: Sequence,
+    predicate: JoinPredicate,
+    window_sizes: Sequence[float],
+    basic_window_size: float,
+    until: float | None = None,
+) -> OracleResult:
+    """Compute the ideal m-way windowed join over recorded traces.
+
+    Args:
+        traces: one replayable source per stream (anything with
+            ``.tuples`` or ``.generate(until)``), indexed by ``stream``.
+        predicate: the clique join condition.
+        window_sizes: per-stream window sizes ``w_i`` in seconds.
+        basic_window_size: ``b`` in seconds (fixes the effective horizon).
+        until: optional timestamp cutoff; defaults to the whole trace.
+
+    Returns:
+        The canonical :class:`OracleResult`.
+    """
+    m = len(traces)
+    if m < 2:
+        raise ValueError("an m-way join needs at least 2 streams")
+    if len(window_sizes) != m:
+        raise ValueError("need one window size per trace")
+    horizons = tuple(
+        effective_horizon(w, basic_window_size) for w in window_sizes
+    )
+
+    per_stream: list[list[StreamTuple]] = [[] for _ in range(m)]
+    for trace in traces:
+        if hasattr(trace, "tuples"):
+            tuples = list(trace.tuples)
+        elif until is not None:
+            tuples = trace.generate(until)
+        else:
+            raise ValueError(
+                "live sources need an explicit `until`; freeze them "
+                "with to_testkit_trace() for replayable comparisons"
+            )
+        if until is not None:
+            tuples = [t for t in tuples if t.timestamp < until]
+        for t in dedupe_tuples(sorted(
+            tuples, key=lambda t: (t.timestamp, t.seq)
+        )):
+            if not 0 <= t.stream < m:
+                raise ValueError(
+                    f"tuple stream {t.stream} out of range 0..{m - 1}"
+                )
+            per_stream[t.stream].append(t)
+
+    timestamps = [[t.timestamp for t in ts] for ts in per_stream]
+    probes = sorted(
+        (t for ts in per_stream for t in ts),
+        key=lambda t: (t.timestamp, t.stream),
+    )
+
+    results: set[IdVector] = set()
+    for probe in probes:
+        candidates: list[list[StreamTuple]] = []
+        feasible = True
+        for stream in range(m):
+            if stream == probe.stream:
+                continue
+            ts = timestamps[stream]
+            # ages in [0, horizon): timestamps in (probe.ts - h, probe.ts]
+            lo = bisect_right(ts, probe.timestamp - horizons[stream])
+            hi = bisect_right(ts, probe.timestamp)
+            pool = [
+                t
+                for t in per_stream[stream][lo:hi]
+                if (t.timestamp, t.stream) < (probe.timestamp, probe.stream)
+            ]
+            if not pool:
+                feasible = False
+                break
+            candidates.append(pool)
+        if not feasible:
+            continue
+        _extend(probe, candidates, 0, [probe], predicate, results)
+    return OracleResult(
+        ids=tuple(sorted(results)),
+        horizons=horizons,
+        probes=len(probes),
+    )
+
+
+def _extend(
+    probe: StreamTuple,
+    candidates: list[list[StreamTuple]],
+    depth: int,
+    partial: list[StreamTuple],
+    predicate: JoinPredicate,
+    results: set[IdVector],
+) -> None:
+    """Depth-first clique enumeration over the per-stream candidate pools."""
+    if depth == len(candidates):
+        results.add(
+            tuple(sorted((t.stream, t.seq) for t in partial))
+        )
+        return
+    values = [t.value for t in partial]
+    for cand in candidates[depth]:
+        if predicate.matches_all(cand.value, values):
+            partial.append(cand)
+            _extend(probe, candidates, depth + 1, partial, predicate,
+                    results)
+            partial.pop()
+
+
+def window_state(
+    traces: Sequence,
+    window_sizes: Sequence[float],
+    basic_window_size: float,
+    at: float,
+) -> list[dict]:
+    """Per-stream unexpired window contents at virtual time ``at``.
+
+    The differential harness prints this next to the first divergent
+    result so a mismatch shows *what the join could see* at that instant:
+    per stream, the count of unexpired tuples and the ``seq`` span they
+    cover.
+    """
+    state = []
+    for stream, trace in enumerate(traces):
+        horizon = effective_horizon(
+            window_sizes[stream], basic_window_size
+        )
+        tuples = dedupe_tuples(sorted(
+            trace.tuples, key=lambda t: (t.timestamp, t.seq)
+        ))
+        ts = [t.timestamp for t in tuples]
+        lo = bisect_right(ts, at - horizon)
+        hi = bisect_right(ts, at)
+        live = tuples[lo:hi]
+        state.append(
+            {
+                "stream": stream,
+                "unexpired": len(live),
+                "seq_range": (
+                    [live[0].seq, live[-1].seq] if live else None
+                ),
+                "horizon": horizon,
+            }
+        )
+    return state

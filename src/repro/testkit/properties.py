@@ -1,0 +1,252 @@
+"""A dependency-free seeded property harness: generate, run, check, shrink.
+
+The repo's hypothesis-based tests pin down a handful of invariants on
+hand-picked strategies; this runner covers the same ground without any
+external machinery, so the testkit CLI and CI can fuzz the join paths
+with nothing but numpy's seeded generators.
+
+The lifecycle per example is the classic property-testing loop:
+
+1. **generate** — build a random case from a deterministic per-example
+   RNG (``default_rng([seed, index])``), so failures replay exactly;
+2. **check** — a callable that raises ``AssertionError`` on violation;
+3. **shrink** — on failure, walk smaller variants of the case while they
+   still fail.  The default shrinker halves a workload's time span via
+   :meth:`~repro.testkit.workloads.Workload.halved`, which preserves the
+   failing seed and geometry while cutting the tuple count.
+
+Built-in properties cover the repo's two core contracts: the full join
+must match the oracle exactly, and any shedding configuration must stay
+a subset of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from .differential import (
+    calibrated_shed_capacity,
+    compare,
+    grubjoin_ids,
+    mjoin_ids,
+    oracle_ids,
+)
+from .workloads import Workload, drift_workload, key_workload
+
+
+def describe_case(case) -> str:
+    """A short, stable description of a case for failure reports."""
+    if isinstance(case, Workload):
+        return (
+            f"{case.name} duration={case.duration:g} "
+            f"tuples={case.tuple_count()}"
+        )
+    return repr(case)
+
+
+def default_shrink(case) -> Iterator:
+    """Yield smaller variants of ``case`` (smallest meaningful step first).
+
+    Works on anything exposing ``halved()`` and ``tuple_count()`` —
+    i.e. :class:`~repro.testkit.workloads.Workload`; other case types get
+    no automatic shrinking.
+    """
+    if not (hasattr(case, "halved") and hasattr(case, "tuple_count")):
+        return
+    smaller = case.halved()
+    if 0 < smaller.tuple_count() < case.tuple_count():
+        yield smaller
+
+
+@dataclass
+class PropertyFailure:
+    """One failing example, after shrinking.
+
+    Attributes:
+        example: index of the failing example within the run.
+        message: the assertion message of the *shrunk* reproduction.
+        case: description of the originally generated case.
+        shrunk: description of the minimal still-failing case.
+        shrink_steps: how many shrink steps were applied.
+    """
+
+    example: int
+    message: str
+    case: str
+    shrunk: str
+    shrink_steps: int
+
+    def summary(self) -> dict:
+        return {
+            "example": self.example,
+            "case": self.case,
+            "shrunk": self.shrunk,
+            "shrink_steps": self.shrink_steps,
+            "message": self.message.splitlines()[0] if self.message else "",
+        }
+
+
+@dataclass
+class PropertyOutcome:
+    """Result of one property run."""
+
+    name: str
+    seed: int
+    examples: int
+    failures: list[PropertyFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> dict:
+        """The JSON-able row the verdict stores."""
+        return {
+            "seed": self.seed,
+            "examples": self.examples,
+            "ok": self.ok,
+            "failures": [f.summary() for f in self.failures],
+        }
+
+
+def run_property(
+    name: str,
+    generate: Callable[[np.random.Generator], object],
+    check: Callable[[object], None],
+    seed: int = 0,
+    examples: int = 10,
+    shrink: Callable[[object], Iterable] | None = None,
+    max_shrink_steps: int = 8,
+) -> PropertyOutcome:
+    """Run ``check`` over ``examples`` generated cases, shrinking failures.
+
+    Each example draws from ``default_rng([seed, index])``, so any failure
+    replays from ``(seed, example)`` alone.  The run does not stop at the
+    first failure — every example is tried, and every failure is shrunk —
+    because a property that fails on 9 of 10 cases is a different signal
+    than one failing on 1.
+    """
+    if examples < 1:
+        raise ValueError("need at least one example")
+    shrink = shrink if shrink is not None else default_shrink
+    outcome = PropertyOutcome(name=name, seed=seed, examples=examples)
+    for index in range(examples):
+        rng = np.random.default_rng([seed, index])
+        case = generate(rng)
+        message = _violation(check, case)
+        if message is None:
+            continue
+        original = describe_case(case)
+        steps = 0
+        while steps < max_shrink_steps:
+            for candidate in shrink(case):
+                smaller_message = _violation(check, candidate)
+                if smaller_message is not None:
+                    case, message = candidate, smaller_message
+                    steps += 1
+                    break
+            else:
+                break
+        outcome.failures.append(
+            PropertyFailure(
+                example=index,
+                message=message,
+                case=original,
+                shrunk=describe_case(case),
+                shrink_steps=steps,
+            )
+        )
+    return outcome
+
+
+def _violation(check: Callable[[object], None], case) -> str | None:
+    """Run ``check``; return the assertion message on failure, else None."""
+    try:
+        check(case)
+    except AssertionError as exc:
+        return str(exc) or "assertion failed"
+    return None
+
+
+# ----------------------------------------------------------------------
+# generators and built-in properties
+# ----------------------------------------------------------------------
+
+
+def random_workload(rng: np.random.Generator) -> Workload:
+    """Draw a random workload over the testkit's generator space:
+    ``m`` in {3, 4}, drift or key values, varied windows, rates, skew
+    (deviation) and correlation lags."""
+    kind = "keys" if rng.integers(2) else "drift"
+    m = 4 if rng.integers(3) == 0 else 3
+    window = float(rng.choice([3.0, 4.0, 6.0]))
+    basic = float(rng.choice([0.5, 1.0]))
+    seed = int(rng.integers(1 << 30))
+    if kind == "keys":
+        return key_workload(
+            seed,
+            m=m,
+            rate=float(rng.choice([8.0, 12.0])) if m == 3 else 6.0,
+            duration=8.0,
+            window=window,
+            basic=basic,
+            n_keys=int(rng.choice([20, 40])),
+        )
+    lag_step = float(rng.choice([0.0, 0.05, 0.1]))
+    return drift_workload(
+        seed,
+        m=m,
+        rate=float(rng.choice([8.0, 12.0])) if m == 3 else 6.0,
+        duration=8.0,
+        window=window,
+        basic=basic,
+        epsilon=float(rng.choice([1.0, 1.5, 2.0])),
+        deviation=float(rng.choice([0.5, 1.0, 2.0])),
+        lags=[lag_step * i for i in range(m)],
+    )
+
+
+def check_full_join_matches_oracle(case) -> None:
+    """Property: unconstrained MJoin output ≡ the brute-force oracle."""
+    report = compare(
+        oracle_ids(case), mjoin_ids(case), case, mode="equal",
+        label="mjoin"
+    )
+    assert report.ok, "\n" + report.render()
+
+
+def check_shedding_is_subset(case) -> None:
+    """Property: feedback-throttled GrubJoin under measured overload
+    never produces a result the oracle lacks."""
+    capacity = calibrated_shed_capacity(case, fraction=0.3)
+    report = compare(
+        oracle_ids(case),
+        grubjoin_ids(case, capacity=capacity),
+        case,
+        mode="subset",
+        label="grubjoin-shed",
+    )
+    assert report.ok, "\n" + report.render()
+
+
+#: the properties ``python -m repro.testkit --properties N`` runs
+BUILTIN_PROPERTIES: tuple[tuple[str, Callable], ...] = (
+    ("full_join_matches_oracle", check_full_join_matches_oracle),
+    ("shedding_is_subset", check_shedding_is_subset),
+)
+
+
+def run_builtin_properties(
+    seed: int = 0, examples: int = 5
+) -> dict:
+    """Run every built-in property; returns a JSON-able verdict block."""
+    verdict: dict = {}
+    for name, check in BUILTIN_PROPERTIES:
+        outcome = run_property(
+            name, random_workload, check, seed=seed, examples=examples
+        )
+        verdict[name] = outcome.summary()
+    return verdict

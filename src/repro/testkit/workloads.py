@@ -1,0 +1,249 @@
+"""Seeded workload builders shared by tests, benchmarks and the testkit.
+
+Before the testkit existed, every test module hand-rolled the same two
+constructors — de-phased constant-rate streams over the paper's linear
+drift process, and uniform-key streams for partitioned equi-joins.  This
+module is the single home for both, plus the frozen-trace bundles the
+differential harness and property runner consume.
+
+Everything here is deterministic given its ``seed``: stream ``i`` uses
+``seed + i``, arrivals are de-phased by ``phase_step`` so merge order is
+unambiguous, and freezing happens once per workload so every system under
+comparison replays byte-identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.joins.predicates import EpsilonJoin, EquiJoin, JoinPredicate
+from repro.streams import (
+    ConstantRate,
+    DiscreteUniformProcess,
+    LinearDriftProcess,
+    PoissonArrivals,
+    StreamSource,
+    TraceSource,
+)
+
+
+def drift_sources(
+    m: int = 3,
+    rate: float = 30.0,
+    seed: int = 0,
+    lags: Sequence[float] | None = None,
+    deviation: float | Sequence[float] = 1.0,
+    domain: float = 1000.0,
+    period: float = 50.0,
+    phase_step: float = 1e-3,
+    poisson: bool = False,
+) -> list[StreamSource]:
+    """The repo's canonical synthetic workload: the paper's linear-drift
+    value process on de-phased constant-rate (or Poisson) arrivals.
+
+    Args:
+        m: number of streams.
+        rate: per-stream arrival rate (tuples/sec).
+        seed: base RNG seed; stream ``i`` draws from ``seed + i``.
+        lags: per-stream time lags ``tau_i``; default ``2 * i`` (the
+            nonaligned shape most tests use).
+        deviation: Gaussian deviation ``kappa`` — one value for all
+            streams or one per stream.
+        domain: value domain ``D``.
+        period: wrap-around period ``eta``.
+        phase_step: arrival phase offset per stream (de-phasing).
+        poisson: draw Poisson arrivals instead of constant-rate.
+    """
+    if lags is None:
+        lags = [2.0 * i for i in range(m)]
+    if len(lags) != m:
+        raise ValueError("need one lag per stream")
+    devs = (
+        list(deviation)
+        if isinstance(deviation, (list, tuple))
+        else [float(deviation)] * m
+    )
+    if len(devs) != m:
+        raise ValueError("need one deviation per stream")
+    sources = []
+    for i in range(m):
+        if poisson:
+            arrivals = PoissonArrivals(rate, rng=seed + 1000 + i)
+        else:
+            arrivals = ConstantRate(rate, phase=i * phase_step)
+        sources.append(
+            StreamSource(
+                i,
+                arrivals,
+                LinearDriftProcess(
+                    domain=domain,
+                    period=period,
+                    lag=lags[i],
+                    deviation=devs[i],
+                    rng=seed + i,
+                ),
+            )
+        )
+    return sources
+
+
+def key_sources(
+    m: int = 3,
+    rate: float = 20.0,
+    n_keys: int = 40,
+    seed: int = 0,
+    phase_step: float = 1e-3,
+) -> list[StreamSource]:
+    """Uniform integer-key streams — the natural equi-join workload for
+    partitioned (sharded) plans: equal keys always co-partition.
+
+    Streams are de-phased by ``phase_step`` so no two tuples ever share a
+    timestamp and no cross-stream age lands exactly on a window boundary
+    (where float rounding would make oracle and engine disagree about a
+    result that is neither clearly in nor clearly out).
+    """
+    return [
+        StreamSource(
+            i,
+            ConstantRate(rate, phase=i * phase_step),
+            DiscreteUniformProcess(n_keys, rng=seed + i),
+        )
+        for i in range(m)
+    ]
+
+
+def freeze(sources: Sequence, duration: float) -> list[TraceSource]:
+    """Freeze live sources into replayable traces (one generation pass)."""
+    return [s.to_testkit_trace(duration) for s in sources]
+
+
+@dataclass
+class Workload:
+    """A frozen, self-describing differential-testing workload.
+
+    Attributes:
+        name: stable label (keys the JSON verdict).
+        traces: one recorded trace per stream.
+        predicate: the join condition.
+        window: join window ``w`` (same for all streams).
+        basic: basic window ``b``.
+        duration: trace length in virtual seconds.
+        seed: the seed everything was generated from.
+    """
+
+    name: str
+    traces: list[TraceSource]
+    predicate: JoinPredicate
+    window: float
+    basic: float
+    duration: float
+    seed: int
+    tags: dict = field(default_factory=dict)
+
+    @property
+    def m(self) -> int:
+        return len(self.traces)
+
+    @property
+    def window_sizes(self) -> list[float]:
+        return [self.window] * self.m
+
+    def tuple_count(self) -> int:
+        """Total tuples across all traces (sizing/diagnostics)."""
+        return sum(len(t.tuples) for t in self.traces)
+
+    def lookup(self) -> dict[tuple[int, int], object]:
+        """``(stream, seq) -> StreamTuple`` map for mismatch reports."""
+        return {
+            (t.stream, t.seq): t
+            for trace in self.traces
+            for t in trace.tuples
+        }
+
+    def halved(self) -> "Workload":
+        """The same workload on the first half of its time span — the
+        property runner's shrink step."""
+        half = self.duration / 2.0
+        return Workload(
+            name=self.name,
+            traces=[t.to_testkit_trace(half) for t in self.traces],
+            predicate=self.predicate,
+            window=self.window,
+            basic=self.basic,
+            duration=half,
+            seed=self.seed,
+            tags=dict(self.tags),
+        )
+
+
+def drift_workload(
+    seed: int,
+    m: int = 3,
+    rate: float = 10.0,
+    duration: float = 10.0,
+    window: float = 4.0,
+    basic: float = 1.0,
+    epsilon: float = 1.5,
+    deviation: float | Sequence[float] = 1.0,
+    lags: Sequence[float] | None = None,
+    poisson: bool = False,
+) -> Workload:
+    """A frozen epsilon-join workload over the drift process."""
+    sources = drift_sources(
+        m=m, rate=rate, seed=seed, lags=lags, deviation=deviation,
+        poisson=poisson,
+    )
+    return Workload(
+        name=f"drift-m{m}-r{rate:g}-s{seed}",
+        traces=freeze(sources, duration),
+        predicate=EpsilonJoin(epsilon),
+        window=window,
+        basic=basic,
+        duration=duration,
+        seed=seed,
+        tags={"kind": "drift", "epsilon": epsilon},
+    )
+
+
+def key_workload(
+    seed: int,
+    m: int = 3,
+    rate: float = 12.0,
+    duration: float = 10.0,
+    window: float = 4.0,
+    basic: float = 1.0,
+    n_keys: int = 30,
+) -> Workload:
+    """A frozen equi-join workload over uniform integer keys."""
+    sources = key_sources(m=m, rate=rate, n_keys=n_keys, seed=seed)
+    return Workload(
+        name=f"keys-m{m}-r{rate:g}-s{seed}",
+        traces=freeze(sources, duration),
+        predicate=EquiJoin(),
+        window=window,
+        basic=basic,
+        duration=duration,
+        seed=seed,
+        tags={"kind": "keys", "n_keys": n_keys},
+    )
+
+
+def default_workloads(seeds: Sequence[int] = (1, 2, 3)) -> list[Workload]:
+    """The differential matrix's standard workload set: for each seed, a
+    3-way drift epsilon-join, a 3-way sharded-friendly equi-join, and a
+    4-way drift join at lower rate (4-way blowup is combinatorial)."""
+    workloads: list[Workload] = []
+    for seed in seeds:
+        workloads.append(drift_workload(seed))
+        workloads.append(key_workload(seed))
+        # 4-way needs near-aligned lags: the drift slope is domain/period
+        # = 20 units/s, so the default 2 s lag steps would push streams
+        # ~40 units apart and the clique join would be vacuously empty
+        workloads.append(
+            drift_workload(
+                seed, m=4, rate=6.0, epsilon=2.0,
+                lags=[0.1 * i for i in range(4)],
+            )
+        )
+    return workloads

@@ -10,27 +10,18 @@ lives outside the protected packages.
 import numpy as np
 
 from repro import (
-    ConstantRate,
     CpuModel,
     EpsilonJoin,
     GrubJoinOperator,
-    LinearDriftProcess,
     Simulation,
     SimulationConfig,
-    StreamSource,
 )
+from repro.testkit.workloads import drift_sources
 from repro.timing import ManualTimer, wall_clock_timer
 
 
 def make_sources(m=3, rate=60.0, seed=0):
-    return [
-        StreamSource(
-            i,
-            ConstantRate(rate, phase=i * 1e-3),
-            LinearDriftProcess(lag=2.0 * i, deviation=1.0, rng=seed + i),
-        )
-        for i in range(m)
-    ]
+    return drift_sources(m=m, rate=rate, seed=seed)
 
 
 def run_once(**operator_kwargs):

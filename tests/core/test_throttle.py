@@ -100,3 +100,44 @@ class TestValidationAndReset:
         assert t.last_beta == 1.0
         with pytest.raises(ValueError):
             t.reset(initial=0.001)
+
+
+class TestFixedThrottle:
+    """The pinned controller the testkit's z-grid runs swap in."""
+
+    def test_z_never_moves(self):
+        from repro.core import FixedThrottle
+
+        t = FixedThrottle(0.4)
+        assert t.z == 0.4
+        t.update(consumed=10, arrived=1000)  # massive overload
+        assert t.z == 0.4
+        t.update(consumed=1000, arrived=10)  # massive headroom
+        assert t.z == 0.4
+
+    def test_beta_still_observable(self):
+        from repro.core import FixedThrottle
+
+        t = FixedThrottle(1.0)
+        t.update(consumed=50, arrived=100)
+        assert t.last_beta == pytest.approx(0.5)
+        t.update(consumed=0, arrived=0)
+        assert t.last_beta == 1.0
+
+    def test_reset_keeps_pin(self):
+        from repro.core import FixedThrottle
+
+        t = FixedThrottle(0.25)
+        t.update(10, 100)
+        t.reset()
+        assert t.z == 0.25
+        assert t.last_beta == 1.0
+
+    def test_validation(self):
+        from repro.core import FixedThrottle
+
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                FixedThrottle(bad)
+        with pytest.raises(ValueError):
+            FixedThrottle(0.5).update(-1, 10)

@@ -87,3 +87,26 @@ class TestFanOut:
             + result.nodes["high"].output_count
             == total_in
         )
+
+
+class TestRetainOutputs:
+    def test_outputs_kept_per_node_when_requested(self):
+        g = simple_graph(rate=10.0)
+        result = g.run(
+            CpuModel(1e9),
+            SimulationConfig(duration=5.0, warmup=0.0),
+            retain_outputs=True,
+        )
+        outputs = result.nodes["pass"].outputs
+        assert len(outputs) == result.nodes["pass"].output_count
+        # emission order is preserved (the testkit diffs identity sets,
+        # but divergence reports walk outputs in order)
+        stamps = [t.timestamp for t in outputs]
+        assert stamps == sorted(stamps)
+
+    def test_outputs_empty_by_default(self):
+        g = simple_graph(rate=10.0)
+        result = g.run(CpuModel(1e9),
+                       SimulationConfig(duration=5.0, warmup=0.0))
+        assert result.nodes["pass"].output_count > 0
+        assert result.nodes["pass"].outputs == []

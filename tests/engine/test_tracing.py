@@ -12,17 +12,13 @@ from repro.engine import (
     TracedOperator,
 )
 from repro.joins import EpsilonJoin, MJoinOperator
-from repro.streams import ConstantRate, LinearDriftProcess, StreamSource
+from repro.testkit.workloads import drift_sources
 
 
 def make_sources(rate=20.0, m=3, seed=0):
-    return [
-        StreamSource(
-            i, ConstantRate(rate, phase=i * 1e-3),
-            LinearDriftProcess(lag=1.0 * i, deviation=1.0, rng=seed + i),
-        )
-        for i in range(m)
-    ]
+    return drift_sources(
+        m=m, rate=rate, seed=seed, lags=[1.0 * i for i in range(m)]
+    )
 
 
 class TestTracedOperator:

@@ -16,12 +16,7 @@ from hypothesis import strategies as st
 from repro.core import GrubJoinOperator
 from repro.engine import CpuModel, Simulation, SimulationConfig
 from repro.joins import EpsilonJoin, MJoinOperator
-from repro.streams import (
-    ConstantRate,
-    LinearDriftProcess,
-    StreamSource,
-    TraceSource,
-)
+from repro.testkit.workloads import drift_sources, freeze
 
 WINDOW = 8.0
 BASIC = 1.0
@@ -29,17 +24,11 @@ DURATION = 14.0
 
 
 def build_traces(rate, lags, deviation, seed):
-    sources = [
-        StreamSource(
-            i,
-            ConstantRate(rate, phase=i * 1e-3),
-            LinearDriftProcess(lag=lags[i], deviation=deviation,
-                               rng=seed + i),
-        )
-        for i in range(3)
-    ]
-    return [TraceSource(i, s.generate(DURATION)) for i, s in
-            enumerate(sources)]
+    return freeze(
+        drift_sources(m=3, rate=rate, seed=seed, lags=list(lags),
+                      deviation=deviation),
+        DURATION,
+    )
 
 
 @settings(

@@ -4,76 +4,24 @@ import pytest
 
 from repro.engine import CpuModel, Simulation, SimulationConfig
 from repro.joins import EpsilonJoin, MJoinOperator
-from repro.streams import (
-    ConstantRate,
-    LinearDriftProcess,
-    StreamSource,
-    StreamTuple,
-    TraceSource,
-)
+from repro.streams import StreamTuple
+from repro.testkit import oracle_join
+from repro.testkit.workloads import drift_sources, freeze
 
 
 def make_sources(rate=20.0, m=3, seed=0):
-    return [
-        StreamSource(
-            i,
-            ConstantRate(rate, phase=i * 0.001),
-            LinearDriftProcess(lag=2.0 * i, deviation=1.0, rng=seed + i),
-        )
-        for i in range(m)
-    ]
-
-
-def brute_force_join(traces, window, epsilon):
-    """Reference: all m-way combinations satisfying window + clique."""
-    pred = EpsilonJoin(epsilon)
-    results = set()
-    all_tuples = sorted(
-        (t for trace in traces for t in trace.tuples),
-        key=lambda t: (t.timestamp, t.stream),
-    )
-    m = len(traces)
-    for probe in all_tuples:
-        # probe joins with strictly older tuples in every other window
-        candidates = [[] for _ in range(m)]
-        for trace in traces:
-            if trace.stream == probe.stream:
-                continue
-            for t in trace.tuples:
-                age = probe.timestamp - t.timestamp
-                if 0 <= age < window and (
-                    (t.timestamp, t.stream) < (probe.timestamp, probe.stream)
-                ):
-                    candidates[t.stream].append(t)
-
-        def extend(partial, streams_left):
-            if not streams_left:
-                results.add(
-                    tuple(
-                        sorted((t.stream, t.seq) for t in partial)
-                    )
-                )
-                return
-            s = streams_left[0]
-            for cand in candidates[s]:
-                if all(pred.matches(cand.value, p.value) for p in partial):
-                    extend(partial + [cand], streams_left[1:])
-
-        others = [s for s in range(m) if s != probe.stream]
-        extend([probe], others)
-    return results
+    return drift_sources(m=m, rate=rate, seed=seed)
 
 
 class TestOutputCorrectness:
     def test_matches_brute_force_on_small_trace(self):
         """MJoin's streaming output must equal the declarative m-way join:
         every clique whose members fall within each other's windows, with
-        the newest tuple probing the older ones."""
+        the newest tuple probing the older ones.  The reference is the
+        testkit oracle (which the differential suite cross-checks against
+        every other path)."""
         window = 6.0
-        traces = [
-            TraceSource(i, src.generate(12.0))
-            for i, src in enumerate(make_sources(rate=6.0))
-        ]
+        traces = freeze(make_sources(rate=6.0), 12.0)
         op = MJoinOperator(EpsilonJoin(1.5), [window] * 3, 2.0)
         cfg = SimulationConfig(duration=12.0, warmup=0.0)
         sim = Simulation(traces, op, CpuModel(1e12), cfg,
@@ -83,7 +31,9 @@ class TestOutputCorrectness:
             tuple(sorted((t.stream, t.seq) for t in r.constituents))
             for r in sim.output_buffer.results
         }
-        expected = brute_force_join(traces, window, 1.5)
+        expected = oracle_join(
+            traces, EpsilonJoin(1.5), [window] * 3, 2.0
+        ).id_set
         assert got == expected
         assert got  # non-trivial scenario
 

@@ -5,7 +5,8 @@ import pytest
 
 from repro.engine import CpuModel, Simulation, SimulationConfig
 from repro.joins import EpsilonJoin, MJoinOperator, RandomDropShedder
-from repro.streams import ConstantRate, LinearDriftProcess, StreamSource, StreamTuple
+from repro.streams import StreamTuple
+from repro.testkit.workloads import drift_sources
 
 
 def make_shedder(capacity=1e5, m=3):
@@ -14,14 +15,7 @@ def make_shedder(capacity=1e5, m=3):
 
 
 def make_sources(rate=50.0, m=3, seed=0):
-    return [
-        StreamSource(
-            i,
-            ConstantRate(rate, phase=i * 0.001),
-            LinearDriftProcess(lag=2.0 * i, deviation=2.0, rng=seed + i),
-        )
-        for i in range(m)
-    ]
+    return drift_sources(m=m, rate=rate, seed=seed, deviation=2.0)
 
 
 class TestRandomDropFilter:

@@ -9,10 +9,10 @@ from repro.parallel import build_sharded_graph
 from repro.streams import (
     ConstantProcess,
     ConstantRate,
-    DiscreteUniformProcess,
     StreamSource,
     UniformProcess,
 )
+from repro.testkit.workloads import key_sources as make_key_sources
 
 M = 3
 WINDOW = 10.0
@@ -20,11 +20,7 @@ BASIC = 1.0
 
 
 def key_sources(seed=0, rate=20.0, n_keys=40):
-    return [
-        StreamSource(i, ConstantRate(rate),
-                     DiscreteUniformProcess(n_keys, rng=seed + i))
-        for i in range(M)
-    ]
+    return make_key_sources(m=M, rate=rate, n_keys=n_keys, seed=seed)
 
 
 def make_mjoin(_k):

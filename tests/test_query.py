@@ -4,18 +4,11 @@ import pytest
 
 from repro import EpsilonJoin
 from repro.query import Query
-from repro.streams import ConstantRate, LinearDriftProcess, StreamSource
+from repro.testkit.workloads import drift_sources
 
 
 def make_sources(m=3, rate=30.0, seed=0):
-    return [
-        StreamSource(
-            i,
-            ConstantRate(rate, phase=i * 1e-3),
-            LinearDriftProcess(lag=2.0 * i, deviation=1.0, rng=seed + i),
-        )
-        for i in range(m)
-    ]
+    return drift_sources(m=m, rate=rate, seed=seed)
 
 
 class TestValidation:

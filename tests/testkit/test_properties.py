@@ -1,0 +1,132 @@
+"""Tests for the seeded property runner and its built-in properties."""
+
+import numpy as np
+
+from repro.testkit import run_property
+from repro.testkit.properties import (
+    BUILTIN_PROPERTIES,
+    check_full_join_matches_oracle,
+    default_shrink,
+    describe_case,
+    random_workload,
+)
+from repro.testkit.workloads import Workload, drift_workload
+
+
+def make_workload(rng):
+    return drift_workload(int(rng.integers(1 << 20)), duration=4.0)
+
+
+class TestRunnerLifecycle:
+    def test_passing_property_reports_ok(self):
+        outcome = run_property(
+            "always-true", make_workload, lambda case: None,
+            seed=3, examples=4,
+        )
+        assert outcome.ok
+        assert outcome.failures == []
+        assert outcome.summary()["examples"] == 4
+
+    def test_failure_is_caught_not_raised(self):
+        def check(case):
+            raise AssertionError("nope")
+
+        outcome = run_property(
+            "always-false", make_workload, check, seed=3, examples=2
+        )
+        assert not outcome.ok
+        assert len(outcome.failures) == 2
+        assert outcome.failures[0].message == "nope"
+
+    def test_examples_replay_from_seed(self):
+        seen_a, seen_b = [], []
+        run_property("collect", make_workload,
+                     lambda c: seen_a.append(c.name), seed=9,
+                     examples=3)
+        run_property("collect", make_workload,
+                     lambda c: seen_b.append(c.name), seed=9,
+                     examples=3)
+        assert seen_a == seen_b
+        different = []
+        run_property("collect", make_workload,
+                     lambda c: different.append(c.name), seed=10,
+                     examples=3)
+        assert different != seen_a
+
+
+class TestShrinking:
+    def test_shrinks_to_smaller_failing_case(self):
+        def check(case):
+            # fails whenever the workload spans more than 1.5 s: the
+            # halving shrinker can cut 4.0 -> 2.0 but 1.0 passes
+            assert case.duration <= 1.5, (
+                f"too long: {case.duration}"
+            )
+
+        outcome = run_property(
+            "duration-bound", make_workload, check, seed=3, examples=1
+        )
+        assert not outcome.ok
+        failure = outcome.failures[0]
+        assert failure.shrink_steps == 1
+        assert "duration=2" in failure.shrunk
+        assert "duration=4" in failure.case
+
+    def test_shrink_keeps_original_when_halves_pass(self):
+        def check(case):
+            assert case.duration < 4.0  # only the full case fails
+
+        outcome = run_property(
+            "full-only", make_workload, check, seed=3, examples=1
+        )
+        failure = outcome.failures[0]
+        assert failure.shrink_steps == 0
+        assert failure.case == failure.shrunk
+
+    def test_default_shrink_stops_when_halving_removes_nothing(self):
+        # one tuple per stream at t~0: halving the span can't shrink it
+        workload = drift_workload(1, duration=0.05)
+        half = workload.halved()
+        assert half.tuple_count() == workload.tuple_count()
+        assert list(default_shrink(workload)) == []
+
+    def test_default_shrink_ignores_foreign_cases(self):
+        assert list(default_shrink(42)) == []
+
+    def test_describe_case(self):
+        workload = drift_workload(1, duration=4.0)
+        text = describe_case(workload)
+        assert workload.name in text
+        assert "tuples=" in text
+        assert describe_case(42) == "42"
+
+
+class TestGeneratorSpace:
+    def test_random_workloads_stay_in_declared_space(self):
+        kinds, ms = set(), set()
+        for i in range(12):
+            workload = random_workload(np.random.default_rng([4, i]))
+            assert isinstance(workload, Workload)
+            assert workload.basic <= workload.window
+            kinds.add(workload.tags["kind"])
+            ms.add(workload.m)
+        assert kinds == {"drift", "keys"}
+        assert ms == {3, 4}
+
+
+class TestBuiltins:
+    def test_builtin_names(self):
+        assert [name for name, _ in BUILTIN_PROPERTIES] == [
+            "full_join_matches_oracle",
+            "shedding_is_subset",
+        ]
+
+    def test_oracle_property_passes_on_real_cases(self):
+        outcome = run_property(
+            "full_join_matches_oracle",
+            random_workload,
+            check_full_join_matches_oracle,
+            seed=0,
+            examples=2,
+        )
+        assert outcome.ok, outcome.failures

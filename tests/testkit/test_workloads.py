@@ -1,0 +1,97 @@
+"""Tests for the shared seeded workload builders."""
+
+from repro.testkit.workloads import (
+    default_workloads,
+    drift_workload,
+    key_sources,
+    key_workload,
+)
+
+
+class TestSeededDeterminism:
+    def test_same_seed_same_traces(self):
+        a = drift_workload(5)
+        b = drift_workload(5)
+        for ta, tb in zip(a.traces, b.traces):
+            assert [(t.timestamp, t.value, t.seq) for t in ta.tuples] == [
+                (t.timestamp, t.value, t.seq) for t in tb.tuples
+            ]
+
+    def test_different_seeds_differ(self):
+        a = drift_workload(5)
+        b = drift_workload(6)
+        assert [t.value for t in a.traces[0].tuples] != [
+            t.value for t in b.traces[0].tuples
+        ]
+
+    def test_key_workload_deterministic(self):
+        a = key_workload(5)
+        b = key_workload(5)
+        assert [t.value for t in a.traces[2].tuples] == [
+            t.value for t in b.traces[2].tuples
+        ]
+
+
+class TestGeometry:
+    def test_streams_are_dephased(self):
+        """No two tuples across streams share a timestamp — boundary
+        ages never land exactly on a window edge where float rounding
+        would make oracle and engine disagree."""
+        for workload in (drift_workload(1), key_workload(1)):
+            stamps = [
+                t.timestamp
+                for trace in workload.traces
+                for t in trace.tuples
+            ]
+            assert len(stamps) == len(set(stamps))
+
+    def test_key_sources_share_key_domain(self):
+        sources = key_sources(m=3, rate=10.0, n_keys=5, seed=2)
+        for source in sources:
+            values = {t.value for t in source.generate(10.0)}
+            assert values <= set(range(5))
+
+    def test_lookup_covers_every_tuple(self):
+        workload = drift_workload(1)
+        lookup = workload.lookup()
+        assert len(lookup) == workload.tuple_count()
+        for trace in workload.traces:
+            for t in trace.tuples:
+                assert lookup[(t.stream, t.seq)] is t
+
+
+class TestShrinking:
+    def test_halved_cuts_span_and_tuples(self):
+        workload = drift_workload(1, duration=8.0)
+        half = workload.halved()
+        assert half.duration == 4.0
+        assert 0 < half.tuple_count() < workload.tuple_count()
+        assert half.seed == workload.seed
+        assert half.predicate is workload.predicate
+
+    def test_halved_is_a_prefix(self):
+        workload = key_workload(1, duration=8.0)
+        half = workload.halved()
+        for full_trace, half_trace in zip(workload.traces, half.traces):
+            n = len(half_trace.tuples)
+            assert half_trace.tuples == full_trace.tuples[:n]
+            assert all(t.timestamp < 4.0 for t in half_trace.tuples)
+
+
+class TestDefaultSet:
+    def test_three_workloads_per_seed(self):
+        workloads = default_workloads((1, 2))
+        assert len(workloads) == 6
+        names = [w.name for w in workloads]
+        assert len(names) == len(set(names))
+
+    def test_covers_m3_m4_and_both_kinds(self):
+        workloads = default_workloads((1,))
+        assert {w.m for w in workloads} == {3, 4}
+        assert {w.tags["kind"] for w in workloads} == {"drift", "keys"}
+
+    def test_every_default_workload_produces_output(self):
+        from repro.testkit import oracle_ids
+
+        for workload in default_workloads((1,)):
+            assert len(oracle_ids(workload).ids) > 0, workload.name
