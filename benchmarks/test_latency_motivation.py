@@ -5,13 +5,16 @@ query service demands will result in delays that violate the response
 time requirements [and] unbounded growth in system queues."  This bench
 measures exactly that: at 2x the sustainable rate, the plain MJoin's
 tuple latency and queue depth grow without bound over the run, while
-GrubJoin's throttle keeps both flat at a small cost in output subsetting.
+the shedding operators keep both flat at a small cost in output
+subsetting.  Latency is summarized with ``SimulationResult.p95_latency``
+(log2-bucket histogram tail) and shedding effort with
+``SimulationResult.drop_rates`` (per-stream pre-service drop fraction).
 """
 
 from repro.core import GrubJoinOperator
 from repro.engine import CpuModel, Simulation, SimulationConfig
 from repro.experiments import ExperimentTable
-from repro.joins import EpsilonJoin, MJoinOperator
+from repro.joins import EpsilonJoin, MJoinOperator, RandomDropShedder
 from repro.testkit.workloads import drift_sources
 
 WINDOW = 10.0
@@ -34,8 +37,8 @@ def run_bench() -> ExperimentTable:
     table = ExperimentTable(
         title="Motivation — latency/queues at 2x overload, 40 s run",
         headers=[
-            "operator", "output/s", "mean latency s", "final queue",
-            "peak queue",
+            "operator", "output/s", "mean lat s", "p95 lat s",
+            "drop rate", "final queue", "peak queue",
         ],
     )
     rate = 80.0
@@ -46,14 +49,21 @@ def run_bench() -> ExperimentTable:
     grub = GrubJoinOperator(EpsilonJoin(1.0), [WINDOW] * 3, BASIC, rng=1)
     res_g = Simulation(make_sources(rate), grub, CpuModel(capacity),
                        cfg).run()
+    dropped = MJoinOperator(EpsilonJoin(1.0), [WINDOW] * 3, BASIC)
+    shedder = RandomDropShedder(dropped, capacity, rng=1)
+    res_d = Simulation(make_sources(rate), dropped, CpuModel(capacity),
+                       cfg, admission=shedder.filters).run()
 
     for name, res in (("MJoin (no shedding)", res_p),
-                      ("GrubJoin", res_g)):
+                      ("GrubJoin", res_g),
+                      ("RandomDrop", res_d)):
         depths = res.queue_depths[0].values
         table.add(
             name,
             res.output_rate,
             res.mean_latency,
+            res.p95_latency,
+            max(res.drop_rates),
             depths[-1],
             max(depths),
         )
@@ -66,11 +76,24 @@ def test_latency_motivation(benchmark, show_table):
     rows = {r[0]: r for r in table.rows}
     plain = rows["MJoin (no shedding)"]
     grub = rows["GrubJoin"]
+    rdrop = rows["RandomDrop"]
     # unthrottled: queue still at its peak at the end — monotone growth
-    assert plain[3] > 0.95 * plain[4]
+    assert plain[5] > 0.95 * plain[6]
     # throttled: backlog receded from its (warm-up) peak and is smaller
-    assert grub[3] < 0.92 * grub[4]
-    assert grub[3] < plain[3]
+    assert grub[5] < 0.92 * grub[6]
+    assert grub[5] < plain[5]
     # throttled: meaningfully lower latency AND higher output rate
     assert grub[2] < plain[2] / 1.5
     assert grub[1] > plain[1]
+    # histogram tail: p95 is a tail bound, so it sits at or above the mean,
+    # and the shedding operators' tails stay far under the unthrottled one
+    for row in (plain, grub, rdrop):
+        assert row[3] >= row[2]
+    assert grub[3] < plain[3] / 1.5
+    assert rdrop[3] < plain[3] / 1.5
+    # drop accounting: GrubJoin sheds inside the join (windows), not at
+    # admission, so its pre-service drop rate is zero; RandomDrop's entire
+    # saving shows up there instead
+    assert grub[4] == 0.0
+    assert plain[4] == 0.0
+    assert rdrop[4] > 0.1

@@ -6,13 +6,15 @@ The workflow a downstream user actually follows:
 2. measure the pairwise offset-match profile — is there an exploitable
    time correlation, and where does it sit?
 3. size the join window so the correlation peak fits inside it;
-4. run the query through the declarative builder with GrubJoin shedding.
+4. run the query through the declarative builder with GrubJoin shedding,
+   instrumented with ``repro.obs`` so the run explains itself.
 
 Run:  python examples/workload_diagnosis.py
 """
 
 from repro import ConstantRate, EpsilonJoin, LinearDriftProcess, StreamSource
 from repro.analysis import offset_match_profile, sparkline
+from repro.obs import Obs, render_dashboard
 from repro.query import Query
 from repro.streams import record_trace
 
@@ -70,19 +72,24 @@ def main() -> None:
     )
     # estimate demand from utilization of the probe CPU
     full_rate = probe.output_rate
+    obs = Obs()
+    obs.meta.update(workload="workload-diagnosis", window=window)
     result = (
         Query()
         .streams(*(make_source(i) for i in range(3)))
         .window(window, basic=window / 10)
         .join(predicate, shedding="grubjoin", rng=1)
         .run(capacity=2e5, duration=30.0, warmup=10.0,
-             adaptation_interval=2.0)
+             adaptation_interval=2.0, obs=obs)
     )
     kept = (100.0 * result.output_rate / full_rate) if full_rate else 0.0
     print(f"   unconstrained join: {full_rate:10,.0f} results/sec")
     print(f"   GrubJoin, shedding: {result.output_rate:10,.0f} results/sec "
           f"({kept:.0f}% of full at z="
           f"{result.join_operator.throttle_fraction:.2f})")
+
+    print("\n5. telemetry dashboard for the instrumented run:")
+    print(render_dashboard(obs))
 
 
 if __name__ == "__main__":

@@ -32,6 +32,7 @@ from repro.joins.join_order import (
 )
 from repro.joins.pipeline import merge_slices, run_pipeline
 from repro.joins.selectivity import SelectivityEstimator
+from repro.obs.explainer import explain_adaptation
 from repro.streams.tuples import JoinResult, StreamTuple
 
 from .basic_windows import PartitionedWindow
@@ -191,6 +192,60 @@ class GrubJoinOperator(StreamOperator):
         self.last_solver_result = None
         self.solver_seconds_total = 0.0
         self.z_history: list[tuple[float, float]] = []
+        # cached obs instrument handles (populated by _obs_setup)
+        self._obs_handles = None
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def _obs_setup(self, obs, labels) -> None:
+        """Cache instrument handles so hot paths pay one guarded call."""
+        m = self.num_streams
+        self._obs_handles = {
+            "adaptations": obs.counter(
+                "grubjoin_adaptations_total", **labels
+            ),
+            "harvested": obs.counter("grubjoin_harvested_total", **labels),
+            "shredded": obs.counter("grubjoin_shredded_total", **labels),
+            "evicted": obs.counter("grubjoin_evicted_total", **labels),
+            "solver_steps": obs.counter("solver_steps_total", **labels),
+            "solver_evals": obs.counter(
+                "solver_evaluations_total", **labels
+            ),
+            "z": obs.series("throttle_z", **labels),
+            "beta": obs.series("throttle_beta", **labels),
+            "comparisons": [
+                [
+                    obs.counter(
+                        "direction_comparisons_total",
+                        direction=i, hop=j, **labels,
+                    )
+                    for j in range(m - 1)
+                ]
+                for i in range(m)
+            ],
+            "fraction": [
+                [
+                    obs.gauge(
+                        "harvest_fraction", direction=i, hop=j, **labels
+                    )
+                    for j in range(m - 1)
+                ]
+                for i in range(m)
+            ],
+        }
+        for i in range(m):
+            for j in range(m - 1):
+                self._obs_handles["fraction"][i][j].set(1.0)
+
+    def _obs_record_harvest(self, counts) -> None:
+        """Update the per-direction harvest-fraction gauges z_{i,j}."""
+        gauges = self._obs_handles["fraction"]
+        for i in range(self.num_streams):
+            for j in range(self.num_streams - 1):
+                n = self.segments[self.orders[i][j]]
+                gauges[i][j].set(float(counts[i][j]) / n if n else 0.0)
 
     # ------------------------------------------------------------------
     # tuple processing
@@ -207,8 +262,12 @@ class GrubJoinOperator(StreamOperator):
         if self._rng.random() < self.sampling:
             outputs, comparisons = self._shredded_probe(tup, now)
             self.tuples_shredded += 1
+            if self._obs_handles is not None:
+                self._obs_handles["shredded"].inc()
         else:
             outputs, comparisons = self._harvested_probe(tup, now)
+            if self._obs_handles is not None:
+                self._obs_handles["harvested"].inc()
         self.tuples_processed += 1
         self.comparisons_total += comparisons
         work = comparisons + round(self.output_cost * len(outputs))
@@ -233,6 +292,10 @@ class GrubJoinOperator(StreamOperator):
             )
 
         result = run_pipeline(tup, order, slices_for_hop, self.predicate)
+        if self._obs_handles is not None:
+            per_hop = self._obs_handles["comparisons"][i]
+            for hop, stats in enumerate(result.hop_stats):
+                per_hop[hop].inc(stats.scanned)
         return result.outputs, result.comparisons
 
     def _shredded_probe(
@@ -270,6 +333,9 @@ class GrubJoinOperator(StreamOperator):
         """One adaptation step: throttle, relearn, reconfigure harvesting."""
         z = self.throttle.update_from_stats(stats)
         self.z_history.append((now, z))
+        if self._obs_handles is not None:
+            self._obs_handles["z"].observe(now, z)
+            self._obs_handles["beta"].observe(now, self.throttle.last_beta)
         self.selectivity.age()
         for hist in self.histograms[1:]:
             hist.decay(self.histogram_decay)
@@ -281,6 +347,8 @@ class GrubJoinOperator(StreamOperator):
             self.orders = low_selectivity_first(self.selectivity.matrix())
         self._reconfigure_harvesting(now, z)
         self.adaptations += 1
+        if self._obs_handles is not None:
+            self._obs_handles["adaptations"].inc()
         if logger.isEnabledFor(logging.DEBUG):
             logger.debug(
                 "adapt t=%.1f beta=%.3f z=%.3f counts=%s",
@@ -325,18 +393,24 @@ class GrubJoinOperator(StreamOperator):
             self.harvest = HarvestConfiguration.full(
                 self.num_streams, self.segments
             )
+            if self._obs_handles is not None:
+                self._obs_record_harvest(self.harvest.counts)
+                self.obs.explain(explain_adaptation(
+                    now, self.build_profile(now), z,
+                    self.throttle.last_beta,
+                ))
             return
         profile = self.build_profile(now)
         timer = self.solver_timer
         started = timer() if timer is not None else 0.0
-        if self.solver == "double-sided":
-            result = greedy_double_sided(
-                profile, z, self.metric, self.fractional_fallback
-            )
+        if self._obs_handles is not None:
+            with self.obs.span(f"solver.{self.solver}") as span:
+                result = self._solve(profile, z)
+                span.annotate(
+                    steps=result.steps, evaluations=result.evaluations
+                )
         else:
-            result = greedy_pick(
-                profile, z, self.metric, self.fractional_fallback
-            )
+            result = self._solve(profile, z)
         if timer is not None:
             self.solver_seconds_total += timer() - started
         rankings = [
@@ -345,8 +419,30 @@ class GrubJoinOperator(StreamOperator):
         ]
         self.harvest = HarvestConfiguration(result.counts, rankings)
         self.last_solver_result = result
+        if self._obs_handles is not None:
+            self._obs_handles["solver_steps"].inc(result.steps)
+            self._obs_handles["solver_evals"].inc(result.evaluations)
+            self._obs_record_harvest(result.counts)
+            self.obs.explain(explain_adaptation(
+                now, profile, z, self.throttle.last_beta, solver=result,
+            ))
         if self.memory_saving:
+            before = self.tuples_evicted
             self._evict_unprobed_segments(now)
+            if self._obs_handles is not None:
+                self._obs_handles["evicted"].inc(
+                    self.tuples_evicted - before
+                )
+
+    def _solve(self, profile: JoinProfile, z: float):
+        """Run the configured solver on ``profile`` under budget ``z``."""
+        if self.solver == "double-sided":
+            return greedy_double_sided(
+                profile, z, self.metric, self.fractional_fallback
+            )
+        return greedy_pick(
+            profile, z, self.metric, self.fractional_fallback
+        )
 
     def _evict_unprobed_segments(self, now: float) -> None:
         """Memory-saving mode: drop basic windows no direction will probe.

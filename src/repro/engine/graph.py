@@ -241,6 +241,7 @@ class DataflowGraph:
         policy: SchedulingPolicy = SchedulingPolicy.OLDEST,
         validate: bool = True,
         retain_outputs: bool = False,
+        obs=None,
     ) -> GraphResult:
         """Execute the whole graph for ``config.duration`` virtual seconds.
 
@@ -252,6 +253,12 @@ class DataflowGraph:
         ``retain_outputs=True`` keeps every node's raw outputs on its
         :class:`NodeResult` so correctness harnesses can diff actual
         result sets, not just counts.
+
+        ``obs`` (a :class:`repro.obs.Obs`) turns on instrumentation:
+        every node's operator and admission filters are bound with a
+        ``node=<name>`` label, node-labeled ``service`` spans and
+        queue-depth series are recorded, and the virtual clock is bound
+        to the sink.  ``None`` (default) keeps instrumentation off.
         """
         if validate:
             self.validate().raise_for_errors()
@@ -261,6 +268,19 @@ class DataflowGraph:
         rr_next = 0
         clock = VirtualClock()
         events = EventQueue()
+
+        obs_depth: dict[str, list] = {}
+        if obs is not None:
+            obs.bind_clock(lambda: clock.now)
+            for name, node in self._nodes.items():
+                node.operator.bind_obs(obs, node=name)
+                for i, gate in enumerate(node.admission):
+                    if gate is not None:
+                        gate.bind_obs(obs, node=name, input=i)
+                obs_depth[name] = [
+                    obs.series("queue_depth", node=name, input=i)
+                    for i in range(len(node.buffers))
+                ]
 
         for node in self._nodes.values():
             node.result.queue_depth_series = [
@@ -340,6 +360,21 @@ class DataflowGraph:
             node.result.consumed += 1
             receipt = node.operator.process(tup, now)
             done = cpu.begin(now, receipt.comparisons)
+            if obs is not None:
+                obs.spans.record(
+                    "service",
+                    start=now,
+                    end=done,
+                    labels={
+                        "node": node.name,
+                        "stream": str(tup.stream),
+                    },
+                    attrs={
+                        "seq": tup.seq,
+                        "comparisons": receipt.comparisons,
+                        "outputs": len(receipt.outputs),
+                    },
+                )
             events.push(
                 done, EventKind.COMPLETION,
                 (node.name, receipt.outputs),
@@ -393,20 +428,32 @@ class DataflowGraph:
                 fill_cores(now)
             elif event.kind is EventKind.ADAPT:
                 interval = config.adaptation_interval
-                for node in self._nodes.values():
-                    stats = [b.interval_stats() for b in node.buffers]
-                    node.operator.on_adapt(now, stats, interval)
-                    for i, gate in enumerate(node.admission):
-                        if gate is not None:
-                            gate.on_adapt(now, stats[i].push_rate(interval))
-                    for b in node.buffers:
-                        b.reset_interval()
+
+                def adapt_all() -> None:
+                    for node in self._nodes.values():
+                        stats = [b.interval_stats() for b in node.buffers]
+                        node.operator.on_adapt(now, stats, interval)
+                        for i, gate in enumerate(node.admission):
+                            if gate is not None:
+                                gate.on_adapt(
+                                    now, stats[i].push_rate(interval)
+                                )
+                        for b in node.buffers:
+                            b.reset_interval()
+
+                if obs is not None:
+                    with obs.span("adapt"):
+                        adapt_all()
+                else:
+                    adapt_all()
             elif event.kind is EventKind.MEASURE:
                 for node in self._nodes.values():
                     for i, b in enumerate(node.buffers):
                         node.result.queue_depth_series[i].append(
                             now, len(b)
                         )
+                        if obs is not None:
+                            obs_depth[node.name][i].observe(now, len(b))
 
         window = config.duration - config.warmup
         results: dict[str, NodeResult] = {}

@@ -15,10 +15,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.streams.tuples import JoinResult, StreamTuple
 
 from .buffers import BufferStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Obs
 
 
 @dataclass(slots=True)
@@ -46,6 +50,22 @@ class StreamOperator(ABC):
     #: consume them.  The static plan analyzer (P102) keys off this.
     output_kind: str = "tuple"
 
+    #: bound telemetry sink; ``None`` (the default) keeps all
+    #: instrumentation off — hot paths guard on it
+    obs: "Obs | None" = None
+
+    def bind_obs(self, obs: "Obs", **labels) -> None:
+        """Attach a telemetry sink (the runtime calls this when a run is
+        given an ``obs=``).  ``labels`` are stamped onto every instrument
+        the operator creates (e.g. ``node="join"`` in a graph).  Subclasses
+        cache their instrument handles in :meth:`_obs_setup` so the
+        per-event cost is one guarded method call."""
+        self.obs = obs
+        self._obs_setup(obs, {k: str(v) for k, v in labels.items()})
+
+    def _obs_setup(self, obs: "Obs", labels: dict[str, str]) -> None:
+        """Hook: create/cache instrument handles.  Default: nothing."""
+
     @abstractmethod
     def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
         """Service one input tuple at virtual time ``now``."""
@@ -64,6 +84,18 @@ class StreamOperator(ABC):
 
 class AdmissionFilter(ABC):
     """A drop operator sitting in front of one input buffer."""
+
+    #: bound telemetry sink; ``None`` keeps instrumentation off
+    obs: "Obs | None" = None
+
+    def bind_obs(self, obs: "Obs", **labels) -> None:
+        """Attach a telemetry sink (same contract as
+        :meth:`StreamOperator.bind_obs`)."""
+        self.obs = obs
+        self._obs_setup(obs, {k: str(v) for k, v in labels.items()})
+
+    def _obs_setup(self, obs: "Obs", labels: dict[str, str]) -> None:
+        """Hook: create/cache instrument handles.  Default: nothing."""
 
     @abstractmethod
     def admit(self, tup: StreamTuple, now: float) -> bool:

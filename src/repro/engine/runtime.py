@@ -22,8 +22,9 @@ Event semantics
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
+from repro.obs.registry import Histogram
 from repro.streams.tuples import StreamTuple
 
 from .buffers import InputBuffer, OutputBuffer
@@ -32,6 +33,9 @@ from .cpu import CpuModel
 from .events import EventKind, EventQueue
 from .metrics import SimulationResult, StreamCounters, TimeSeries
 from .operator import AdmissionFilter, ProcessReceipt, StreamOperator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Obs
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,6 +89,13 @@ class Simulation:
             omitting the list) mean admit-all.
         retain_outputs: keep the actual result tuples (memory-heavy; tests
             use it, benchmarks do not).
+        obs: optional :class:`repro.obs.Obs` telemetry sink.  When given,
+            the runtime binds its virtual clock to it, records ``service``
+            spans (true busy durations), per-stream arrival/admission/drop
+            counters, per-stream queue-depth series, and ``adapt`` spans,
+            and calls ``bind_obs`` on the operator and admission filters
+            so they populate their own instruments.  ``None`` (default)
+            keeps all instrumentation off.
     """
 
     def __init__(
@@ -95,6 +106,7 @@ class Simulation:
         config: SimulationConfig | None = None,
         admission: Sequence[AdmissionFilter | None] | None = None,
         retain_outputs: bool = False,
+        obs: "Obs | None" = None,
     ) -> None:
         if len(sources) != operator.num_streams:
             raise ValueError(
@@ -111,6 +123,7 @@ class Simulation:
             list(admission) if admission is not None else [None] * len(sources)
         )
         self.retain_outputs = retain_outputs
+        self.obs = obs
 
         self._clock = VirtualClock()
         self._events = EventQueue()
@@ -128,6 +141,43 @@ class Simulation:
         self._warm_output_start: int | None = None
         #: tuples dropped because the operator raised on them ("skip" mode)
         self.operator_errors = 0
+        #: always-on latency distribution (log2 buckets; cheap to fill)
+        self._latency_hist = Histogram("tuple_latency_seconds", ())
+        # cached obs instrument handles (populated by _obs_bind)
+        self._obs_arrived = None
+        self._obs_admitted = None
+        self._obs_dropped = None
+        self._obs_depth = None
+        if obs is not None:
+            self._obs_bind(obs)
+
+    def _obs_bind(self, obs: "Obs") -> None:
+        """Wire the telemetry sink: clock, cached handles, operator."""
+        obs.bind_clock(lambda: self._clock.now)
+        obs.registry.register(self._latency_hist)
+        streams = range(len(self.sources))
+        self._obs_arrived = [
+            obs.counter("stream_arrived_total", stream=i) for i in streams
+        ]
+        self._obs_admitted = [
+            obs.counter("stream_admitted_total", stream=i) for i in streams
+        ]
+        self._obs_dropped = [
+            {
+                reason: obs.counter(
+                    "stream_dropped_total", stream=i, reason=reason
+                )
+                for reason in ("admission", "buffer")
+            }
+            for i in streams
+        ]
+        self._obs_depth = [
+            obs.series("queue_depth", stream=i) for i in streams
+        ]
+        self.operator.bind_obs(obs)
+        for i, gate in enumerate(self.admission):
+            if gate is not None:
+                gate.bind_obs(obs, stream=i)
 
     # ------------------------------------------------------------------
     # public API
@@ -191,14 +241,22 @@ class Simulation:
         now = self._clock.now
         counters = self._counters[tup.stream]
         counters.arrived += 1
+        if self._obs_arrived is not None:
+            self._obs_arrived[tup.stream].inc()
         gate = self.admission[tup.stream]
         if gate is not None and not gate.admit(tup, now):
             counters.dropped_at_admission += 1
+            if self._obs_dropped is not None:
+                self._obs_dropped[tup.stream]["admission"].inc()
             return
         if self._buffers[tup.stream].push(tup):
             counters.admitted += 1
+            if self._obs_admitted is not None:
+                self._obs_admitted[tup.stream].inc()
         else:
             counters.dropped_at_buffer += 1
+            if self._obs_dropped is not None:
+                self._obs_dropped[tup.stream]["buffer"].inc()
         self._fill_cores()
 
     def _on_completion(self, receipt_outputs) -> None:
@@ -211,13 +269,18 @@ class Simulation:
             self._warm_output_start = self._output.count - len(outputs)
         self._latency_sum += now - probe.timestamp
         self._latency_count += 1
+        self._latency_hist.observe(now - probe.timestamp)
         self._fill_cores()
 
     def _on_adapt(self, _payload) -> None:
         now = self._clock.now
         interval = self.config.adaptation_interval
         stats = [buf.interval_stats() for buf in self._buffers]
-        self.operator.on_adapt(now, stats, interval)
+        if self.obs is not None:
+            with self.obs.span("adapt"):
+                self.operator.on_adapt(now, stats, interval)
+        else:
+            self.operator.on_adapt(now, stats, interval)
         for i, gate in enumerate(self.admission):
             if gate is not None:
                 gate.on_adapt(now, stats[i].push_rate(interval))
@@ -231,6 +294,8 @@ class Simulation:
         now = self._clock.now
         for i, buf in enumerate(self._buffers):
             self._queue_series[i].append(now, len(buf))
+            if self._obs_depth is not None:
+                self._obs_depth[i].observe(now, len(buf))
         self._output_series.append(now, self._output.count)
 
     # ------------------------------------------------------------------
@@ -260,6 +325,18 @@ class Simulation:
             self.operator_errors += 1
             receipt = ProcessReceipt(comparisons=0, outputs=[])
         done = self.cpu.begin(now, receipt.comparisons)
+        if self.obs is not None:
+            self.obs.spans.record(
+                "service",
+                start=now,
+                end=done,
+                labels={"stream": str(tup.stream)},
+                attrs={
+                    "seq": tup.seq,
+                    "comparisons": receipt.comparisons,
+                    "outputs": len(receipt.outputs),
+                },
+            )
         self._events.push(
             done, EventKind.COMPLETION, (receipt.outputs, tup)
         )
@@ -305,4 +382,5 @@ class Simulation:
             queue_depths=self._queue_series,
             throttle_series=self._throttle_series,
             output_series=self._output_series,
+            latency_histogram=self._latency_hist,
         )

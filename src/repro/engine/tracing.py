@@ -1,17 +1,23 @@
-"""Event tracing: record what a simulation did, for debugging.
+"""Event tracing: the flat predecessor of :mod:`repro.obs` (deprecated).
 
-A :class:`EventTrace` hooks into the runtime (via the ``observer``
-argument of :meth:`Simulation.run`... conceptually — the runtime stays
-observer-free; instead the trace wraps an operator and records the
-service events it sees, plus adaptation snapshots).  Useful when a
-simulation misbehaves: dump the trace and inspect exactly which tuples
-were serviced when, at what cost, and what each adaptation decided.
+:class:`EventTrace` records flat per-service / per-adaptation snapshots;
+:class:`TracedOperator` wraps an operator to populate one.  The
+:mod:`repro.obs` subsystem subsumes both — nested virtual-time spans,
+label-keyed metrics, and deterministic exporters — so new code should
+pass an :class:`repro.obs.Obs` to the runtime (``Simulation(...,
+obs=obs)``) or wrap with :class:`repro.obs.ObservedOperator` instead.
+
+``TracedOperator`` remains as a thin compatibility shim over
+``ObservedOperator``: old call sites keep working (and now also record
+spans into ``.obs``), but instantiation emits a ``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
+from repro.obs.instrument import ObservedOperator
 from repro.streams.tuples import StreamTuple
 
 from .buffers import BufferStats
@@ -88,31 +94,36 @@ class EventTrace:
         )[:n]
 
 
-class TracedOperator(StreamOperator):
-    """Wraps any operator, recording its service/adaptation events.
+class TracedOperator(ObservedOperator):
+    """Deprecated compatibility shim over
+    :class:`repro.obs.ObservedOperator`.
 
-    Drop-in: ``Simulation(sources, TracedOperator(op, trace), ...)``.
+    Old call sites — ``Simulation(sources, TracedOperator(op, trace),
+    ...)`` — keep working: the wrapper still populates a flat
+    :class:`EventTrace` at ``.trace`` (and, additionally, spans at
+    ``.obs``).  New code should use ``ObservedOperator`` or pass an
+    ``Obs`` to the runtime directly.
     """
 
     def __init__(self, operator: StreamOperator,
                  trace: EventTrace | None = None) -> None:
-        self.inner = operator
+        warnings.warn(
+            "TracedOperator is deprecated; use repro.obs.ObservedOperator "
+            "or Simulation(..., obs=repro.obs.Obs()) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(operator)
         self.trace = trace if trace is not None else EventTrace()
-        self.num_streams = operator.num_streams
-
-    @property
-    def throttle_fraction(self) -> float | None:
-        """Forwarded so the runtime's throttle series keeps working."""
-        return getattr(self.inner, "throttle_fraction", None)
 
     def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
-        receipt = self.inner.process(tup, now)
+        receipt = super().process(tup, now)
         self.trace.record_service(now, tup, receipt)
         return receipt
 
     def on_adapt(self, now: float, stats: list[BufferStats],
                  interval: float) -> None:
-        self.inner.on_adapt(now, stats, interval)
+        super().on_adapt(now, stats, interval)
         self.trace.record_adapt(
             now, stats, getattr(self.inner, "throttle_fraction", None)
         )

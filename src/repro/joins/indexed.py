@@ -72,27 +72,52 @@ class IndexedMJoin(StreamOperator):
         self.index = SortedWindowIndex()
         self.tuples_processed = 0
         self.work_total = 0
+        # cached obs instrument handles (populated by _obs_setup)
+        self._obs_work = None
+
+    def _obs_setup(self, obs, labels) -> None:
+        """Cache per-(direction, hop) indexed-probe work counters."""
+        m = self.num_streams
+        self._obs_work = [
+            [
+                obs.counter(
+                    "direction_comparisons_total",
+                    direction=i, hop=j, **labels,
+                )
+                for j in range(m - 1)
+            ]
+            for i in range(m)
+        ]
 
     def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
         """Insert and probe via the indexes."""
         self.windows[tup.stream].insert(tup, now)
         work = 0
+        per_hop = (
+            self._obs_work[tup.stream]
+            if self._obs_work is not None
+            else None
+        )
         partials: list[list[StreamTuple]] = [[tup]]
-        for window_stream in self.orders[tup.stream]:
+        for hop, window_stream in enumerate(self.orders[tup.stream]):
             window = self.windows[window_stream]
             slices = window.full_slices(now)
             next_partials: list[list[StreamTuple]] = []
+            hop_work = 0
             for partial in partials:
                 low, high = self.predicate.probe_context(
                     [t.value for t in partial]
                 )
                 for s in slices:
                     hits, cost = self.index.range_probe(s, low, high)
-                    work += cost
+                    hop_work += cost
                     for idx in hits:
                         next_partials.append(
                             partial + [s.tuple_at(int(idx))]
                         )
+            work += hop_work
+            if per_hop is not None:
+                per_hop[hop].inc(hop_work)
             partials = next_partials
             if not partials:
                 break

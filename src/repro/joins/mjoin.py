@@ -80,6 +80,22 @@ class MJoinOperator(StreamOperator):
         self.selectivity = SelectivityEstimator(m)
         self.tuples_processed = 0
         self.comparisons_total = 0
+        # cached obs instrument handles (populated by _obs_setup)
+        self._obs_comparisons = None
+
+    def _obs_setup(self, obs, labels) -> None:
+        """Cache per-(direction, hop) comparison counters."""
+        m = self.num_streams
+        self._obs_comparisons = [
+            [
+                obs.counter(
+                    "direction_comparisons_total",
+                    direction=i, hop=j, **labels,
+                )
+                for j in range(m - 1)
+            ]
+            for i in range(m)
+        ]
 
     def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
         """Insert ``tup`` into its window and probe the others fully."""
@@ -91,10 +107,17 @@ class MJoinOperator(StreamOperator):
             lambda hop, l: self.windows[l].full_slices(now),
             self.predicate,
         )
+        per_hop = (
+            self._obs_comparisons[tup.stream]
+            if self._obs_comparisons is not None
+            else None
+        )
         for hop, stats in enumerate(result.hop_stats):
             self.selectivity.observe(
                 tup.stream, order[hop], stats.scanned, stats.matched
             )
+            if per_hop is not None:
+                per_hop[hop].inc(stats.scanned)
         self.tuples_processed += 1
         self.comparisons_total += result.comparisons
         work = result.comparisons + round(

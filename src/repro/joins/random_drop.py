@@ -40,16 +40,37 @@ class RandomDropFilter(AdmissionFilter):
         self._shedder = shedder
         self._rng = rng
         self._arrivals = 0
+        # cached obs instrument handles (populated by _obs_setup)
+        self._obs_admitted = None
+        self._obs_dropped = None
+        self._obs_keep = None
+
+    def _obs_setup(self, obs, labels) -> None:
+        """Cache admit/drop counters and the keep-fraction gauge."""
+        labels = {"stream": str(self.stream), **labels}
+        self._obs_admitted = obs.counter(
+            "randomdrop_admitted_total", **labels
+        )
+        self._obs_dropped = obs.counter(
+            "randomdrop_dropped_total", **labels
+        )
+        self._obs_keep = obs.gauge("randomdrop_keep_fraction", **labels)
+        self._obs_keep.set(self.keep)
 
     def admit(self, tup: StreamTuple, now: float) -> bool:
         self._arrivals += 1
-        if self.keep >= 1.0:
-            return True
-        return bool(self._rng.random() < self.keep)
+        admitted = (
+            self.keep >= 1.0 or bool(self._rng.random() < self.keep)
+        )
+        if self._obs_admitted is not None:
+            (self._obs_admitted if admitted else self._obs_dropped).inc()
+        return admitted
 
     def on_adapt(self, now: float, rate_estimate: float) -> None:
         self._shedder.report_arrivals(self.stream, self._arrivals, now)
         self._arrivals = 0
+        if self._obs_keep is not None:
+            self._obs_keep.set(self.keep)
 
 
 class RandomDropShedder:

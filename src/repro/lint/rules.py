@@ -481,8 +481,9 @@ def _dedup_by_line(diags: list[Diagnostic]) -> list[Diagnostic]:
     return out
 
 
-#: packages forming the deterministic simulator (R001's scope)
-SIMULATOR_PACKAGES = ("core/", "engine/", "joins/", "streams/")
+#: packages forming the deterministic simulator (R001's scope); obs/ is
+#: included because telemetry is keyed to virtual time by contract
+SIMULATOR_PACKAGES = ("core/", "engine/", "joins/", "streams/", "obs/")
 
 #: packages whose per-tuple paths are performance critical (R004's scope)
 HOT_PATH_PACKAGES = ("core/", "engine/", "joins/")
@@ -508,7 +509,7 @@ REGISTRY: tuple[Rule, ...] = (
         name="no-wall-clock",
         summary=(
             "no wall-clock reads inside the deterministic simulator "
-            "(core/, engine/, joins/, streams/)"
+            "(core/, engine/, joins/, streams/, obs/)"
         ),
         scope=SIMULATOR_PACKAGES,
         check=_check_wall_clock,

@@ -1,0 +1,96 @@
+"""Telemetry for the simulator: metrics, spans, explanations, exporters.
+
+Everything is keyed to **virtual time** (lint rule R001 covers this
+package: no wall clocks) and is **off by default** — a run only pays for
+telemetry when an :class:`Obs` is passed to the engine hooks
+(``Simulation(..., obs=obs)``, ``DataflowGraph.run(obs=obs)``,
+``Query.run(obs=obs)``).
+
+The pieces:
+
+* :class:`MetricsRegistry` — label-keyed counters, gauges, log2-bucket
+  histograms, and time series (:mod:`repro.obs.registry`);
+* :class:`SpanRecorder` — nested virtual-time spans
+  (:mod:`repro.obs.spans`);
+* :func:`explain_adaptation` — the shedding-decision explainer: why each
+  basic window was kept or shed (:mod:`repro.obs.explainer`);
+* :func:`write_jsonl` / :func:`prometheus_snapshot` — deterministic
+  exporters (:mod:`repro.obs.export`);
+* :func:`load_recording` / :func:`render_report` — replay and inspect a
+  recorded run (:mod:`repro.obs.inspect`, :mod:`repro.obs.dashboard`),
+  also via ``python -m repro.obs``;
+* :class:`ObservedOperator` — wrap a single operator with an ``Obs``
+  (:mod:`repro.obs.instrument`; imported lazily because it pulls in
+  :mod:`repro.engine`, which itself imports this package).
+"""
+
+from .dashboard import render_dashboard, render_report
+from .explainer import (
+    REASON_BUDGET,
+    REASON_FRACTIONAL,
+    REASON_NO_SHEDDING,
+    REASON_SELECTED,
+    AdaptationExplanation,
+    DirectionDecision,
+    WindowDecision,
+    explain_adaptation,
+)
+from .export import jsonl_lines, prometheus_snapshot, write_jsonl
+from .hub import Obs
+from .inspect import (
+    RecordedHistogram,
+    RecordedSeries,
+    RunRecording,
+    load_recording,
+    parse_lines,
+)
+from .registry import (
+    LOG2_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from .spans import ActiveSpan, SpanRecord, SpanRecorder
+
+__all__ = [
+    "ActiveSpan",
+    "AdaptationExplanation",
+    "Counter",
+    "DirectionDecision",
+    "Gauge",
+    "Histogram",
+    "LOG2_BOUNDS",
+    "MetricsRegistry",
+    "Obs",
+    "ObservedOperator",
+    "REASON_BUDGET",
+    "REASON_FRACTIONAL",
+    "REASON_NO_SHEDDING",
+    "REASON_SELECTED",
+    "RecordedHistogram",
+    "RecordedSeries",
+    "RunRecording",
+    "Series",
+    "SpanRecord",
+    "SpanRecorder",
+    "WindowDecision",
+    "explain_adaptation",
+    "jsonl_lines",
+    "load_recording",
+    "parse_lines",
+    "prometheus_snapshot",
+    "render_dashboard",
+    "render_report",
+    "write_jsonl",
+]
+
+
+def __getattr__(name: str):
+    """Lazy export of the engine-dependent wrapper (cycle-free)."""
+    if name == "ObservedOperator":
+        from .instrument import ObservedOperator
+
+        return ObservedOperator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,154 @@
+"""``python -m repro.obs`` — record and inspect instrumented runs.
+
+Two subcommands:
+
+``record``
+    Run the seeded Fig. 10-style adaptation slice (stepped input rates,
+    GrubJoin under a constrained CPU) with full instrumentation and
+    write the JSONL event log.  The workload, the simulator, and the
+    exporter are all deterministic, so the same seed always produces a
+    byte-identical file — CI records a slice and diffs it against the
+    committed golden copy.
+
+``report``
+    Replay a recorded JSONL log and print the inspection report:
+    throttle trajectory, per-direction harvest heat map, top-k most
+    expensive services, latency summary, per-stream accounting.
+
+Examples::
+
+    python -m repro.obs record -o /tmp/slice.jsonl
+    python -m repro.obs report /tmp/slice.jsonl --top 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO, Sequence
+
+from .dashboard import render_dashboard, render_report
+from .export import write_jsonl
+from .hub import Obs
+from .inspect import load_recording
+
+#: the recorded slice's stepped input rates (a scaled-down Fig. 10
+#: scenario: rate steps every 4 virtual seconds, cycling)
+STEP_PATTERN = ((20.0, 4.0), (30.0, 4.0), (10.0, 4.0))
+
+#: CPU capacity (comparisons/sec) — low enough that GrubJoin sheds
+DEFAULT_CAPACITY = 8e3
+
+DEFAULT_DURATION = 16.0
+DEFAULT_SEED = 7
+
+
+def _step_profile(duration: float) -> tuple[tuple[float, float], ...]:
+    breakpoints: list[tuple[float, float]] = []
+    t = 0.0
+    while t < duration:
+        for rate, hold in STEP_PATTERN:
+            breakpoints.append((t, rate))
+            t += hold
+            if t >= duration:
+                break
+    return tuple(breakpoints)
+
+
+def record_slice(
+    seed: int = DEFAULT_SEED,
+    duration: float = DEFAULT_DURATION,
+    capacity: float = DEFAULT_CAPACITY,
+) -> Obs:
+    """Run the instrumented Fig. 10-style slice and return its ``Obs``."""
+    # imported here so `repro.obs report` works without pulling the
+    # whole simulator in
+    from repro.core import GrubJoinOperator
+    from repro.engine import CpuModel, Simulation, SimulationConfig
+    from repro.experiments.harness import NONALIGNED_TAUS, WorkloadSpec
+    from repro.joins import EpsilonJoin
+
+    spec = WorkloadSpec(
+        m=3,
+        rate=None,
+        rate_profile=_step_profile(duration),
+        taus=NONALIGNED_TAUS[:3],
+        kappas=(2.0, 2.0, 50.0),
+        window=8.0,
+        basic_window=1.0,
+        seed=seed,
+    )
+    operator = GrubJoinOperator(
+        EpsilonJoin(spec.epsilon),
+        [spec.window] * spec.m,
+        spec.basic_window,
+        rng=seed + 101,
+    )
+    config = SimulationConfig(
+        duration=duration, warmup=0.0, adaptation_interval=2.0
+    )
+    obs = Obs()
+    obs.meta = {
+        "workload": "fig10-slice",
+        "seed": seed,
+        "duration": duration,
+        "capacity": capacity,
+        "adaptation_interval": config.adaptation_interval,
+        "operator": operator.describe(),
+    }
+    Simulation(
+        spec.sources(), operator, CpuModel(capacity), config, obs=obs
+    ).run()
+    return obs
+
+
+def _cmd_record(args: argparse.Namespace, out: IO[str]) -> int:
+    obs = record_slice(seed=args.seed, duration=args.duration,
+                       capacity=args.capacity)
+    lines = write_jsonl(obs, args.output)
+    out.write(f"wrote {lines} records to {args.output}\n")
+    if args.dashboard:
+        out.write(render_dashboard(obs, top=args.top) + "\n")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace, out: IO[str]) -> int:
+    rec = load_recording(args.path)
+    out.write(render_report(rec, top=args.top) + "\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="record and inspect instrumented simulation runs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    rec = sub.add_parser(
+        "record", help="run the seeded Fig. 10 slice, write JSONL"
+    )
+    rec.add_argument("-o", "--output", default="obs-run.jsonl",
+                     help="JSONL output path (default: obs-run.jsonl)")
+    rec.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    rec.add_argument("--duration", type=float, default=DEFAULT_DURATION,
+                     help="virtual seconds to simulate")
+    rec.add_argument("--capacity", type=float, default=DEFAULT_CAPACITY,
+                     help="CPU capacity in comparisons/sec")
+    rec.add_argument("--dashboard", action="store_true",
+                     help="print the live dashboard after recording")
+    rec.add_argument("--top", type=int, default=5,
+                     help="top-k services in the dashboard")
+    rec.set_defaults(func=_cmd_record)
+
+    rep = sub.add_parser("report", help="replay a recorded JSONL log")
+    rep.add_argument("path", help="JSONL file written by `record`")
+    rep.add_argument("--top", type=int, default=5,
+                     help="top-k services in the report")
+    rep.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None, out: IO[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args, out if out is not None else sys.stdout)

@@ -1,0 +1,194 @@
+"""Exporters: JSONL event log and Prometheus-style text snapshot.
+
+Both are **deterministic**: keys are sorted, floats are emitted with
+Python's shortest-roundtrip ``repr`` (stable across platforms), numpy
+scalars are converted to plain Python numbers, and collections are
+ordered by ``(name, labels)``.  Re-running a seeded workload produces a
+byte-identical JSONL file — the CI golden test depends on it.
+
+JSONL layout (one JSON object per line)::
+
+    {"type": "meta", ...}                       # run metadata, first line
+    {"type": "span", "id": 1, "name": ...}      # spans, record order
+    {"type": "adaptation", "time": ...}         # explainer, tick order
+    {"type": "series", "name": ..., "samples": [[t, v], ...]}
+    {"type": "counter" | "gauge" | "histogram", "name": ..., ...}
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterator
+
+from .hub import Obs
+from .registry import Counter, Gauge, Histogram, Series
+
+
+def jsonable(value):
+    """Recursively convert numpy scalars/arrays to plain Python values."""
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "tolist"):  # numpy array
+        return jsonable(value.tolist())
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def _dumps(obj: dict) -> str:
+    return json.dumps(jsonable(obj), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def jsonl_lines(obs: Obs) -> Iterator[str]:
+    """The run's JSONL event log, line by line (no trailing newlines)."""
+    yield _dumps({"type": "meta", **obs.meta})
+    for record in obs.spans.records:
+        yield _dumps({
+            "type": "span",
+            "id": record.span_id,
+            "parent": record.parent_id,
+            "name": record.name,
+            "start": record.start,
+            "end": record.end,
+            "labels": record.labels,
+            "attrs": record.attrs,
+        })
+    if obs.spans.dropped:
+        yield _dumps({"type": "spans-dropped", "count": obs.spans.dropped})
+    for explanation in obs.decisions:
+        yield _dumps({"type": "adaptation", **explanation.to_dict()})
+    for instrument in obs.registry.collect():
+        if isinstance(instrument, Series):
+            yield _dumps({
+                "type": "series",
+                "name": instrument.name,
+                "labels": instrument.label_dict(),
+                "samples": [
+                    [t, v]
+                    for t, v in zip(instrument.times, instrument.values)
+                ],
+            })
+    for instrument in obs.registry.collect():
+        if isinstance(instrument, Counter):
+            yield _dumps({
+                "type": "counter",
+                "name": instrument.name,
+                "labels": instrument.label_dict(),
+                "value": instrument.value,
+            })
+        elif isinstance(instrument, Gauge):
+            yield _dumps({
+                "type": "gauge",
+                "name": instrument.name,
+                "labels": instrument.label_dict(),
+                "value": instrument.value,
+            })
+        elif isinstance(instrument, Histogram):
+            yield _dumps({
+                "type": "histogram",
+                "name": instrument.name,
+                "labels": instrument.label_dict(),
+                "count": instrument.count,
+                "sum": instrument.sum,
+                "min": instrument.min if instrument.count else None,
+                "max": instrument.max if instrument.count else None,
+                "buckets": [
+                    ["+Inf" if bound == float("inf") else bound, fill]
+                    for bound, fill in instrument.nonzero_buckets()
+                ],
+            })
+
+
+def write_jsonl(obs: Obs, target: str | IO[str]) -> int:
+    """Write the JSONL event log to a path or text file object.
+
+    Returns the number of lines written.
+    """
+    lines = 0
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8", newline="\n") as fh:
+            for line in jsonl_lines(obs):
+                fh.write(line + "\n")
+                lines += 1
+    else:
+        for line in jsonl_lines(obs):
+            target.write(line + "\n")
+            lines += 1
+    return lines
+
+
+def _format_number(value: float) -> str:
+    """Prometheus-style number: integers without a decimal point."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{v}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_snapshot(obs: Obs) -> str:
+    """Prometheus text-format snapshot of the registry's current state.
+
+    Series export their last sample (as a gauge); histograms export
+    cumulative ``_bucket`` lines plus ``_sum`` and ``_count``.
+    """
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for instrument in obs.registry.collect():
+        labels = instrument.label_dict()
+        if instrument.name not in seen_types:
+            seen_types.add(instrument.name)
+            kind = {
+                "counter": "counter",
+                "gauge": "gauge",
+                "series": "gauge",
+                "histogram": "histogram",
+            }[instrument.kind]
+            lines.append(f"# TYPE {instrument.name} {kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            lines.append(
+                f"{instrument.name}{_format_labels(labels)} "
+                f"{_format_number(instrument.value)}"
+            )
+        elif isinstance(instrument, Series):
+            last = instrument.last()
+            if last is not None:
+                lines.append(
+                    f"{instrument.name}{_format_labels(labels)} "
+                    f"{_format_number(last)}"
+                )
+        elif isinstance(instrument, Histogram):
+            cumulative = 0
+            for bound, fill in instrument.nonzero_buckets():
+                cumulative += fill
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _format_number(bound)
+                lines.append(
+                    f"{instrument.name}_bucket"
+                    f"{_format_labels(bucket_labels)} {cumulative}"
+                )
+            lines.append(
+                f"{instrument.name}_sum{_format_labels(labels)} "
+                f"{_format_number(instrument.sum)}"
+            )
+            lines.append(
+                f"{instrument.name}_count{_format_labels(labels)} "
+                f"{instrument.count}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

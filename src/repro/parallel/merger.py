@@ -58,11 +58,22 @@ class MergerOperator(StreamOperator):
         self.merge_cost = int(merge_cost)
         self.merged = 0
         self.merged_per_shard = [0] * self.num_shards
+        # cached obs instrument handles (populated by _obs_setup)
+        self._obs_merged = None
+
+    def _obs_setup(self, obs, labels) -> None:
+        """Cache per-shard merged-result counters."""
+        self._obs_merged = [
+            obs.counter("merger_merged_total", shard=k, **labels)
+            for k in range(self.num_shards)
+        ]
 
     def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
         """Count one shard result and pass it through."""
         if 0 <= tup.stream < self.num_shards:
             self.merged_per_shard[tup.stream] += 1
+            if self._obs_merged is not None:
+                self._obs_merged[tup.stream].inc()
         self.merged += 1
         return ProcessReceipt(comparisons=self.merge_cost, outputs=[tup])
 

@@ -126,6 +126,25 @@ class RouterOperator(StreamOperator):
         self.routed_per_shard = [0] * self.num_shards
         self.rebalances = 0
         self.last_depths: list[int] = []
+        # cached obs instrument handles (populated by _obs_setup)
+        self._obs_routed = None
+        self._obs_rebalances = None
+        self._obs_depths = None
+
+    def _obs_setup(self, obs, labels) -> None:
+        """Cache per-shard routing counters and depth series."""
+        shards = range(self.num_shards)
+        self._obs_routed = [
+            obs.counter("router_routed_total", shard=k, **labels)
+            for k in shards
+        ]
+        self._obs_rebalances = obs.counter(
+            "router_rebalances_total", **labels
+        )
+        self._obs_depths = [
+            obs.series("shard_queue_depth", shard=k, **labels)
+            for k in shards
+        ]
 
     # ------------------------------------------------------------------
     # routing
@@ -146,6 +165,8 @@ class RouterOperator(StreamOperator):
         if self.policy == "round-robin":
             self._rr_positions[tup.stream] += 1
         self.routed_per_shard[shard] += 1
+        if self._obs_routed is not None:
+            self._obs_routed[shard].inc()
         return ProcessReceipt(
             comparisons=self.route_cost,
             outputs=[RoutedTuple(shard, tup)],
@@ -179,6 +200,9 @@ class RouterOperator(StreamOperator):
                 f"{self.num_shards} shards"
             )
         self.last_depths = depths
+        if self._obs_depths is not None:
+            for k, depth in enumerate(depths):
+                self._obs_depths[k].observe(now, depth)
         if self.num_shards < 2:
             return
         hot = max(range(self.num_shards), key=lambda k: (depths[k], k))
@@ -192,6 +216,8 @@ class RouterOperator(StreamOperator):
         else:
             self._reweight_cycle(depths)
         self.rebalances += 1
+        if self._obs_rebalances is not None:
+            self._obs_rebalances.inc()
 
     def _migrate_buckets(self, hot: int, cold: int) -> None:
         """Move ~a quarter of the hot shard's buckets to the cold shard."""

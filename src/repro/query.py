@@ -238,6 +238,7 @@ class Query:
         warmup: float = 20.0,
         adaptation_interval: float = 5.0,
         validate: bool = True,
+        obs=None,
     ) -> QueryResult:
         """Build and execute the query on a fresh simulated CPU.
 
@@ -246,6 +247,9 @@ class Query:
         :class:`repro.lint.plan.PlanValidationError` when it reports
         ERROR-level findings, so misconfigured plans fail before any
         virtual time is spent.
+
+        ``obs`` (a :class:`repro.obs.Obs`) is forwarded to
+        :meth:`DataflowGraph.run` to instrument the whole run.
         """
         if validate:
             self.validate().raise_for_errors()
@@ -258,6 +262,6 @@ class Query:
         # the analyzer already ran (or the caller opted out) — skip the
         # per-run graph validation to avoid doing the work twice
         result.graph_result = graph.run(
-            CpuModel(capacity), config, validate=False
+            CpuModel(capacity), config, validate=False, obs=obs
         )
         return result

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.engine import SimulationResult, StreamCounters, TimeSeries
+from repro.obs import Histogram
 
 
 class TestTimeSeries:
@@ -17,14 +18,21 @@ class TestTimeSeries:
     def test_out_of_order_rejected(self):
         ts = TimeSeries()
         ts.append(2.0, 1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="non-decreasing"):
             ts.append(1.0, 1.0)
 
     def test_equal_times_allowed(self):
+        # several events can share one virtual instant (adaptation and
+        # measure ticks landing on the same event time) — equal is legal,
+        # only strictly-backwards appends are rejected
         ts = TimeSeries()
         ts.append(1.0, 1.0)
         ts.append(1.0, 2.0)
-        assert len(ts) == 2
+        ts.append(1.0, 3.0)
+        assert len(ts) == 3
+        assert ts.values == [1.0, 2.0, 3.0]
+        ts.append(2.0, 4.0)
+        assert len(ts) == 4
 
     def test_last_and_mean(self):
         ts = TimeSeries()
@@ -62,3 +70,24 @@ class TestSimulationResult:
         r = self._result()
         assert r.total_arrived() == 30
         assert r.total_dropped() == 5
+
+    def test_drop_rates(self):
+        r = self._result()
+        assert r.drop_rate(0) == pytest.approx(0.2)
+        assert r.drop_rate(1) == pytest.approx(0.15)
+        assert r.drop_rates == [r.drop_rate(0), r.drop_rate(1)]
+        r.streams[0] = StreamCounters()  # nothing arrived -> no division
+        assert r.drop_rate(0) == 0.0
+
+    def test_p95_latency(self):
+        r = self._result()
+        assert r.p95_latency == 0.0  # no histogram attached
+        hist = Histogram("tuple_latency_seconds")
+        for _ in range(90):
+            hist.observe(0.01)
+        for _ in range(10):
+            hist.observe(3.0)
+        r.latency_histogram = hist
+        # conservative tail estimate: at or above the true p95, at most
+        # one bucket above the largest observation
+        assert 3.0 <= r.p95_latency <= 4.0

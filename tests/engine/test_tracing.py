@@ -1,7 +1,14 @@
-"""Tests for the event tracing wrapper and GrubJoin's debug logging."""
+"""Tests for operator observation and GrubJoin's debug logging.
+
+``TracedOperator`` is deprecated in favour of the ``repro.obs`` span
+API; the shim tests below prove old call sites keep working (under a
+``DeprecationWarning``), and ``TestObservedOperator`` covers the
+successor.
+"""
 
 import logging
 
+import pytest
 
 from repro.core import GrubJoinOperator
 from repro.engine import (
@@ -12,6 +19,7 @@ from repro.engine import (
     TracedOperator,
 )
 from repro.joins import EpsilonJoin, MJoinOperator
+from repro.obs import Obs, ObservedOperator
 from repro.testkit.workloads import drift_sources
 
 
@@ -21,13 +29,90 @@ def make_sources(rate=20.0, m=3, seed=0):
     )
 
 
-class TestTracedOperator:
+def run_wrapped(wrapped, capacity=1e12, duration=6.0):
+    cfg = SimulationConfig(duration=duration, warmup=0.0,
+                           adaptation_interval=2.0)
+    return Simulation(make_sources(), wrapped, CpuModel(capacity),
+                      cfg).run()
+
+
+class TestObservedOperator:
+    def _run(self, obs=None, capacity=1e12):
+        op = MJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0)
+        observed = ObservedOperator(op, obs)
+        run_wrapped(observed, capacity)
+        return observed
+
+    def test_services_recorded(self):
+        observed = self._run()
+        spans = observed.service_spans()
+        assert len(spans) == 360  # 3 streams * 20/s * 6s
+        first = spans[0]
+        assert first.name == "service"
+        assert first.labels["stream"] in ("0", "1", "2")
+        assert first.attrs["comparisons"] >= 0
+        # wrapper spans are zero-width stamps at the service instant
+        assert first.end == first.start
+
+    def test_adaptations_recorded(self):
+        observed = self._run()
+        adapts = observed.obs.spans.named("adapt")
+        assert len(adapts) == 3
+        assert adapts[0].start == 2.0
+        assert adapts[0].attrs["pushed"][0] == 40
+
+    def test_total_comparisons_and_busiest(self):
+        observed = self._run()
+        assert observed.total_comparisons() > 0
+        busiest = observed.busiest_services(5)
+        assert len(busiest) == 5
+        assert (busiest[0].attrs["comparisons"]
+                >= busiest[-1].attrs["comparisons"])
+
+    def test_max_spans_cap(self):
+        obs = Obs(max_spans=10)
+        observed = self._run(obs=obs)
+        assert len(obs.spans.records) == 10
+        assert obs.spans.dropped > 0
+
+    def test_throttle_forwarded(self):
+        grub = GrubJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0, rng=0)
+        observed = ObservedOperator(grub)
+        cfg = SimulationConfig(duration=8.0, warmup=0.0,
+                               adaptation_interval=2.0)
+        res = Simulation(make_sources(rate=50.0), observed, CpuModel(2e4),
+                         cfg).run()
+        assert observed.throttle_fraction == grub.throttle_fraction
+        # the runtime's throttle series captured the inner operator's z
+        assert len(res.throttle_series) > 0
+        recorded = [s.attrs["throttle"]
+                    for s in observed.obs.spans.named("adapt")]
+        assert recorded and all(z is not None for z in recorded)
+
+    def test_inner_operator_metrics_bound(self):
+        # wrapping binds the inner operator's own instruments too
+        obs = Obs()
+        grub = GrubJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0, rng=0)
+        observed = ObservedOperator(grub, obs)
+        run_wrapped(observed, capacity=2e4, duration=6.0)
+        adaptations = obs.registry.get("grubjoin_adaptations_total")
+        assert adaptations is not None and adaptations.value == 3
+
+    def test_describe(self):
+        observed = ObservedOperator(
+            MJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0)
+        )
+        assert observed.describe() == "Observed(MJoin(m=3))"
+
+
+class TestTracedOperatorShim:
+    """The deprecated wrapper still runs — and still fills its trace."""
+
     def _run(self, trace=None, capacity=1e12):
         op = MJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0)
-        traced = TracedOperator(op, trace)
-        cfg = SimulationConfig(duration=6.0, warmup=0.0,
-                               adaptation_interval=2.0)
-        Simulation(make_sources(), traced, CpuModel(capacity), cfg).run()
+        with pytest.warns(DeprecationWarning, match="TracedOperator"):
+            traced = TracedOperator(op, trace)
+        run_wrapped(traced, capacity)
         return traced
 
     def test_services_recorded(self):
@@ -55,23 +140,17 @@ class TestTracedOperator:
         traced = self._run(trace=trace)
         assert len(traced.trace.services) == 10
 
-    def test_throttle_forwarded(self):
-        grub = GrubJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0, rng=0)
-        traced = TracedOperator(grub)
-        cfg = SimulationConfig(duration=8.0, warmup=0.0,
-                               adaptation_interval=2.0)
-        res = Simulation(make_sources(rate=50.0), traced, CpuModel(2e4),
-                         cfg).run()
-        assert traced.throttle_fraction == grub.throttle_fraction
-        # the runtime's throttle series captured the inner operator's z
-        assert len(res.throttle_series) > 0
-        recorded = [a.throttle for a in traced.trace.adaptations]
-        assert all(z is not None for z in recorded)
+    def test_spans_recorded_alongside_trace(self):
+        # the shim is an ObservedOperator underneath: span records exist
+        traced = self._run()
+        assert isinstance(traced, ObservedOperator)
+        assert len(traced.service_spans()) == 360
 
     def test_describe(self):
-        traced = TracedOperator(
-            MJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0)
-        )
+        with pytest.warns(DeprecationWarning):
+            traced = TracedOperator(
+                MJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0)
+            )
         assert traced.describe() == "Traced(MJoin(m=3))"
 
 

@@ -25,6 +25,7 @@ class TestTopLevelApi:
             "repro.engine",
             "repro.experiments",
             "repro.joins",
+            "repro.obs",
             "repro.streams",
             "repro.testkit",
         ],
@@ -36,7 +37,7 @@ class TestTopLevelApi:
 
     def test_no_private_names_exported(self):
         for mod_name in ("repro", "repro.core", "repro.engine",
-                         "repro.joins", "repro.streams",
+                         "repro.joins", "repro.obs", "repro.streams",
                          "repro.testkit"):
             mod = importlib.import_module(mod_name)
             assert not any(n.startswith("_") for n in mod.__all__)
@@ -44,7 +45,7 @@ class TestTopLevelApi:
     def test_all_sorted(self):
         """Keep the export lists tidy (and merges conflict-free)."""
         for mod_name in ("repro", "repro.core", "repro.engine",
-                         "repro.joins", "repro.streams",
+                         "repro.joins", "repro.obs", "repro.streams",
                          "repro.testkit"):
             mod = importlib.import_module(mod_name)
             assert list(mod.__all__) == sorted(mod.__all__), mod_name
