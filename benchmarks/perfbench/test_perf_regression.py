@@ -1,0 +1,175 @@
+"""perfbench harness smoke: gate logic, timing proxy, macro identity.
+
+The heavy wall-clock measurements live in ``python -m repro.perf.bench``
+(CI runs it with ``--quick --check`` against the committed
+``BENCH_PERF.json``).  This module keeps the *harness itself* honest with
+fast deterministic checks: the regression gate fires in the right
+direction, the timing proxy is transparent to the simulator, and a
+miniature macro still enforces slow/fast result identity.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import (
+    GATE_DIRECTIONS,
+    TimedOperator,
+    _grub_leg,
+    _macro,
+    check_against_baseline,
+    main,
+)
+from repro.testkit.differential import calibrated_shed_capacity
+from repro.testkit.workloads import drift_workload
+
+BASELINE = Path(__file__).with_name("BENCH_PERF.json")
+
+
+def _doc(metrics: dict) -> dict:
+    return {"gate_metrics": metrics}
+
+
+class TestGateLogic:
+    GOOD = {"macro3_speedup_x": 2.5, "fig10_solver_time_ratio": 0.5}
+
+    def test_identical_run_passes(self):
+        assert check_against_baseline(_doc(self.GOOD), _doc(self.GOOD)) == []
+
+    def test_improvement_never_fails(self):
+        better = {"macro3_speedup_x": 9.0, "fig10_solver_time_ratio": 0.1}
+        assert check_against_baseline(_doc(better), _doc(self.GOOD)) == []
+
+    def test_speedup_regression_fails(self):
+        worse = dict(self.GOOD, macro3_speedup_x=2.5 * 0.8)
+        failures = check_against_baseline(_doc(worse), _doc(self.GOOD))
+        assert any("macro3_speedup_x" in f for f in failures)
+
+    def test_solver_ratio_regression_fails(self):
+        worse = dict(self.GOOD, fig10_solver_time_ratio=0.5 * 1.3)
+        failures = check_against_baseline(_doc(worse), _doc(self.GOOD))
+        assert any("fig10_solver_time_ratio" in f for f in failures)
+
+    def test_within_tolerance_passes(self):
+        wobble = dict(self.GOOD, macro3_speedup_x=2.5 * 0.9)
+        assert check_against_baseline(_doc(wobble), _doc(self.GOOD)) == []
+
+    def test_absolute_floor_beats_baseline_tolerance(self):
+        # baseline itself below the promised floor: still a failure
+        low = {"macro3_speedup_x": 1.5, "fig10_solver_time_ratio": 0.5}
+        failures = check_against_baseline(_doc(low), _doc(low))
+        assert any("floor" in f for f in failures)
+
+    def test_missing_metric_reported(self):
+        failures = check_against_baseline(_doc({}), _doc(self.GOOD))
+        assert len(failures) >= len(GATE_DIRECTIONS)
+
+
+class TestCommittedBaseline:
+    def test_baseline_exists_and_meets_promises(self):
+        """The committed BENCH_PERF.json upholds the reproduction's
+        acceptance criteria: >= 2x on macro3, >= 30% solver time drop."""
+        doc = json.loads(BASELINE.read_text())
+        gates = doc["gate_metrics"]
+        assert gates["macro3_speedup_x"] >= 2.0
+        assert gates["fig10_solver_time_ratio"] <= 0.7
+        assert doc["benchmarks"]["macro3"]["identical"] is True
+        assert doc["benchmarks"]["macro5"]["identical"] is True
+        assert doc["benchmarks"]["sharded_k4"]["identical"] is True
+
+    def test_baseline_passes_its_own_gate(self):
+        doc = json.loads(BASELINE.read_text())
+        assert check_against_baseline(doc, doc) == []
+
+
+class TestTimedOperator:
+    def test_delegates_and_times(self):
+        class Dummy:
+            num_streams = 3
+
+            def process(self, tup, now):
+                return ("receipt", tup, now)
+
+            def describe(self):
+                return "dummy"
+
+        ticks = iter([0.0, 0.25, 1.0, 1.75])
+        timed = TimedOperator(Dummy(), timer=lambda: next(ticks))
+        assert timed.num_streams == 3
+        assert timed.describe() == "dummy"
+        assert timed.process("t", 1.0) == ("receipt", "t", 1.0)
+        assert timed.process("u", 2.0) == ("receipt", "u", 2.0)
+        assert timed.service_seconds == [0.25, 0.75]
+
+
+class TestMiniMacro:
+    def test_identity_enforced_on_a_small_run(self):
+        workload = drift_workload(
+            seed=5, m=3, rate=10.0, duration=5.0, window=4.0, basic=1.0,
+            lags=[0.1 * i for i in range(3)],
+        )
+        capacity = calibrated_shed_capacity(workload, 0.5)
+        report = _macro(
+            "mini",
+            lambda fastpath: _grub_leg(workload, capacity, fastpath),
+            repeats=1,
+        )
+        assert report["identical"] is True
+        assert report["results"] > 0
+        assert report["slow"]["tuples"] == report["fast"]["tuples"]
+
+    def test_divergence_raises(self):
+        calls = {"n": 0}
+
+        def fake_leg(fastpath):
+            calls["n"] += 1
+            stats = {"wall_s": 0.1, "tuples": 1, "tuples_per_s": 10.0,
+                     "p95_service_us": 1.0}
+            return stats, frozenset({(("a", calls["n"]),)})
+
+        with pytest.raises(AssertionError, match="diverged"):
+            _macro("broken", fake_leg, repeats=1)
+
+
+class TestCli:
+    def test_check_exit_code_on_regression(self, tmp_path):
+        """`--check` must exit non-zero when the baseline is better than
+        the run can possibly be; exercised via the real CLI entry."""
+        impossible = json.loads(BASELINE.read_text())
+        impossible["gate_metrics"]["macro3_speedup_x"] = 1e9
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(impossible))
+        out = tmp_path / "run.json"
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "repro.perf.bench", "--quick",
+                "--repeats", "1", "-o", str(out),
+                "--check", str(baseline),
+            ],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stdout
+        assert json.loads(out.read_text())["meta"]["quick"] is True
+
+    def test_main_writes_report(self, tmp_path, monkeypatch):
+        import repro.perf.bench as bench_mod
+
+        monkeypatch.setattr(
+            bench_mod, "run_bench",
+            lambda quick=False, repeats=None: {
+                "meta": {"quick": quick, "repeats": 1},
+                "benchmarks": {},
+                "gate_metrics": {"macro3_speedup_x": 3.0},
+            },
+        )
+        out = tmp_path / "r.json"
+        assert main(["-o", str(out)]) == 0
+        assert json.loads(out.read_text())["gate_metrics"] == {
+            "macro3_speedup_x": 3.0
+        }

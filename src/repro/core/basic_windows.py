@@ -218,7 +218,8 @@ class PartitionedWindow:
 
     __slots__ = (
         "window_size", "basic_window_size", "n", "mode", "_ring",
-        "_epoch_start", "rotations",
+        "_epoch_start", "rotations", "version",
+        "_fs_key", "_fs_prefix", "_fs_now", "_fs_full",
     )
 
     def __init__(
@@ -244,7 +245,19 @@ class PartitionedWindow:
             BasicWindow(mode, dim) for _ in range(self.n + 1)
         )
         self._epoch_start = float(start_time)
+        #: rotation-epoch counter: increments once per basic-window rotation
         self.rotations = 0
+        #: bumped on every content mutation that is not a rotation
+        #: (insert, early eviction); ``(rotations, version)`` together key
+        #: the slice caches below
+        self.version = 0
+        # full_slices cache: the k < n slices depend only on
+        # (rotations, version); only the oldest window's tail cut moves
+        # with ``now``, so it is re-cut on a prefix hit.
+        self._fs_key: tuple[int, int] | None = None
+        self._fs_prefix: list[WindowSlice] = []
+        self._fs_now: float | None = None
+        self._fs_full: list[WindowSlice] = []
 
     # ------------------------------------------------------------------
     # time management
@@ -302,6 +315,7 @@ class PartitionedWindow:
             target.insert_sorted(tup)
         else:
             target.append(tup)
+        self.version += 1
 
     # ------------------------------------------------------------------
     # views
@@ -348,17 +362,76 @@ class PartitionedWindow:
 
     def full_slices(self, now: float) -> list[WindowSlice]:
         """Slices covering the entire unexpired window (ages in
-        ``[0, n*b)``) — what a full, non-harvested join probes."""
+        ``[0, n*b)``) — what a full, non-harvested join probes.
+
+        Cached per ``(rotations, version)``: the slices over the ``n``
+        non-oldest physical windows always span their full contents, so
+        they are reused until the next mutation; only the oldest window's
+        expiration cut depends on ``now`` and is redone per distinct call
+        time.  Treat the returned list as immutable.
+        """
         self.rotate_to(now)
-        ts_lo = now - self.n * self.basic_window_size
+        key = (self.rotations, self.version)
+        if key == self._fs_key:
+            if now == self._fs_now:
+                return self._fs_full
+            prefix = self._fs_prefix
+        else:
+            prefix = []
+            for k in range(self.n):
+                window = self._ring[k]
+                if len(window):
+                    prefix.append(WindowSlice(window, 0, len(window)))
+            self._fs_key = key
+            self._fs_prefix = prefix
+        slices = list(prefix)
+        oldest = self._ring[self.n]
+        if len(oldest):
+            ts_lo = now - self.n * self.basic_window_size
+            lo, hi = oldest.slice_between(ts_lo, now)
+            if hi > lo:
+                slices.append(WindowSlice(oldest, lo, hi))
+        self._fs_now = now
+        self._fs_full = slices
+        return slices
+
+    def logical_span_slices(
+        self,
+        j_lo: int,
+        j_hi: int,
+        now: float,
+        reference: float | None = None,
+    ) -> list[WindowSlice]:
+        """Slices jointly holding logical basic windows ``j_lo..j_hi``
+        (1-based, inclusive) — the tuples with age in
+        ``[(j_lo-1)*b, j_hi*b)`` relative to ``reference``.
+
+        Equivalent to concatenating :meth:`logical_window_slices` for each
+        ``j`` in the run and coalescing touching slices (adjacent logical
+        windows always abut inside a shared physical window), but pays two
+        binary searches per *physical* window instead of two per logical
+        window: the once-per-configuration run decomposition of
+        :meth:`repro.core.harvesting.HarvestConfiguration.selected_runs`
+        makes the per-probe harvest slicing linear in the number of runs.
+        """
+        if not 1 <= j_lo <= j_hi <= self.n:
+            raise ValueError(
+                f"logical run [{j_lo}, {j_hi}] out of [1, {self.n}]"
+            )
+        self.rotate_to(now)
+        if reference is None:
+            reference = now
+        b = self.basic_window_size
+        ts_hi = reference - (j_lo - 1) * b
+        ts_lo = reference - j_hi * b
+        k_first = self._ring_index_of(ts_hi)
+        k_last = min(self._ring_index_of(ts_lo), self.n)
         slices = []
-        for k, window in enumerate(self._ring):
+        for k in range(k_first, k_last + 1):
+            window = self._ring[k]
             if len(window) == 0:
                 continue
-            if k < self.n:
-                lo, hi = 0, len(window)
-            else:
-                lo, hi = window.slice_between(ts_lo, now)
+            lo, hi = window.slice_between(ts_lo, ts_hi)
             if hi > lo:
                 slices.append(WindowSlice(window, lo, hi))
         return slices
@@ -384,6 +457,8 @@ class PartitionedWindow:
             if newest <= cutoff:
                 evicted += len(window)
                 window.clear()
+        if evicted:
+            self.version += 1
         return evicted
 
     def count_unexpired(self, now: float) -> int:

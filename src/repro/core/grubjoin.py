@@ -30,6 +30,7 @@ from repro.joins.join_order import (
     low_selectivity_first,
     validate_order,
 )
+from repro.joins.columnar import select_kernel
 from repro.joins.pipeline import merge_slices, run_pipeline
 from repro.joins.selectivity import SelectivityEstimator
 from repro.obs.explainer import explain_adaptation
@@ -94,6 +95,20 @@ class GrubJoinOperator(StreamOperator):
             later re-selects those segments — the classic memory-shedding
             trade-off.
         rng: generator (or seed) for the shredding sampler.
+        fastpath: probe with the columnar kernel and the run-based harvest
+            slicing (``None`` auto-enables when the predicate supports it,
+            ``False`` forces the reference path, ``True`` raises for
+            unsupported predicates).  The fast path scans exactly the same
+            tuples — identical comparison counts, drop/admit accounting,
+            and output sets — but wall-clock much faster; harvested
+            probes may enumerate their (identical) outputs in a different
+            order within one tuple's result batch.
+        warm_start: seed each adaptation's greedy solve with the previous
+            tick's harvest counts (rejected automatically when infeasible
+            or when the join orders changed).  Cuts solver work sharply on
+            stable workloads, at the price of a path-dependent (still
+            feasible, still budget-respecting) configuration; off by
+            default so existing runs stay decision-identical.
     """
 
     def __init__(
@@ -118,6 +133,8 @@ class GrubJoinOperator(StreamOperator):
         memory_saving: bool = False,
         rng: np.random.Generator | int | None = None,
         solver_timer: Callable[[], float] | None = None,
+        fastpath: bool | None = None,
+        warm_start: bool = False,
     ) -> None:
         m = len(window_sizes)
         if m < 2:
@@ -181,6 +198,19 @@ class GrubJoinOperator(StreamOperator):
         ]
         self.harvest = HarvestConfiguration.full(m, self.segments)
         self.solver_timer = solver_timer
+        self._kernel = select_kernel(predicate, fastpath)
+        self.fastpath = self._kernel is not run_pipeline
+        self.warm_start = bool(warm_start)
+        self._warm_counts: np.ndarray | None = None
+        self._warm_orders: list[list[int]] | None = None
+        # Eq. 2/4 score-convolution cache keyed on histogram versions
+        self._score_cache: dict[
+            tuple[int, int], tuple[tuple[int, int], np.ndarray]
+        ] = {}
+        self.score_cache_hits = 0
+        self.score_cache_misses = 0
+        self.warmstart_hits = 0
+        self.warmstart_misses = 0
         self._rng = np.random.default_rng(rng)
         self._rates = np.zeros(m)
         # diagnostics
@@ -212,6 +242,18 @@ class GrubJoinOperator(StreamOperator):
             "solver_steps": obs.counter("solver_steps_total", **labels),
             "solver_evals": obs.counter(
                 "solver_evaluations_total", **labels
+            ),
+            "warm_hit": obs.counter(
+                "solver_warmstart_total", result="hit", **labels
+            ),
+            "warm_miss": obs.counter(
+                "solver_warmstart_total", result="miss", **labels
+            ),
+            "score_hit": obs.counter(
+                "score_cache_total", result="hit", **labels
+            ),
+            "score_miss": obs.counter(
+                "score_cache_total", result="miss", **labels
             ),
             "z": obs.series("throttle_z", **labels),
             "beta": obs.series("throttle_beta", **labels),
@@ -280,18 +322,31 @@ class GrubJoinOperator(StreamOperator):
         order = self.orders[i]
         harvest = self.harvest
 
-        def slices_for_hop(hop: int, window_stream: int):
-            return merge_slices(
-                harvest.slices_for_hop(
+        if self.fastpath:
+            # run-based slicing: the merge work was done once at selection
+            # time (HarvestConfiguration.selected_runs), so each probe
+            # pays two binary searches per (run, physical window)
+            def slices_for_hop(hop: int, window_stream: int):
+                return harvest.run_slices_for_hop(
                     self.windows[window_stream],
                     i,
                     hop,
                     now,
                     reference=tup.timestamp,
                 )
-            )
+        else:
+            def slices_for_hop(hop: int, window_stream: int):
+                return merge_slices(
+                    harvest.slices_for_hop(
+                        self.windows[window_stream],
+                        i,
+                        hop,
+                        now,
+                        reference=tup.timestamp,
+                    )
+                )
 
-        result = run_pipeline(tup, order, slices_for_hop, self.predicate)
+        result = self._kernel(tup, order, slices_for_hop, self.predicate)
         if self._obs_handles is not None:
             per_hop = self._obs_handles["comparisons"][i]
             for hop, stats in enumerate(result.hop_stats):
@@ -306,7 +361,7 @@ class GrubJoinOperator(StreamOperator):
         slices_for_hop = shred_slices_for_hop(
             self.windows, order, self.throttle.z, now
         )
-        result = run_pipeline(tup, order, slices_for_hop, self.predicate)
+        result = self._kernel(tup, order, slices_for_hop, self.predicate)
         for hop, stats in enumerate(result.hop_stats):
             self.selectivity.observe(
                 i, order[hop], stats.scanned, stats.matched
@@ -358,6 +413,36 @@ class GrubJoinOperator(StreamOperator):
                 self.harvest.counts.tolist(),
             )
 
+    def _scores_cached(self, i: int, l: int) -> np.ndarray:
+        """Eq. 2/4 scores for ``(i, l)``, memoized on histogram versions.
+
+        The convolution depends only on the histograms of streams ``i``
+        and ``l`` (stream 0 has none), so the cached array stays valid
+        until one of them changes — a ``histogram_decay`` that actually
+        rescales counts bumps the version and invalidates, a no-op decay
+        of an empty histogram does not.  Callers must not mutate the
+        returned array.
+        """
+        key = (i, l)
+        versions = (
+            self.histograms[i].version if i != 0 else -1,
+            self.histograms[l].version if l != 0 else -1,
+        )
+        entry = self._score_cache.get(key)
+        if entry is not None and entry[0] == versions:
+            self.score_cache_hits += 1
+            if self._obs_handles is not None:
+                self._obs_handles["score_hit"].inc()
+            return entry[1]
+        scores = scores_from_histograms(
+            self.histograms, i, l, self.basic_window_size, self.segments[l]
+        )
+        self._score_cache[key] = (versions, scores)
+        self.score_cache_misses += 1
+        if self._obs_handles is not None:
+            self._obs_handles["score_miss"].inc()
+        return scores
+
     def build_profile(self, now: float) -> JoinProfile:
         """Snapshot the current state as a :class:`JoinProfile`."""
         m = self.num_streams
@@ -368,15 +453,7 @@ class GrubJoinOperator(StreamOperator):
         for i in range(m):
             per_dir = []
             for l in self.orders[i]:
-                per_dir.append(
-                    scores_from_histograms(
-                        self.histograms,
-                        i,
-                        l,
-                        self.basic_window_size,
-                        self.segments[l],
-                    )
-                )
+                per_dir.append(self._scores_cached(i, l))
             masses.append(per_dir)
         return JoinProfile(
             rates=self._rates.copy(),
@@ -393,6 +470,7 @@ class GrubJoinOperator(StreamOperator):
             self.harvest = HarvestConfiguration.full(
                 self.num_streams, self.segments
             )
+            self._warm_counts = None  # a full config is not a greedy seed
             if self._obs_handles is not None:
                 self._obs_record_harvest(self.harvest.counts)
                 self.obs.explain(explain_adaptation(
@@ -401,18 +479,38 @@ class GrubJoinOperator(StreamOperator):
                 ))
             return
         profile = self.build_profile(now)
+        warm = None
+        if (
+            self.warm_start
+            and self._warm_counts is not None
+            and self._warm_orders == self.orders
+        ):
+            warm = self._warm_counts
         timer = self.solver_timer
         started = timer() if timer is not None else 0.0
         if self._obs_handles is not None:
             with self.obs.span(f"solver.{self.solver}") as span:
-                result = self._solve(profile, z)
+                result = self._solve(profile, z, warm)
                 span.annotate(
-                    steps=result.steps, evaluations=result.evaluations
+                    steps=result.steps,
+                    evaluations=result.evaluations,
+                    reused=result.reused,
                 )
         else:
-            result = self._solve(profile, z)
+            result = self._solve(profile, z, warm)
         if timer is not None:
             self.solver_seconds_total += timer() - started
+        if self.warm_start:
+            if result.reused > 0:
+                self.warmstart_hits += 1
+                if self._obs_handles is not None:
+                    self._obs_handles["warm_hit"].inc()
+            else:
+                self.warmstart_misses += 1
+                if self._obs_handles is not None:
+                    self._obs_handles["warm_miss"].inc()
+            self._warm_counts = result.counts.copy()
+            self._warm_orders = [list(o) for o in self.orders]
         rankings = [
             [profile.ranking(i, j) for j in range(self.num_streams - 1)]
             for i in range(self.num_streams)
@@ -434,14 +532,20 @@ class GrubJoinOperator(StreamOperator):
                     self.tuples_evicted - before
                 )
 
-    def _solve(self, profile: JoinProfile, z: float):
+    def _solve(
+        self,
+        profile: JoinProfile,
+        z: float,
+        warm_start: np.ndarray | None = None,
+    ):
         """Run the configured solver on ``profile`` under budget ``z``."""
         if self.solver == "double-sided":
             return greedy_double_sided(
-                profile, z, self.metric, self.fractional_fallback
+                profile, z, self.metric, self.fractional_fallback,
+                warm_start,
             )
         return greedy_pick(
-            profile, z, self.metric, self.fractional_fallback
+            profile, z, self.metric, self.fractional_fallback, warm_start
         )
 
     def _evict_unprobed_segments(self, now: float) -> None:

@@ -46,6 +46,8 @@ class HarvestConfiguration:
             [np.asarray(r, dtype=int) for r in per_dir]
             for per_dir in rankings
         ]
+        # once-per-configuration run decomposition cache (see selected_runs)
+        self._runs: dict[tuple[int, int], list[tuple[int, int]]] = {}
 
     @classmethod
     def full(cls, m: int, segments: Sequence[int]) -> "HarvestConfiguration":
@@ -103,6 +105,61 @@ class HarvestConfiguration:
             stride = max(1, round(1.0 / frac))
             for s in window.logical_window_slices(k + 1, now, reference):
                 slices.append(WindowSlice(s.window, s.lo, s.hi, step=stride))
+        return slices
+
+    def selected_runs(self, i: int, j: int) -> list[tuple[int, int]]:
+        """Maximal runs of consecutive fully selected logical windows at
+        hop ``j`` of direction ``i``: 1-based inclusive ``(first, last)``
+        pairs, ascending.
+
+        This is the slice-merging work of :func:`merge_slices` hoisted to
+        selection time: a configuration is immutable, so the adjacency of
+        its selected logical windows is computed once here instead of
+        being rediscovered (via sort + coalesce over physical slices) on
+        every probe.
+        """
+        key = (i, j)
+        cached = self._runs.get(key)
+        if cached is not None:
+            return cached
+        selected = sorted(int(k) for k in self.selected_windows(i, j))
+        runs: list[tuple[int, int]] = []
+        for k in selected:
+            if runs and k == runs[-1][1]:
+                runs[-1] = (runs[-1][0], k + 1)
+            else:
+                runs.append((k + 1, k + 1))
+        self._runs[key] = runs
+        return runs
+
+    def run_slices_for_hop(
+        self,
+        window: PartitionedWindow,
+        i: int,
+        j: int,
+        now: float,
+        reference: float | None = None,
+    ) -> list[WindowSlice]:
+        """Fast-path variant of :meth:`slices_for_hop` + ``merge_slices``.
+
+        Scans exactly the same tuples with the same strides — identical
+        scanned/matched/comparison accounting and identical output *sets*
+        — but enumerates slices run-by-run (ascending logical index,
+        strided fractional tail first) rather than in merged rank order,
+        and pays two binary searches per (run, physical window) instead of
+        two per logical window plus a sort.
+        """
+        slices: list[WindowSlice] = []
+        partial = self.fractional_window(i, j)
+        if partial is not None:
+            k, frac = partial
+            stride = max(1, round(1.0 / frac))
+            for s in window.logical_window_slices(k + 1, now, reference):
+                slices.append(WindowSlice(s.window, s.lo, s.hi, step=stride))
+        for first, last in self.selected_runs(i, j):
+            slices.extend(
+                window.logical_span_slices(first, last, now, reference)
+            )
         return slices
 
     def fraction(self, i: int, j: int, segments: int) -> float:

@@ -44,6 +44,10 @@ class EquiWidthHistogram:
         #: frequencies are spuriously spiky, which makes downstream
         #: consumers (the window-harvesting cost model) overconfident
         self.smoothing = float(smoothing)
+        #: bumped on every content change; score-convolution caches key on
+        #: it (a decay of an empty histogram changes nothing and keeps the
+        #: version, so idle adaptation ticks stay cache hits)
+        self.version = 0
 
     # ------------------------------------------------------------------
     # updates
@@ -56,6 +60,7 @@ class EquiWidthHistogram:
     def add(self, x: float, weight: float = 1.0) -> None:
         """Record one sample."""
         self.counts[self._bucket_of(x)] += weight
+        self.version += 1
 
     def add_many(self, xs) -> None:
         """Record a batch of samples."""
@@ -65,12 +70,17 @@ class EquiWidthHistogram:
             self.buckets - 1,
         )
         np.add.at(self.counts, idx, 1.0)
+        if len(idx):
+            self.version += 1
 
     def decay(self, factor: float) -> None:
         """Age the histogram: multiply all counts by ``factor`` in (0, 1]."""
         if not 0 < factor <= 1:
             raise ValueError("decay factor must be in (0, 1]")
+        if factor == 1.0 or not self.counts.any():
+            return  # no-op decay: contents (and version) unchanged
         self.counts *= factor
+        self.version += 1
 
     # ------------------------------------------------------------------
     # queries

@@ -97,11 +97,20 @@ def scores_from_histograms(
     # Eq. (4): p^k ~= sum_v L_l[v] * L_i(b*[k-1,k] + center_v)
     weights = hist_l.probabilities()
     centers = hist_l.centers()
+    # One 2-D mass_many call computes every (bucket, segment) band mass;
+    # mass_many is elementwise, so row v equals the per-bucket call it
+    # replaces bit-for-bit.  The accumulation stays a sequential loop
+    # (with the same w <= 0 skip) because float addition order matters
+    # for reproducibility.
+    mass = hist_i.mass_many(
+        b * (k - 1)[None, :] + centers[:, None],
+        b * k[None, :] + centers[:, None],
+    )
     scores = np.zeros(segments)
-    for w, c in zip(weights, centers):
+    for v, w in enumerate(weights):
         if w <= 0:
             continue
-        scores += w * hist_i.mass_many(b * (k - 1) + c, b * k + c)
+        scores += w * mass[v]
     return scores
 
 

@@ -25,6 +25,10 @@ class SolverResult:
             ``steps <= evaluations``: the ratio is the per-step scan
             width Fig. 5 plots against.
         method: solver label (``greedy-bdopdc``, ``brute-force``, ...).
+        reused: segment selections taken over from a warm-start seed
+            (0 for cold solves or rejected seeds).  ``reused > 0`` means
+            the solver refined the previous tick's configuration instead
+            of rebuilding it from zero.
     """
 
     counts: np.ndarray
@@ -33,6 +37,7 @@ class SolverResult:
     evaluations: int
     method: str
     steps: int = 0
+    reused: int = 0
 
     def fractions(self, profile) -> np.ndarray:
         """The harvest fractions ``z_{i,j}`` implied by :attr:`counts`."""

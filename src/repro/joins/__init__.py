@@ -6,6 +6,7 @@ and the RandomDrop tuple-dropping baseline.
 """
 
 from .age_based import EvictionPolicy, MemoryLimitedMJoin
+from .columnar import run_pipeline_columnar, select_kernel, supports_columnar
 from .drop_optimizer import DropPlan, evaluate_plan, optimize_keep_fractions
 from .indexed import IndexedMJoin
 from .join_order import default_orders, low_selectivity_first, validate_order
@@ -53,5 +54,8 @@ __all__ = [
     "merge_slices",
     "optimize_keep_fractions",
     "run_pipeline",
+    "run_pipeline_columnar",
+    "select_kernel",
+    "supports_columnar",
     "validate_order",
 ]

@@ -1,0 +1,207 @@
+"""Columnar probe kernel: the wall-clock fast path for interval predicates.
+
+:func:`repro.joins.pipeline.run_pipeline` walks the join order one partial
+match at a time, materializing a ``list[StreamTuple]`` per partial and one
+``probe_block`` call per (partial, slice) pair.  For the predicates whose
+probe context is a value *interval* — the epsilon-join and equi-join, which
+declare :attr:`~repro.joins.predicates.JoinPredicate.interval_context` —
+the partial match is fully summarized by a running ``(min, max)`` over its
+constituent values, so the whole frontier of partial matches can be kept as
+a handful of numpy vectors:
+
+* ``vmin/vmax`` — per-partial running value extrema (the probe context is
+  ``[vmax - r, vmin + r]`` with ``r`` the predicate's interval radius);
+* ``parents/rows`` back-pointer chains — which prior partial and which
+  pooled window row each partial extends.
+
+Each hop pools the selected slices' value columns into one array and tests
+the entire ``(partials x candidates)`` grid with two broadcast comparisons;
+``np.nonzero`` enumerates hits in (partial-major, candidate-ascending)
+order, which is exactly the order the nested loops of the slow path visit
+them in.  ``StreamTuple``/``JoinResult`` objects are materialized only at
+the final hop, by walking the back-pointer chains of the surviving
+partials.
+
+The kernel is **bit-identical in virtual time** to ``run_pipeline``: same
+outputs in the same order, same ``comparisons``, same per-hop
+``HopStats`` — the running extrema reproduce ``probe_context`` exactly
+(``max(values) - r`` is the same IEEE subtraction either way) and the
+candidate pool preserves slice order and stride.  The differential tests in
+``tests/perf/test_kernel.py`` and the testkit matrix assert this equality.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.basic_windows import SCALAR, WindowSlice
+from repro.streams.tuples import JoinResult, StreamTuple
+
+from .pipeline import HopStats, PipelineResult, run_pipeline
+from .predicates import JoinPredicate
+
+#: broadcast mask budget (elements) — hops with more partials than fit are
+#: processed in partial-major chunks, which preserves hit order.
+_CHUNK_ELEMS = 1 << 22
+
+
+def supports_columnar(predicate: JoinPredicate) -> bool:
+    """True when ``predicate`` satisfies the columnar kernel's contract:
+    scalar storage, interval-shaped probe contexts, no stream-aware
+    context construction."""
+    return (
+        bool(getattr(predicate, "interval_context", False))
+        and predicate.storage_mode == SCALAR
+        and not getattr(predicate, "stream_aware", False)
+    )
+
+
+def select_kernel(
+    predicate: JoinPredicate, fastpath: bool | None = None
+) -> Callable[..., PipelineResult]:
+    """Pick the probe kernel for ``predicate``.
+
+    Args:
+        predicate: the join condition.
+        fastpath: ``True`` forces the columnar kernel (raising if the
+            predicate does not support it), ``False`` forces the reference
+            nested-loop pipeline, ``None`` (default) auto-selects the
+            columnar kernel exactly when :func:`supports_columnar` holds.
+
+    Returns:
+        a callable with :func:`repro.joins.pipeline.run_pipeline`'s
+        signature.
+    """
+    if fastpath is None:
+        fastpath = supports_columnar(predicate)
+    if not fastpath:
+        return run_pipeline
+    if not supports_columnar(predicate):
+        raise ValueError(
+            "columnar fast path requires an interval-context scalar "
+            f"predicate; {type(predicate).__name__} is not one "
+            "(pass fastpath=False or None)"
+        )
+    return run_pipeline_columnar
+
+
+def run_pipeline_columnar(
+    tup: StreamTuple,
+    order: Sequence[int],
+    slices_for_hop: Callable[[int, int], Sequence[WindowSlice]],
+    predicate: JoinPredicate,
+) -> PipelineResult:
+    """Columnar drop-in for :func:`repro.joins.pipeline.run_pipeline`.
+
+    Requires :func:`supports_columnar` — callers normally obtain this
+    function through :func:`select_kernel`, which checks.
+    """
+    radius = float(predicate.interval_radius)
+    result = PipelineResult(hop_stats=[HopStats() for _ in order])
+    v0 = float(tup.value)
+    vmin = np.array([v0], dtype=np.float64)
+    vmax = np.array([v0], dtype=np.float64)
+    # per-hop slice pools and back-pointer chains for final materialization
+    hop_pools: list[tuple[Sequence[WindowSlice], np.ndarray]] = []
+    parents_chain: list[np.ndarray] = []
+    rows_chain: list[np.ndarray] = []
+    completed = True
+    for hop, window_stream in enumerate(order):
+        slices = slices_for_hop(hop, window_stream)
+        stats = result.hop_stats[hop]
+        lens = [len(s) for s in slices]
+        total = sum(lens)
+        num_partials = len(vmin)
+        stats.scanned = num_partials * total
+        result.comparisons += stats.scanned
+        if total == 0:
+            completed = False
+            break
+        if len(slices) == 1:
+            pool = np.asarray(slices[0].values, dtype=np.float64)
+        else:
+            pool = np.concatenate(
+                [np.asarray(s.values, dtype=np.float64) for s in slices]
+            )
+        lo = vmax - radius
+        hi = vmin + radius
+        max_rows = max(1, _CHUNK_ELEMS // total)
+        if num_partials <= max_rows:
+            mask = (pool >= lo[:, None]) & (pool <= hi[:, None])
+            prow, pcol = np.nonzero(mask)
+        else:
+            row_parts = []
+            col_parts = []
+            for start in range(0, num_partials, max_rows):
+                stop = min(start + max_rows, num_partials)
+                mask = (pool >= lo[start:stop, None]) & (
+                    pool <= hi[start:stop, None]
+                )
+                rows, cols = np.nonzero(mask)
+                row_parts.append(rows + start)
+                col_parts.append(cols)
+            prow = np.concatenate(row_parts)
+            pcol = np.concatenate(col_parts)
+        stats.matched = int(len(prow))
+        if stats.matched == 0:
+            completed = False
+            break
+        candidates = pool[pcol]
+        vmin = np.minimum(vmin[prow], candidates)
+        vmax = np.maximum(vmax[prow], candidates)
+        offsets = np.zeros(len(lens) + 1, dtype=np.intp)
+        np.cumsum(lens, out=offsets[1:])
+        hop_pools.append((slices, offsets))
+        parents_chain.append(prow)
+        rows_chain.append(pcol)
+    if completed:
+        result.outputs = _materialize(
+            tup, order, hop_pools, parents_chain, rows_chain
+        )
+    return result
+
+
+def _materialize(
+    tup: StreamTuple,
+    order: Sequence[int],
+    hop_pools: list[tuple[Sequence[WindowSlice], np.ndarray]],
+    parents_chain: list[np.ndarray],
+    rows_chain: list[np.ndarray],
+) -> list[JoinResult]:
+    """Resolve surviving back-pointer chains into stream-sorted results.
+
+    Output order is ascending final-partial index, which equals the slow
+    path's enumeration order; constituents are sorted by stream via a
+    permutation precomputed from the (distinct) stream ids.
+    """
+    hops = len(rows_chain)
+    count = len(rows_chain[-1])
+    streams = [tup.stream, *order]
+    perm = sorted(range(len(streams)), key=streams.__getitem__)
+    # vectorized chain walk: resolve every level's tuples for all outputs
+    idxs = np.arange(count, dtype=np.intp)
+    levels: list[list[StreamTuple]] = []
+    for h in range(hops - 1, -1, -1):
+        slices, offsets = hop_pools[h]
+        cols = rows_chain[h][idxs]
+        slice_ids = np.searchsorted(offsets, cols, side="right") - 1
+        within = cols - offsets[slice_ids]
+        levels.append(
+            [
+                slices[int(si)].tuple_at(int(w))
+                for si, w in zip(slice_ids, within)
+            ]
+        )
+        idxs = parents_chain[h][idxs]
+    levels.reverse()
+    outputs: list[JoinResult] = []
+    for p in range(count):
+        constituents = [tup]
+        for level in levels:
+            constituents.append(level[p])
+        outputs.append(
+            JoinResult(tuple(constituents[k] for k in perm))
+        )
+    return outputs

@@ -106,7 +106,9 @@ class IndexedMJoin(StreamOperator):
             hop_work = 0
             for partial in partials:
                 low, high = self.predicate.probe_context(
-                    [t.value for t in partial]
+                    # probe_context takes the partial's values as a list;
+                    # partials are short (one element per completed hop)
+                    [t.value for t in partial]  # lint: disable=R007
                 )
                 for s in slices:
                     hits, cost = self.index.range_probe(s, low, high)
@@ -122,7 +124,9 @@ class IndexedMJoin(StreamOperator):
             if not partials:
                 break
         outputs = (
-            [
+            # results are handed to the caller, so each tuple's output
+            # list must be a fresh allocation by contract
+            [  # lint: disable=R007
                 JoinResult(tuple(sorted(p, key=lambda t: t.stream)))
                 for p in partials
             ]

@@ -17,6 +17,7 @@ from repro.engine.buffers import BufferStats
 from repro.engine.operator import ProcessReceipt, StreamOperator
 from repro.streams.tuples import StreamTuple
 
+from .columnar import select_kernel
 from .join_order import default_orders, low_selectivity_first, validate_order
 from .pipeline import run_pipeline
 from .predicates import JoinPredicate
@@ -39,6 +40,12 @@ class MJoinOperator(StreamOperator):
             (result construction is not free on a real system; without it
             an overloaded high-selectivity join could nominally emit more
             results per second than its CPU could even enumerate).
+        fastpath: probe with the columnar kernel
+            (:func:`repro.joins.columnar.run_pipeline_columnar`), which is
+            bit-identical in virtual time but much faster in wall clock.
+            ``None`` (default) auto-enables it when the predicate supports
+            it; ``False`` forces the reference nested-loop pipeline;
+            ``True`` raises for unsupported predicates.
     """
 
     def __init__(
@@ -49,6 +56,7 @@ class MJoinOperator(StreamOperator):
         orders: Sequence[Sequence[int]] | None = None,
         adapt_orders: bool = True,
         output_cost: float = 2.0,
+        fastpath: bool | None = None,
     ) -> None:
         m = len(window_sizes)
         if m < 2:
@@ -77,6 +85,8 @@ class MJoinOperator(StreamOperator):
                 validate_order(order, i, m)
         self.adapt_orders = adapt_orders and orders is None
         self.output_cost = float(output_cost)
+        self._kernel = select_kernel(predicate, fastpath)
+        self.fastpath = self._kernel is not run_pipeline
         self.selectivity = SelectivityEstimator(m)
         self.tuples_processed = 0
         self.comparisons_total = 0
@@ -101,7 +111,7 @@ class MJoinOperator(StreamOperator):
         """Insert ``tup`` into its window and probe the others fully."""
         self.windows[tup.stream].insert(tup, now)
         order = self.orders[tup.stream]
-        result = run_pipeline(
+        result = self._kernel(
             tup,
             order,
             lambda hop, l: self.windows[l].full_slices(now),

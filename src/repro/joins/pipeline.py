@@ -47,7 +47,21 @@ def merge_slices(slices: Sequence[WindowSlice]) -> list[WindowSlice]:
     Selected logical basic windows are often adjacent, so their physical
     slices abut; merging them reduces per-block probe overhead without
     changing which tuples are scanned.
+
+    Fast path: a singleton input, or contiguous slices over pairwise
+    distinct basic windows (the shape ``full_slices`` produces), has
+    nothing to merge and is returned as-is — the grouping/sorting below
+    would reproduce the input order exactly.
     """
+    if len(slices) <= 1:
+        return list(slices)
+    seen_windows: set[int] = set()
+    for s in slices:
+        if s.step != 1 or id(s.window) in seen_windows:
+            break
+        seen_windows.add(id(s.window))
+    else:
+        return list(slices)
     by_window: dict[int, list[WindowSlice]] = {}
     order: list[int] = []
     merged_out: list[WindowSlice] = []

@@ -37,6 +37,13 @@ class JoinPredicate(ABC):
     storage_mode: str = GENERIC
     #: vector dimension when ``storage_mode == VECTOR``
     dim: int | None = None
+    #: True when ``probe_context(values)`` is exactly the inclusive interval
+    #: ``(max(values) - r, min(values) + r)`` for a constant radius ``r``
+    #: exposed as :attr:`interval_radius`, and ``probe_block`` is the
+    #: corresponding two-comparison range test (empty when ``lo > hi``).
+    #: The columnar fast path (:mod:`repro.joins.columnar`) relies on this
+    #: contract to track partial-match contexts as running min/max columns.
+    interval_context: bool = False
 
     @abstractmethod
     def matches(self, a: Any, b: Any) -> bool:
@@ -72,11 +79,17 @@ class EpsilonJoin(JoinPredicate):
     """
 
     storage_mode = SCALAR
+    interval_context = True
 
     def __init__(self, epsilon: float = 1.0) -> None:
         if epsilon < 0:
             raise ValueError("epsilon must be non-negative")
         self.epsilon = float(epsilon)
+
+    @property
+    def interval_radius(self) -> float:
+        """Half-width of the interval context (see ``interval_context``)."""
+        return self.epsilon
 
     def matches(self, a: float, b: float) -> bool:
         return abs(a - b) <= self.epsilon
@@ -100,11 +113,17 @@ class EquiJoin(JoinPredicate):
     """All values equal (within a tolerance for floats)."""
 
     storage_mode = SCALAR
+    interval_context = True
 
     def __init__(self, tolerance: float = 0.0) -> None:
         if tolerance < 0:
             raise ValueError("tolerance must be non-negative")
         self.tolerance = float(tolerance)
+
+    @property
+    def interval_radius(self) -> float:
+        """Half-width of the interval context (see ``interval_context``)."""
+        return self.tolerance
 
     def matches(self, a: float, b: float) -> bool:
         return abs(a - b) <= self.tolerance

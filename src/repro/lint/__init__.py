@@ -3,7 +3,7 @@
 Two layers, one diagnostic vocabulary (:mod:`repro.lint.diagnostics`):
 
 * **Layer 1 — simulator-invariant linter** (``python -m repro.lint``):
-  AST rules R001-R006 guarding the virtual-clock/seeded-RNG substitution
+  AST rules R001-R007 guarding the virtual-clock/seeded-RNG substitution
   and hot-path hygiene.  See :mod:`repro.lint.rules`.
 * **Layer 2 — static query-plan analyzer**
   (:func:`repro.lint.plan.analyze_query` /

@@ -33,7 +33,7 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lint",
         description=(
             "Simulator-invariant linter for the GrubJoin reproduction "
-            "(rules R001-R006; see docs/STATIC_ANALYSIS.md)"
+            "(rules R001-R007; see docs/STATIC_ANALYSIS.md)"
         ),
     )
     parser.add_argument(

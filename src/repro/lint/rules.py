@@ -26,6 +26,12 @@ R005   No float ``==`` / ``!=`` comparisons in the numeric decision
        equality against literals is almost always a latent bug there.
 R006   Hot-path tuple/window/buffer classes must declare ``__slots__``
        (directly or via ``@dataclass(slots=True)``).
+R007   No per-tuple container allocations — ``list()``/``dict()``/
+       ``set()`` calls and list/set/dict comprehensions — inside
+       operator ``process()`` methods under ``core/`` and ``joins/``.
+       ``process`` runs once per tuple; hoist the container to
+       ``__init__``, reuse a buffer, or stay in numpy.  Justified
+       allocations carry a per-line suppression.
 =====  ==================================================================
 
 Suppression: append ``# lint: disable=R001`` (comma-separate several
@@ -464,6 +470,69 @@ def _check_slots(tree: ast.AST, ctx: RuleContext) -> list[Diagnostic]:
 
 
 # --------------------------------------------------------------------------
+# R007 — no per-tuple container allocations in process() hot paths
+# --------------------------------------------------------------------------
+
+_COMPREHENSIONS = {
+    ast.ListComp: "list comprehension",
+    ast.SetComp: "set comprehension",
+    ast.DictComp: "dict comprehension",
+    ast.GeneratorExp: "generator expression",
+}
+
+_CONTAINER_BUILTINS = ("list", "dict", "set")
+
+
+def _container_allocations(func: ast.FunctionDef) -> list[tuple[ast.AST, str]]:
+    """(node, description) for every container allocation in ``func``."""
+    found: list[tuple[ast.AST, str]] = []
+    for node in ast.walk(func):
+        kind = _COMPREHENSIONS.get(type(node))
+        if kind is not None:
+            found.append((node, kind))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _CONTAINER_BUILTINS
+        ):
+            found.append((node, f"`{node.func.id}()` call"))
+    return found
+
+
+def _check_process_allocations(
+    tree: ast.AST, ctx: RuleContext
+) -> list[Diagnostic]:
+    found = []
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        for stmt in cls.body:
+            if (
+                not isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+                or stmt.name != "process"
+            ):
+                continue
+            for node, kind in _container_allocations(stmt):
+                found.append(
+                    Diagnostic(
+                        code="R007",
+                        message=(
+                            f"{kind} inside `{cls.name}.process()` "
+                            "allocates a container on every tuple; hoist "
+                            "it to __init__, reuse a buffer, or stay in "
+                            "numpy"
+                        ),
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                    )
+                )
+    return found
+
+
+# --------------------------------------------------------------------------
 # helpers / registry
 # --------------------------------------------------------------------------
 
@@ -494,6 +563,11 @@ FLOAT_EQ_MODULES = (
     "core/throttle.py",
     "core/greedy.py",
 )
+
+#: packages whose operator `process()` methods run once per tuple
+#: (R007's scope); engine/ is excluded — its process-like entry points
+#: are the scheduler, not per-tuple operator code
+PROCESS_HOT_PACKAGES = ("core/", "joins/")
 
 #: modules whose classes sit on the per-tuple hot path (R006's scope)
 SLOTTED_MODULES = (
@@ -556,6 +630,16 @@ REGISTRY: tuple[Rule, ...] = (
         summary="hot-path tuple/window/buffer classes declare __slots__",
         scope=SLOTTED_MODULES,
         check=_check_slots,
+    ),
+    Rule(
+        code="R007",
+        name="no-process-allocations",
+        summary=(
+            "no per-tuple container allocations (list()/dict()/set()/"
+            "comprehensions) in process() under core/ and joins/"
+        ),
+        scope=PROCESS_HOT_PACKAGES,
+        check=_check_process_allocations,
     ),
 )
 

@@ -1,0 +1,482 @@
+"""perfbench: the wall-clock regression harness behind ``BENCH_PERF.json``.
+
+Runs pinned, seeded macro-workloads through the simulator twice — once on
+the reference nested-loop pipeline, once on the columnar fast path — and
+once through the GrubJoin solver with warm starts off and on.  Because
+the fast path is bit-identical in *virtual* time, every macro asserts the
+two runs produce the same result identity set before reporting any
+numbers; a perf harness that silently benchmarks a wrong kernel is worse
+than none.
+
+Reported per macro: wall seconds, tuples serviced, tuples/second, and
+p95 per-tuple service time in microseconds (host wall clock, measured by
+wrapping the operator in :class:`TimedOperator`).  The solver macro
+reports accumulated ``solver_seconds_total`` (via an injected
+:func:`repro.timing.wall_clock_timer`) and microseconds per solver tick.
+
+Absolute numbers are machine-specific, so the CI gate runs on the
+**ratios** in ``gate_metrics`` — fast-over-slow speedups and the
+warm-over-cold solver time ratio — which transfer across hosts.
+
+Usage::
+
+    python -m repro.perf.bench                      # full run -> BENCH_PERF.json
+    python -m repro.perf.bench --quick              # CI smoke sizes
+    python -m repro.perf.bench --check benchmarks/perfbench/BENCH_PERF.json
+
+``--check`` compares the fresh run's gate metrics against a committed
+baseline with a relative tolerance (default ±15%) plus the absolute
+floors the reproduction promises (≥2x macro3 speedup, ≥30% solver time
+drop), and exits non-zero on regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import IO, Callable, Sequence
+
+import numpy as np
+
+from repro.core import GrubJoinOperator
+from repro.engine import CpuModel, Simulation, SimulationConfig
+from repro.joins import EpsilonJoin, MJoinOperator
+from repro.parallel import build_sharded_graph
+from repro.testkit.differential import calibrated_shed_capacity
+from repro.testkit.workloads import Workload, drift_workload, key_workload
+from repro.timing import wall_clock_timer
+
+#: capacity large enough that no equality run is ever CPU-bound
+UNBOUNDED_CAPACITY = 1e12
+
+#: which direction is "better" for each *gated* metric.  macro5 and
+#: sharded_k4 are reported but not gated: their wall time is dominated
+#: by the (shared) event engine, so their speedups swing more than the
+#: gate tolerance between runs on the same host.
+GATE_DIRECTIONS = {
+    "macro3_speedup_x": "higher",
+    "fig10_solver_time_ratio": "lower",
+}
+
+#: absolute floors from the reproduction's acceptance criteria
+GATE_FLOORS = {
+    "macro3_speedup_x": ("higher", 2.0),
+    "fig10_solver_time_ratio": ("lower", 0.7),
+}
+
+
+class TimedOperator:
+    """Wall-clock timing proxy around a stream operator.
+
+    Overrides :meth:`process` to record per-tuple host service time and
+    delegates everything else, so the wrapped operator behaves
+    identically inside the simulator.  The recorded durations never feed
+    back into the simulation — virtual time stays deterministic.
+    """
+
+    def __init__(self, inner, timer: Callable[[], float] = wall_clock_timer):
+        self._inner = inner
+        self._timer = timer
+        self.service_seconds: list[float] = []
+
+    def process(self, tup, now):
+        started = self._timer()
+        receipt = self._inner.process(tup, now)
+        self.service_seconds.append(self._timer() - started)
+        return receipt
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _p95_us(samples: Sequence[float]) -> float:
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples), 95.0)) * 1e6
+
+
+def _run_config(workload: Workload) -> SimulationConfig:
+    return SimulationConfig(
+        duration=workload.duration + 1.0,
+        warmup=0.0,
+        adaptation_interval=2.0,
+    )
+
+
+def _leg_stats(wall: float, timed: Sequence[TimedOperator]) -> dict:
+    samples = [s for op in timed for s in op.service_seconds]
+    tuples = len(samples)
+    return {
+        "wall_s": round(wall, 6),
+        "tuples": tuples,
+        "tuples_per_s": round(tuples / wall, 1) if wall > 0 else 0.0,
+        "p95_service_us": round(_p95_us(samples), 2),
+    }
+
+
+def _grub_leg(workload: Workload, capacity: float, fastpath: bool):
+    operator = GrubJoinOperator(
+        workload.predicate,
+        workload.window_sizes,
+        workload.basic,
+        rng=workload.seed + 101,
+        fastpath=fastpath,
+    )
+    timed = TimedOperator(operator)
+    sim = Simulation(
+        workload.traces,
+        timed,
+        CpuModel(capacity),
+        _run_config(workload),
+        retain_outputs=True,
+    )
+    started = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - started
+    ids = frozenset(r.key() for r in sim.output_buffer.results)
+    return _leg_stats(wall, [timed]), ids
+
+
+def _sharded_leg(workload: Workload, num_shards: int, fastpath: bool):
+    timed: list[TimedOperator] = []
+
+    def make_shard(_k: int):
+        op = TimedOperator(
+            MJoinOperator(
+                workload.predicate,
+                workload.window_sizes,
+                workload.basic,
+                fastpath=fastpath,
+            )
+        )
+        timed.append(op)
+        return op
+
+    plan = build_sharded_graph(
+        workload.traces, make_shard, num_shards, policy="hash"
+    )
+    cpu = CpuModel(UNBOUNDED_CAPACITY, cores=num_shards + 2)
+    started = time.perf_counter()
+    result = plan.run(cpu, _run_config(workload), retain_outputs=True)
+    wall = time.perf_counter() - started
+    ids = frozenset(plan.merged_result_ids(result))
+    return _leg_stats(wall, timed), ids
+
+
+def _macro(name: str, run_leg, repeats: int) -> dict:
+    """Run slow + fast legs ``repeats`` times, keep the fastest walls,
+    and hard-fail unless every leg produced the same identity set."""
+    best: dict[str, dict] = {}
+    ids: dict[str, frozenset] = {}
+    for _ in range(repeats):
+        for label, fastpath in (("slow", False), ("fast", True)):
+            stats, leg_ids = run_leg(fastpath)
+            if label in ids and ids[label] != leg_ids:
+                raise AssertionError(
+                    f"{name}/{label}: non-deterministic result set"
+                )
+            ids[label] = leg_ids
+            if (
+                label not in best
+                or stats["wall_s"] < best[label]["wall_s"]
+            ):
+                best[label] = stats
+    if ids["slow"] != ids["fast"]:
+        raise AssertionError(
+            f"{name}: fast path diverged from reference "
+            f"(slow={len(ids['slow'])} results, "
+            f"fast={len(ids['fast'])})"
+        )
+    speedup = (
+        best["slow"]["wall_s"] / best["fast"]["wall_s"]
+        if best["fast"]["wall_s"] > 0
+        else float("inf")
+    )
+    return {
+        "slow": best["slow"],
+        "fast": best["fast"],
+        "speedup_x": round(speedup, 3),
+        "results": len(ids["fast"]),
+        "identical": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# the pinned macros
+# ----------------------------------------------------------------------
+
+
+def macro3(quick: bool, repeats: int) -> dict:
+    """3-way overloaded GrubJoin on the drift workload.
+
+    Sized so probe work dominates the event engine: wide windows (the
+    columnar kernel's advantage grows with candidates per hop) under a
+    moderate overload (0.8 of measured demand — heavy enough to shed,
+    light enough that harvested probes stay large)."""
+    workload = drift_workload(
+        seed=11,
+        m=3,
+        rate=50.0,
+        duration=14.0 if quick else 20.0,
+        window=50.0,
+        basic=2.0,
+    )
+    capacity = calibrated_shed_capacity(workload, 0.8)
+    return _macro(
+        "macro3",
+        lambda fastpath: _grub_leg(workload, capacity, fastpath),
+        repeats,
+    )
+
+
+def macro5(quick: bool, repeats: int) -> dict:
+    """5-way overloaded GrubJoin (near-aligned lags so the clique join
+    is non-vacuous)."""
+    workload = drift_workload(
+        seed=12,
+        m=5,
+        rate=12.0,
+        duration=12.0 if quick else 15.0,
+        window=30.0,
+        basic=2.0,
+        epsilon=2.0,
+        lags=[0.1 * i for i in range(5)],
+    )
+    capacity = calibrated_shed_capacity(workload, 0.8)
+    return _macro(
+        "macro5",
+        lambda fastpath: _grub_leg(workload, capacity, fastpath),
+        repeats,
+    )
+
+
+def sharded_k4(quick: bool, repeats: int) -> dict:
+    """K=4 hash-sharded equi-join plan, unconstrained CPU."""
+    workload = key_workload(
+        seed=13,
+        m=3,
+        rate=150.0,
+        duration=10.0 if quick else 15.0,
+        window=12.0,
+        n_keys=1000,
+    )
+    return _macro(
+        "sharded_k4",
+        lambda fastpath: _sharded_leg(workload, 4, fastpath),
+        repeats,
+    )
+
+
+def fig10_solver(quick: bool, repeats: int) -> dict:
+    """The Fig. 10 adaptation slice, solver wall time cold vs warm.
+
+    Reuses the obs CLI's stepped-rate scenario so the numbers line up
+    with the recorded golden slice.  Warm starts are path-dependent (the
+    refined solution may differ from a cold solve), so this macro gates
+    on solver time, not output identity.
+    """
+    from repro.experiments.harness import NONALIGNED_TAUS, WorkloadSpec
+    from repro.obs.cli import DEFAULT_CAPACITY, STEP_PATTERN
+
+    duration = 16.0 if quick else 48.0
+
+    def step_profile() -> tuple[tuple[float, float], ...]:
+        breakpoints: list[tuple[float, float]] = []
+        t = 0.0
+        while t < duration:
+            for rate, hold in STEP_PATTERN:
+                breakpoints.append((t, rate))
+                t += hold
+                if t >= duration:
+                    break
+        return tuple(breakpoints)
+
+    def leg(warm: bool) -> tuple[float, int, int]:
+        spec = WorkloadSpec(
+            m=3,
+            rate=None,
+            rate_profile=step_profile(),
+            taus=NONALIGNED_TAUS[:3],
+            kappas=(2.0, 2.0, 50.0),
+            window=8.0,
+            basic_window=1.0,
+            seed=7,
+        )
+        operator = GrubJoinOperator(
+            EpsilonJoin(spec.epsilon),
+            [spec.window] * spec.m,
+            spec.basic_window,
+            rng=spec.seed + 101,
+            warm_start=warm,
+            solver_timer=wall_clock_timer,
+        )
+        ticks = 0
+        solve = operator._solve
+
+        def counted(profile, z, warm_start=None):
+            nonlocal ticks
+            ticks += 1
+            return solve(profile, z, warm_start)
+
+        operator._solve = counted
+        Simulation(
+            spec.sources(),
+            operator,
+            CpuModel(DEFAULT_CAPACITY),
+            SimulationConfig(
+                duration=duration, warmup=0.0, adaptation_interval=2.0
+            ),
+        ).run()
+        return operator.solver_seconds_total, ticks, operator.warmstart_hits
+
+    cold_s = warm_s = float("inf")
+    cold_ticks = warm_ticks = hits = 0
+    for _ in range(repeats):
+        s, t, _h = leg(False)
+        if s < cold_s:
+            cold_s, cold_ticks = s, t
+        s, t, h = leg(True)
+        if s < warm_s:
+            warm_s, warm_ticks, hits = s, t, h
+    ratio = warm_s / cold_s if cold_s > 0 else 1.0
+    return {
+        "cold": {
+            "solver_s": round(cold_s, 6),
+            "ticks": cold_ticks,
+            "solver_us_per_tick": round(cold_s / cold_ticks * 1e6, 2)
+            if cold_ticks
+            else 0.0,
+        },
+        "warm": {
+            "solver_s": round(warm_s, 6),
+            "ticks": warm_ticks,
+            "solver_us_per_tick": round(warm_s / warm_ticks * 1e6, 2)
+            if warm_ticks
+            else 0.0,
+            "warmstart_hits": hits,
+        },
+        "solver_time_ratio": round(ratio, 3),
+    }
+
+
+def run_bench(quick: bool = False, repeats: int | None = None) -> dict:
+    """Run every macro and assemble the ``BENCH_PERF.json`` document."""
+    if repeats is None:
+        repeats = 1 if quick else 3
+    benchmarks = {
+        "macro3": macro3(quick, repeats),
+        "macro5": macro5(quick, repeats),
+        "sharded_k4": sharded_k4(quick, repeats),
+        "fig10_solver": fig10_solver(quick, repeats),
+    }
+    gate_metrics = {
+        "macro3_speedup_x": benchmarks["macro3"]["speedup_x"],
+        "macro5_speedup_x": benchmarks["macro5"]["speedup_x"],
+        "sharded_k4_speedup_x": benchmarks["sharded_k4"]["speedup_x"],
+        "fig10_solver_time_ratio": benchmarks["fig10_solver"][
+            "solver_time_ratio"
+        ],
+    }
+    return {
+        "meta": {"quick": quick, "repeats": repeats},
+        "benchmarks": benchmarks,
+        "gate_metrics": gate_metrics,
+    }
+
+
+def check_against_baseline(
+    current: dict, baseline: dict, tolerance: float = 0.15
+) -> list[str]:
+    """Regression check: current gate metrics vs a committed baseline.
+
+    A metric regresses when it moves in its *bad* direction by more than
+    ``tolerance`` relative to the baseline; movement in the good
+    direction never fails.  Absolute floors are enforced on top.
+    Returns human-readable failure lines (empty = pass).
+    """
+    failures: list[str] = []
+    base = baseline.get("gate_metrics", {})
+    cur = current.get("gate_metrics", {})
+    for name, direction in GATE_DIRECTIONS.items():
+        if name not in base or name not in cur:
+            failures.append(f"{name}: missing from baseline or run")
+            continue
+        b, c = float(base[name]), float(cur[name])
+        if direction == "higher" and c < b * (1.0 - tolerance):
+            failures.append(
+                f"{name}: {c:g} fell more than {tolerance:.0%} below "
+                f"baseline {b:g}"
+            )
+        elif direction == "lower" and c > b * (1.0 + tolerance):
+            failures.append(
+                f"{name}: {c:g} rose more than {tolerance:.0%} above "
+                f"baseline {b:g}"
+            )
+    for name, (direction, floor) in GATE_FLOORS.items():
+        if name not in cur:
+            continue
+        c = float(cur[name])
+        if direction == "higher" and c < floor:
+            failures.append(f"{name}: {c:g} below required floor {floor:g}")
+        elif direction == "lower" and c > floor:
+            failures.append(f"{name}: {c:g} above required cap {floor:g}")
+    return failures
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.bench",
+        description="wall-clock fast-path regression benchmarks",
+    )
+    parser.add_argument(
+        "-o", "--output", default="BENCH_PERF.json",
+        help="where to write the JSON report (default: BENCH_PERF.json)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke sizes (shorter traces, one repeat)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="wall-clock repeats per leg, best-of (default: 3, quick: 1)",
+    )
+    parser.add_argument(
+        "--check", metavar="BASELINE", default=None,
+        help="compare gate metrics against a committed BENCH_PERF.json",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.15,
+        help="relative regression tolerance for --check (default 0.15)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None,
+         out: IO[str] | None = None) -> int:
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    report = run_bench(quick=args.quick, repeats=args.repeats)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name, value in sorted(report["gate_metrics"].items()):
+        out.write(f"{name}: {value:g}\n")
+    out.write(f"wrote {args.output}\n")
+    if args.check is not None:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_against_baseline(
+            report, baseline, args.tolerance
+        )
+        if failures:
+            for line in failures:
+                out.write(f"REGRESSION {line}\n")
+            return 1
+        out.write(f"gate ok (tolerance {args.tolerance:.0%})\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ from typing import Callable, Sequence
 from repro.core import FixedThrottle, GrubJoinOperator
 from repro.engine import CpuModel, Simulation, SimulationConfig
 from repro.joins import IndexedMJoin, MJoinOperator, RandomDropShedder
+from repro.joins.columnar import supports_columnar
 from repro.parallel import build_sharded_graph
 
 from .oracle import IdVector, OracleResult, oracle_join, window_state
@@ -76,11 +77,14 @@ def _simulate(workload: Workload, operator, capacity: float,
 
 
 def mjoin_ids(
-    workload: Workload, capacity: float = UNBOUNDED_CAPACITY
+    workload: Workload,
+    capacity: float = UNBOUNDED_CAPACITY,
+    fastpath: bool | None = None,
 ) -> set[IdVector]:
     """Run the plain nested-loop MJoin and return its identity set."""
     operator = MJoinOperator(
-        workload.predicate, workload.window_sizes, workload.basic
+        workload.predicate, workload.window_sizes, workload.basic,
+        fastpath=fastpath,
     )
     return _simulate(workload, operator, capacity)
 
@@ -134,6 +138,7 @@ def sharded_ids(
     num_shards: int,
     capacity: float = UNBOUNDED_CAPACITY,
     cores: int | None = None,
+    fastpath: bool | None = None,
 ) -> set[IdVector]:
     """Run the router -> K shards -> merger dataflow plan and return the
     merged identity set.  Hash routing co-partitions equal keys, so for
@@ -141,7 +146,8 @@ def sharded_ids(
     plan = build_sharded_graph(
         workload.traces,
         lambda _k: MJoinOperator(
-            workload.predicate, workload.window_sizes, workload.basic
+            workload.predicate, workload.window_sizes, workload.basic,
+            fastpath=fastpath,
         ),
         num_shards,
         policy="hash",
@@ -362,12 +368,19 @@ class MatrixSpec:
             (capacity = this fraction of measured full-join demand).
         include_shedding: run the overloaded GrubJoin / RandomDrop
             subset checks (slowest part of the matrix).
+        include_fastpath: additionally run MJoin, GrubJoin(z=1) and the
+            sharded plan with the columnar probe kernel forced on, and
+            pin the base rows to the reference nested-loop pipeline —
+            so the matrix certifies both kernels against the oracle
+            *and* against each other (skipped per-workload when the
+            predicate has no columnar kernel).
     """
 
     pinned_zs: tuple[float, ...] = (0.3, 0.6)
     shard_counts: tuple[int, ...] = (1, 2, 4)
     shed_fraction: float = 0.3
     include_shedding: bool = True
+    include_fastpath: bool = True
 
 
 def _check(
@@ -394,7 +407,9 @@ def differential_matrix(
     """Run the full differential grid and return a JSON-able verdict.
 
     Per workload: oracle ≡ MJoin ≡ IndexedMJoin ≡ GrubJoin(z=1) ≡
-    ShardedPlan(K) for co-partitioning predicates, plus subset for every
+    ShardedPlan(K) for co-partitioning predicates — and, when the
+    predicate has a columnar kernel, the same equalities again with the
+    fast path forced on (``*_fast`` rows) — plus subset for every
     shedding configuration (pinned z grid, feedback throttling under
     measured overload, RandomDrop under the same overload).
 
@@ -411,18 +426,37 @@ def differential_matrix(
         renders: list[str] = []
 
         _check(reports, renders, "mjoin", reference,
-               mjoin_ids(workload), workload, "equal")
+               mjoin_ids(workload, fastpath=False), workload, "equal")
         _check(reports, renders, "indexed", reference,
                indexed_ids(workload), workload, "equal")
         _check(reports, renders, "grubjoin_z1", reference,
-               grubjoin_ids(workload, pin_z=1.0), workload, "equal")
+               grubjoin_ids(workload, pin_z=1.0, fastpath=False),
+               workload, "equal")
+
+        fast = (
+            spec.include_fastpath
+            and supports_columnar(workload.predicate)
+        )
+        if fast:
+            _check(reports, renders, "mjoin_fast", reference,
+                   mjoin_ids(workload, fastpath=True), workload,
+                   "equal")
+            _check(reports, renders, "grubjoin_z1_fast", reference,
+                   grubjoin_ids(workload, pin_z=1.0, fastpath=True),
+                   workload, "equal")
 
         equi = workload.tags.get("kind") == "keys"
         for k in spec.shard_counts:
             if k > 1 and not equi:
                 continue
             _check(reports, renders, f"sharded_k{k}", reference,
-                   sharded_ids(workload, k), workload, "equal")
+                   sharded_ids(workload, k, fastpath=False),
+                   workload, "equal")
+            if fast:
+                _check(reports, renders, f"sharded_k{k}_fast",
+                       reference,
+                       sharded_ids(workload, k, fastpath=True),
+                       workload, "equal")
 
         for z in spec.pinned_zs:
             _check(reports, renders, f"grubjoin_z{z:g}", reference,

@@ -225,6 +225,68 @@ class TestMergeSlices:
         ])
         assert [(s.lo, s.hi) for s in merged] == [(0, 11)]
 
+    # ------------------------------------------------------------------
+    # the fast-skip prefix: inputs that cannot coalesce return a plain
+    # copy without the sort-and-merge pass, with identical semantics
+    # ------------------------------------------------------------------
+
+    def test_empty_input(self):
+        assert merge_slices([]) == []
+
+    def test_singleton_returned_as_fresh_list(self):
+        bw = self._bw()
+        slices = [WindowSlice(bw, 2, 7)]
+        merged = merge_slices(slices)
+        assert merged == slices
+        assert merged is not slices
+        assert merged[0] is slices[0]
+
+    def test_singleton_strided_passthrough(self):
+        bw = self._bw()
+        s = WindowSlice(bw, 0, 9, step=3)
+        merged = merge_slices([s])
+        assert merged == [s]
+
+    def test_distinct_windows_skip_preserves_order(self):
+        windows = [self._bw() for _ in range(4)]
+        slices = [WindowSlice(w, 1, 6) for w in windows]
+        merged = merge_slices(slices)
+        assert [s.window for s in merged] == windows
+        assert all(a is b for a, b in zip(merged, slices))
+
+    def test_skip_does_not_mutate_input(self):
+        bw = self._bw()
+        slices = [WindowSlice(bw, 0, 3)]
+        merged = merge_slices(slices)
+        merged.append(WindowSlice(bw, 5, 9))
+        assert len(slices) == 1
+
+    def test_repeated_window_still_coalesces(self):
+        # the skip must not trigger when a window appears twice, even
+        # when the slices cannot merge — the sorted-output contract of
+        # the slow pass still applies
+        bw = self._bw()
+        merged = merge_slices(
+            [WindowSlice(bw, 6, 9), WindowSlice(bw, 0, 3)]
+        )
+        assert [(s.lo, s.hi) for s in merged] == [(0, 3), (6, 9)]
+
+    def test_strided_before_unstrided_still_processed(self):
+        # a strided slice breaks the skip scan; the full pass must still
+        # merge the unstrided remainder
+        bw = self._bw()
+        merged = merge_slices(
+            [
+                WindowSlice(bw, 0, 9, step=4),
+                WindowSlice(bw, 0, 4),
+                WindowSlice(bw, 4, 8),
+            ]
+        )
+        strided = [s for s in merged if s.step != 1]
+        plain = [s for s in merged if s.step == 1]
+        assert len(strided) == 1
+        assert [(s.lo, s.hi) for s in plain] == [(0, 8)]
+
     def test_multiple_windows_first_seen_order(self):
         # groups come out in the order their window first appeared in
         # the input, regardless of how their slices interleave

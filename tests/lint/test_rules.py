@@ -320,6 +320,79 @@ class TestR006Slots:
         assert codes(report) == []
 
 
+class TestR007ProcessAllocations:
+    def test_comprehensions_and_builtin_calls_flagged(self):
+        report = lint(
+            """
+            class Operator:
+                def process(self, tup, now):
+                    values = [t.value for t in tup]
+                    lookup = dict()
+                    keys = {v: 1 for v in values}
+                    uniq = set(values)
+                    gen = (v for v in values)
+                    return lookup, keys, uniq, gen
+            """,
+            "repro/joins/fixture.py",
+        )
+        assert codes(report) == ["R007"] * 5
+        assert "process()" in report.diagnostics[0].message
+
+    def test_other_methods_and_free_functions_ignored(self):
+        report = lint(
+            """
+            class Operator:
+                def __init__(self):
+                    self.orders = [list(range(3)) for _ in range(3)]
+
+                def on_adapt(self, now, stats, interval):
+                    return [s.pushed for s in stats]
+
+            def process(tup):
+                return [tup]
+            """,
+            "repro/core/fixture.py",
+        )
+        assert codes(report) == []
+
+    def test_literals_allowed(self):
+        report = lint(
+            """
+            class Operator:
+                def process(self, tup, now):
+                    outputs = []
+                    state = {}
+                    outputs.append(tup)
+                    return outputs, state
+            """,
+            "repro/joins/fixture.py",
+        )
+        assert codes(report) == []
+
+    def test_out_of_scope_package_ignored(self):
+        report = lint(
+            """
+            class Node:
+                def process(self, tup, now):
+                    return [t for t in tup]
+            """,
+            "repro/engine/fixture.py",
+        )
+        assert codes(report) == []
+
+    def test_per_line_suppression(self):
+        report = lint(
+            """
+            class Operator:
+                def process(self, tup, now):
+                    return [t for t in tup]  # lint: disable=R007
+            """,
+            "repro/joins/fixture.py",
+        )
+        assert codes(report) == []
+        assert report.suppressed == 1
+
+
 class TestSuppressions:
     def test_matching_code_suppresses(self):
         report = lint(

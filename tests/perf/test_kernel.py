@@ -1,0 +1,266 @@
+"""Bit-identity of the columnar probe kernel against the reference pipeline.
+
+Every test drives :func:`run_pipeline` and :func:`run_pipeline_columnar`
+over identical inputs and asserts *exact* equality: same comparison count,
+same per-hop scanned/matched, same outputs in the same order (by
+constituent identity).  Wall-clock is the only thing allowed to differ.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.basic_windows import SCALAR, PartitionedWindow, WindowSlice
+from repro.core.shredding import shred_slices_for_hop
+from repro.joins.columnar import (
+    run_pipeline_columnar,
+    select_kernel,
+    supports_columnar,
+)
+from repro.joins.per_pair import PerPairPredicate
+from repro.joins.pipeline import merge_slices, run_pipeline
+from repro.joins.predicates import (
+    BandJoin,
+    EpsilonJoin,
+    EquiJoin,
+    JaccardJoin,
+    ThetaJoin,
+)
+from repro.streams.tuples import StreamTuple
+
+
+def build_windows(
+    seed: int,
+    m: int = 3,
+    per_stream: int = 120,
+    window: float = 6.0,
+    basic: float = 1.5,
+    value_span: float = 8.0,
+    now: float = 10.0,
+):
+    rng = random.Random(seed)
+    windows = [
+        PartitionedWindow(window, basic, mode=SCALAR) for _ in range(m)
+    ]
+    for stream in range(m):
+        ts = sorted(
+            rng.uniform(now - window - basic, now) for _ in range(per_stream)
+        )
+        for seq, t in enumerate(ts):
+            tup = StreamTuple(
+                value=rng.uniform(0.0, value_span),
+                timestamp=t,
+                stream=stream,
+                seq=seq,
+            )
+            windows[stream].insert(tup, now)
+    return windows
+
+
+def assert_identical(slow, fast):
+    assert fast.comparisons == slow.comparisons
+    assert len(fast.hop_stats) == len(slow.hop_stats)
+    for f, s in zip(fast.hop_stats, slow.hop_stats):
+        assert (f.scanned, f.matched) == (s.scanned, s.matched)
+    assert len(fast.outputs) == len(slow.outputs)
+    for fo, so in zip(fast.outputs, slow.outputs):
+        assert fo.key() == so.key()
+        assert [t.stream for t in fo.constituents] == [
+            t.stream for t in so.constituents
+        ]
+
+
+def run_both(tup, order, slices_for_hop, predicate):
+    slow = run_pipeline(tup, order, slices_for_hop, predicate)
+    fast = run_pipeline_columnar(tup, order, slices_for_hop, predicate)
+    assert_identical(slow, fast)
+    return slow
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("m", [2, 3, 5])
+def test_full_slices_identical(seed, m):
+    now = 10.0
+    windows = build_windows(seed, m=m)
+    predicate = EpsilonJoin(0.5)
+    produced = 0
+    rng = random.Random(100 + seed)
+    for trial in range(25):
+        stream = trial % m
+        tup = StreamTuple(
+            value=rng.uniform(0.0, 8.0),
+            timestamp=rng.uniform(now - 1.0, now),
+            stream=stream,
+            seq=1000 + trial,
+        )
+        order = [s for s in range(m) if s != stream]
+        result = run_both(
+            tup,
+            order,
+            lambda hop, ws: windows[ws].full_slices(now),
+            predicate,
+        )
+        produced += len(result.outputs)
+    assert produced > 0  # the fixture must actually exercise outputs
+
+
+def test_equijoin_and_wide_epsilon_identical():
+    now = 10.0
+    windows = build_windows(7, m=3, value_span=2.0)
+    for predicate in (EquiJoin(0.25), EpsilonJoin(5.0)):
+        rng = random.Random(42)
+        for trial in range(10):
+            tup = StreamTuple(
+                value=rng.uniform(0.0, 2.0),
+                timestamp=now,
+                stream=0,
+                seq=2000 + trial,
+            )
+            run_both(
+                tup,
+                [1, 2],
+                lambda hop, ws: windows[ws].full_slices(now),
+                predicate,
+            )
+
+
+def test_strided_shredding_slices_identical():
+    now = 10.0
+    windows = build_windows(11, m=3)
+    predicate = EpsilonJoin(1.0)
+    for z in (0.3, 0.7, 1.0):
+        tup = StreamTuple(value=4.0, timestamp=now, stream=0, seq=9000)
+        callback = shred_slices_for_hop(windows, [1, 2], z, now)
+        run_both(tup, [1, 2], callback, predicate)
+
+
+def test_merged_and_manual_strided_slices_identical():
+    now = 10.0
+    windows = build_windows(13, m=3)
+    predicate = EpsilonJoin(0.8)
+
+    def mixed(hop, ws):
+        full = windows[ws].full_slices(now)
+        # re-slice: halves of each physical slice plus a strided sample
+        pieces = []
+        for s in full:
+            mid = (s.lo + s.hi) // 2
+            if mid > s.lo:
+                pieces.append(WindowSlice(s.window, s.lo, mid))
+            if s.hi > mid:
+                pieces.append(WindowSlice(s.window, mid, s.hi))
+        if full:
+            first = full[0]
+            pieces.append(
+                WindowSlice(first.window, first.lo, first.hi, step=3)
+            )
+        return merge_slices(pieces)
+
+    tup = StreamTuple(value=3.0, timestamp=now, stream=0, seq=9100)
+    run_both(tup, [1, 2], mixed, predicate)
+
+
+def test_empty_hop_early_exit_identical():
+    now = 10.0
+    windows = build_windows(17, m=3)
+    predicate = EpsilonJoin(0.5)
+
+    def empty_mid_hop(hop, ws):
+        if hop == 1:
+            return []
+        return windows[ws].full_slices(now)
+
+    tup = StreamTuple(value=4.0, timestamp=now, stream=0, seq=9200)
+    slow = run_both(tup, [1, 2], empty_mid_hop, predicate)
+    assert slow.outputs == []
+    assert slow.hop_stats[1].scanned == 0
+
+
+def test_no_match_context_collapse_identical():
+    """A partial whose interval collapses (lo > hi) matches nothing in
+    either kernel, but still pays the scan."""
+    now = 10.0
+    windows = build_windows(19, m=3, value_span=100.0)
+    predicate = EpsilonJoin(0.01)
+    tup = StreamTuple(value=50.0, timestamp=now, stream=0, seq=9300)
+    slow = run_both(
+        tup,
+        [1, 2],
+        lambda hop, ws: windows[ws].full_slices(now),
+        predicate,
+    )
+    assert slow.comparisons > 0
+
+
+def test_chunked_mask_path_identical(monkeypatch):
+    import repro.joins.columnar as columnar
+
+    monkeypatch.setattr(columnar, "_CHUNK_ELEMS", 64)
+    now = 10.0
+    windows = build_windows(23, m=3, value_span=2.0)
+    predicate = EpsilonJoin(1.5)  # dense matches -> many partials
+    tup = StreamTuple(value=1.0, timestamp=now, stream=0, seq=9400)
+    slow = run_both(
+        tup,
+        [1, 2],
+        lambda hop, ws: windows[ws].full_slices(now),
+        predicate,
+    )
+    assert len(slow.outputs) > 50  # chunking must actually engage
+
+
+def test_outputs_are_stream_sorted():
+    now = 10.0
+    windows = build_windows(29, m=4)
+    predicate = EpsilonJoin(2.0)
+    tup = StreamTuple(value=4.0, timestamp=now, stream=2, seq=9500)
+    fast = run_pipeline_columnar(
+        tup,
+        [3, 0, 1],
+        lambda hop, ws: windows[ws].full_slices(now),
+        predicate,
+    )
+    for out in fast.outputs:
+        streams = [t.stream for t in out.constituents]
+        assert streams == sorted(streams)
+
+
+class TestKernelSelection:
+    def test_auto_selects_columnar_for_interval_predicates(self):
+        assert supports_columnar(EpsilonJoin(1.0))
+        assert supports_columnar(EquiJoin())
+        assert select_kernel(EpsilonJoin(1.0)) is run_pipeline_columnar
+        assert select_kernel(EquiJoin(0.1)) is run_pipeline_columnar
+
+    def test_auto_falls_back_for_generic_predicates(self):
+        for predicate in (
+            BandJoin(0.5, 1.0),
+            JaccardJoin(0.5),
+            ThetaJoin(lambda a, b: a < b),
+        ):
+            assert not supports_columnar(predicate)
+            assert select_kernel(predicate) is run_pipeline
+
+    def test_stream_aware_predicates_excluded(self):
+        per_pair = PerPairPredicate(3, default=EpsilonJoin(1.0))
+        assert not supports_columnar(per_pair)
+        assert select_kernel(per_pair) is run_pipeline
+
+    def test_forcing_fastpath_on_unsupported_predicate_raises(self):
+        with pytest.raises(ValueError):
+            select_kernel(BandJoin(0.5, 1.0), fastpath=True)
+
+    def test_forcing_slow_path(self):
+        assert select_kernel(EpsilonJoin(1.0), fastpath=False) is run_pipeline
+
+
+def test_numpy_dtype_stability():
+    """Pooled candidate arrays are float64 regardless of slice striding."""
+    now = 10.0
+    windows = build_windows(31, m=2)
+    s = windows[1].full_slices(now)[0]
+    strided = WindowSlice(s.window, s.lo, s.hi, step=2)
+    assert np.asarray(strided.values).dtype == np.float64

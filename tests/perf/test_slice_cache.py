@@ -1,0 +1,166 @@
+"""Epoch slice caching: `full_slices` memoization, `logical_span_slices`,
+and the once-per-configuration run decomposition."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.core.basic_windows import SCALAR, PartitionedWindow
+from repro.core.harvesting import HarvestConfiguration
+from repro.joins.pipeline import merge_slices
+from repro.streams.tuples import StreamTuple
+
+
+def fill_window(seed: int, window=6.0, basic=1.0, count=200, now=9.3):
+    rng = random.Random(seed)
+    pw = PartitionedWindow(window, basic, mode=SCALAR)
+    ts = sorted(rng.uniform(now - window - basic, now) for _ in range(count))
+    for seq, t in enumerate(ts):
+        pw.insert(
+            StreamTuple(value=rng.random(), timestamp=t, seq=seq), now
+        )
+    return pw
+
+
+def slice_key(s):
+    return (id(s.window), s.lo, s.hi, s.step)
+
+
+class TestFullSlicesCache:
+    def test_repeated_call_same_now_returns_cached_list(self):
+        pw = fill_window(1)
+        first = pw.full_slices(9.3)
+        assert pw.full_slices(9.3) is first
+
+    def test_prefix_reused_tail_recut_when_now_advances(self):
+        pw = fill_window(2)
+        a = pw.full_slices(9.3)
+        b = pw.full_slices(9.8)  # same epoch, later now
+        # non-oldest slices are the identical objects (prefix reuse)
+        assert all(s is t for s, t in zip(a[:-1], b[:-1]))
+        # the oldest window's cut honors the new expiration horizon
+        expected_lo = 9.8 - pw.n * pw.basic_window_size
+        oldest = b[-1]
+        assert oldest.window.timestamps[oldest.lo] > expected_lo
+        assert len(b[-1]) <= len(a[-1])
+
+    def test_insert_invalidates(self):
+        now = 9.3
+        pw = fill_window(3, now=now)
+        before = pw.full_slices(now)
+        pw.insert(StreamTuple(value=0.5, timestamp=now, seq=999), now)
+        after = pw.full_slices(now)
+        assert after is not before
+        assert sum(len(s) for s in after) == sum(len(s) for s in before) + 1
+
+    def test_rotation_invalidates(self):
+        pw = fill_window(4)
+        before = pw.full_slices(9.3)
+        after = pw.full_slices(12.5)  # forces rotations
+        assert after is not before
+
+    def test_evict_invalidates(self):
+        now = 9.3
+        pw = fill_window(5, now=now)
+        before = pw.full_slices(now)
+        evicted = pw.evict_older_than(2.0, now)
+        assert evicted > 0
+        after = pw.full_slices(now)
+        assert after is not before
+        assert sum(len(s) for s in after) < sum(len(s) for s in before)
+
+    def test_matches_uncached_semantics(self):
+        """Slice contents equal a manual reconstruction at several times."""
+        for seed in range(3):
+            now = 9.3
+            pw = fill_window(seed, now=now)
+            for t in (now, now + 0.4, now + 1.7, now + 3.2):
+                got = pw.full_slices(t)
+                total = sum(len(s) for s in got)
+                manual = sum(
+                    1
+                    for s in got
+                    for ts in s.window.timestamps[s.lo : s.hi]
+                    if t - pw.n * pw.basic_window_size < ts <= t
+                )
+                assert pw.count_unexpired(t) == total
+                assert manual == total
+
+
+class TestLogicalSpanSlices:
+    def test_span_equals_merged_per_window_slices(self):
+        for seed in range(4):
+            now = 9.3
+            pw = fill_window(seed, now=now)
+            for ref in (now, now - 0.7):
+                for j_lo in range(1, pw.n + 1):
+                    for j_hi in range(j_lo, pw.n + 1):
+                        span = pw.logical_span_slices(j_lo, j_hi, now, ref)
+                        merged = merge_slices(
+                            [
+                                s
+                                for j in range(j_lo, j_hi + 1)
+                                for s in pw.logical_window_slices(
+                                    j, now, ref
+                                )
+                            ]
+                        )
+                        assert [slice_key(s) for s in span] == [
+                            slice_key(s) for s in merged
+                        ]
+
+    def test_rejects_bad_ranges(self):
+        pw = fill_window(9)
+        for bad in ((0, 1), (1, pw.n + 1), (3, 2)):
+            try:
+                pw.logical_span_slices(bad[0], bad[1], 9.3)
+            except ValueError:
+                continue
+            raise AssertionError(f"range {bad} should be rejected")
+
+
+class TestSelectedRuns:
+    def _config(self, counts, rankings_lists):
+        m = len(counts)
+        rankings = [
+            [np.asarray(r) for r in per_dir] for per_dir in rankings_lists
+        ]
+        return HarvestConfiguration(np.asarray(counts, float), rankings)
+
+    def test_consecutive_selection_is_one_run(self):
+        cfg = self._config(
+            [[3.0], [2.0]], [[[0, 1, 2, 3]], [[2, 3, 0, 1]]]
+        )
+        assert cfg.selected_runs(0, 0) == [(1, 3)]
+        assert cfg.selected_runs(1, 0) == [(3, 4)]
+
+    def test_gapped_selection_splits_runs(self):
+        cfg = self._config([[3.0], [0.0]], [[[0, 2, 4, 1, 3]], [[0]]])
+        assert cfg.selected_runs(0, 0) == [(1, 1), (3, 3), (5, 5)]
+
+    def test_runs_are_cached(self):
+        cfg = self._config([[2.0], [1.0]], [[[1, 0, 2]], [[0, 1]]])
+        assert cfg.selected_runs(0, 0) is cfg.selected_runs(0, 0)
+
+    def test_run_slices_scan_same_tuples_as_merged_slices(self):
+        now = 9.3
+        pw = fill_window(21, now=now)
+        n = pw.n
+        # a gapped ranking with a fractional tail
+        counts = np.array([[2.6], [0.0]])
+        rankings = [[np.asarray([0, 3, 1, 2, 4, 5][:n])], [np.arange(n)]]
+        cfg = HarvestConfiguration(counts, rankings)
+        for ref in (now, now - 1.3):
+            fast = cfg.run_slices_for_hop(pw, 0, 0, now, ref)
+            slow = merge_slices(cfg.slices_for_hop(pw, 0, 0, now, ref))
+            def scanned(slices):
+                rows = []
+                for s in slices:
+                    for idx in range(len(s)):
+                        t = s.tuple_at(idx)
+                        rows.append((t.seq, s.step))
+                return sorted(rows)
+            assert scanned(fast) == scanned(slow)
+            assert sum(len(s) for s in fast) == sum(len(s) for s in slow)

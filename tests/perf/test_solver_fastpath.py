@@ -1,0 +1,232 @@
+"""Solver fast path: candidate memoization, warm starts, score caching."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core import GrubJoinOperator, greedy_pick
+from repro.core.greedy import greedy_double_sided, greedy_reverse
+from repro.core.scores import scores_from_histograms
+from repro.experiments import random_instance
+from repro.joins.predicates import EpsilonJoin
+from repro.streams.tuples import StreamTuple
+
+
+class _CountingProfile:
+    def __init__(self, inner):
+        self._inner = inner
+        self.calls = Counter()
+
+    def direction_terms(self, i, counts):
+        self.calls[i] += 1
+        return self._inner.direction_terms(i, counts)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestMemoization:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    @pytest.mark.parametrize("z", [0.05, 0.2, 0.5, 0.9])
+    def test_evaluations_equal_actual_calls(self, seed, z):
+        profile = random_instance(m=3, segments=8, rng=seed)
+        counting = _CountingProfile(profile)
+        result = greedy_pick(counting, z)
+        assert result.evaluations == sum(counting.calls.values())
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_reverse_evaluations_equal_actual_calls(self, seed):
+        profile = random_instance(m=4, segments=6, rng=seed)
+        counting = _CountingProfile(profile)
+        result = greedy_reverse(counting, 0.4)
+        # the m full-count seeding calls are not "candidate evaluations"
+        assert (
+            result.evaluations
+            == sum(counting.calls.values()) - profile.m
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_memoized_candidates_cost_less_than_one_eval_per_round(
+        self, seed
+    ):
+        """Each applied step invalidates one direction: the evaluation
+        count stays near steps * hops instead of steps * m * hops."""
+        profile = random_instance(m=4, segments=8, rng=seed)
+        result = greedy_pick(profile, 0.5)
+        m, hops = profile.m, profile.m - 1
+        # worst case without memoization would be ~steps * m * hops
+        assert result.evaluations <= (result.steps + 1) * (hops + 1) + m
+
+
+class TestWarmStart:
+    def test_accepted_seed_reports_reused_and_stays_feasible(self):
+        profile = random_instance(m=3, segments=10, rng=1)
+        cold = greedy_pick(profile, 0.4)
+        warm = greedy_pick(profile, 0.4, warm_start=cold.counts)
+        assert warm.reused == int(round(cold.counts.sum()))
+        assert warm.reused > 0
+        assert "+warm" in warm.method
+        assert profile.feasible(warm.counts, 0.4)
+        # refining the converged solution adds nothing
+        assert np.array_equal(warm.counts, cold.counts)
+        assert warm.output == pytest.approx(cold.output)
+        # and costs far fewer evaluations than the cold solve
+        assert warm.evaluations < cold.evaluations
+
+    def test_warm_output_never_below_seed_output(self):
+        for seed in range(5):
+            profile = random_instance(m=3, segments=8, rng=seed)
+            prev = greedy_pick(profile, 0.3)
+            warm = greedy_pick(profile, 0.45, warm_start=prev.counts)
+            assert warm.output >= prev.output - 1e-9
+            assert profile.feasible(warm.counts, 0.45)
+
+    def test_infeasible_seed_falls_back_to_cold(self):
+        profile = random_instance(m=3, segments=10, rng=2)
+        big = greedy_pick(profile, 0.9)
+        cold = greedy_pick(profile, 0.05)
+        warm = greedy_pick(profile, 0.05, warm_start=big.counts)
+        assert warm.reused == 0
+        assert "+warm" not in warm.method
+        assert np.array_equal(warm.counts, cold.counts)
+
+    def test_bad_shape_seed_rejected(self):
+        profile = random_instance(m=3, segments=10, rng=3)
+        cold = greedy_pick(profile, 0.3)
+        warm = greedy_pick(profile, 0.3, warm_start=np.ones((5, 7)))
+        assert warm.reused == 0
+        assert np.array_equal(warm.counts, cold.counts)
+
+    def test_fractional_seed_floors_to_zero_and_solves_cold(self):
+        profile = random_instance(m=3, segments=10, rng=4)
+        seed = np.full((3, 2), 0.5)
+        cold = greedy_pick(profile, 0.3)
+        warm = greedy_pick(profile, 0.3, warm_start=seed)
+        assert warm.reused == 0
+        assert np.array_equal(warm.counts, cold.counts)
+
+    def test_double_sided_forwards_warm_start(self):
+        profile = random_instance(m=3, segments=10, rng=5)
+        z = 0.1  # below the switch point -> forward side
+        cold = greedy_double_sided(profile, z)
+        warm = greedy_double_sided(
+            profile, z, warm_start=cold.counts
+        )
+        assert warm.reused == int(round(cold.counts.sum()))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_warm_always_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        profile = random_instance(m=4, segments=6, rng=seed)
+        prev = greedy_pick(profile, float(rng.uniform(0.05, 1.0)))
+        z = float(rng.uniform(0.05, 1.0))
+        warm = greedy_pick(profile, z, warm_start=prev.counts)
+        assert profile.feasible(warm.counts, z)
+
+
+def _operator(**kwargs):
+    op = GrubJoinOperator(
+        EpsilonJoin(1.0),
+        window_sizes=[4.0, 4.0, 4.0],
+        basic_window_size=1.0,
+        rng=0,
+        **kwargs,
+    )
+    now = 0.0
+    rng = np.random.default_rng(7)
+    for step in range(300):
+        now = 0.02 * (step + 1)
+        tup = StreamTuple(
+            value=float(rng.uniform(0, 3)),
+            timestamp=now,
+            stream=step % 3,
+            seq=step,
+        )
+        op.process(tup, now)
+    op._rates[:] = 50.0
+    return op, now
+
+
+class TestOperatorWarmStart:
+    def test_second_tick_hits(self):
+        op, now = _operator(warm_start=True)
+        op._reconfigure_harvesting(now, 0.4)
+        assert op.warmstart_misses == 1  # no seed yet: cold
+        assert op.last_solver_result.reused == 0
+        op._reconfigure_harvesting(now + 0.5, 0.4)
+        assert op.warmstart_hits == 1
+        assert op.last_solver_result.reused > 0
+
+    def test_full_throttle_clears_seed(self):
+        op, now = _operator(warm_start=True)
+        op._reconfigure_harvesting(now, 0.4)
+        op._reconfigure_harvesting(now + 0.5, 1.0)  # full config
+        op._reconfigure_harvesting(now + 1.0, 0.4)
+        assert op.warmstart_misses == 2
+
+    def test_order_change_invalidates_seed(self):
+        op, now = _operator(warm_start=True)
+        op._reconfigure_harvesting(now, 0.4)
+        op.orders = [list(reversed(o)) for o in op.orders]
+        op._reconfigure_harvesting(now + 0.5, 0.4)
+        assert op.warmstart_hits == 0
+        assert op.warmstart_misses == 2
+
+    def test_disabled_by_default(self):
+        op, now = _operator()
+        op._reconfigure_harvesting(now, 0.4)
+        op._reconfigure_harvesting(now + 0.5, 0.4)
+        assert op.warmstart_hits == 0
+        assert op.warmstart_misses == 0
+        assert op.last_solver_result.reused == 0
+
+
+class TestScoreCache:
+    def test_second_profile_hits(self):
+        op, now = _operator()
+        op.build_profile(now)
+        misses = op.score_cache_misses
+        assert misses == 3 * 2  # one per (direction, hop)
+        op.build_profile(now)
+        assert op.score_cache_hits == 6
+        assert op.score_cache_misses == misses
+
+    def test_cached_scores_match_fresh_computation(self):
+        op, now = _operator()
+        profile = op.build_profile(now)
+        op.build_profile(now)  # cached round
+        for i in range(3):
+            for hop, l in enumerate(op.orders[i]):
+                fresh = scores_from_histograms(
+                    op.histograms, i, l, op.basic_window_size,
+                    op.segments[l],
+                )
+                np.testing.assert_array_equal(
+                    profile.masses[i][hop], fresh
+                )
+
+    def test_histogram_update_invalidates_involved_pairs(self):
+        op, now = _operator()
+        op.build_profile(now)
+        op.histograms[1].add(0.5)
+        op.build_profile(now)
+        # every (i, l) pair touching histogram 1 recomputes; pairs over
+        # streams {0, 2} only do not
+        assert op.score_cache_misses > 6
+        assert op.score_cache_hits >= 1
+
+    def test_real_decay_invalidates_noop_decay_does_not(self):
+        op, now = _operator()
+        op.build_profile(now)
+        assert op.histograms[1].total > 0
+        before = op.histograms[1].version
+        op.histograms[1].decay(0.9)
+        assert op.histograms[1].version == before + 1
+        empty = op.histograms[2]
+        empty.counts[:] = 0.0
+        v = empty.version
+        empty.decay(0.9)
+        assert empty.version == v

@@ -166,11 +166,14 @@ class TestMatrix:
         drift_checks = verdict["workloads"][drift3.name]["checks"]
         keys_checks = verdict["workloads"][keys3.name]["checks"]
         assert set(drift_checks) == {
-            "mjoin", "indexed", "grubjoin_z1", "sharded_k1",
+            "mjoin", "mjoin_fast", "indexed",
+            "grubjoin_z1", "grubjoin_z1_fast",
+            "sharded_k1", "sharded_k1_fast",
             "grubjoin_z0.5",
         }
         # K>1 sharding only asserted for co-partitioning predicates
         assert "sharded_k2" in keys_checks
+        assert "sharded_k2_fast" in keys_checks
         assert all(row["ok"] for row in keys_checks.values())
 
     def test_matrix_flags_failures(self, drift3, monkeypatch):
@@ -178,7 +181,9 @@ class TestMatrix:
 
         monkeypatch.setattr(
             differential, "mjoin_ids",
-            lambda workload, capacity=0: {((9, 9), (9, 9), (9, 9))},
+            lambda workload, capacity=0, **kw: {
+                ((9, 9), (9, 9), (9, 9))
+            },
         )
         spec = MatrixSpec(pinned_zs=(), shard_counts=(),
                           include_shedding=False)
