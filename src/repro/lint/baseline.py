@@ -1,0 +1,127 @@
+"""The reviewed suppression baseline (rule P123's ledger).
+
+A ``# lint: disable=...`` comment silences a rule on one line; nothing
+in the comment says *who agreed* or *why it is safe*.  The baseline file
+(``src/repro/lint/baseline.json``) is that missing review record: every
+suppression in the package must cite an entry here, and every forced
+effect classification (upgrading a class past what inference found) must
+carry a reason and a reviewer.  P123 fails the build when either record
+is missing or incomplete — the point is that silencing the analyzer is
+an explicit, reviewed event, not a drive-by comment.
+
+Schema::
+
+    {
+      "version": 1,
+      "suppressions": [
+        {"id": "bench-walltime", "rule": "R001",
+         "path": "perf/bench.py",
+         "reason": "...", "reviewed_by": "..."}
+      ],
+      "classifications": [
+        {"id": "...", "class": "repro.x.Y", "force": "shard-safe",
+         "reason": "...", "reviewed_by": "..."}
+      ]
+    }
+
+``path`` is relative to the ``repro`` package root, matching
+:func:`repro.lint.checker.module_path_of`.  One suppression entry covers
+every occurrence of its rule in its file — suppressions in one file for
+one reason are one review decision.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: classifications a baseline entry may force
+_FORCEABLE = ("pure", "stream-local", "shard-safe")
+
+_REQUIRED_SUPPRESSION_KEYS = ("id", "rule", "path", "reason",
+                              "reviewed_by")
+_REQUIRED_CLASSIFICATION_KEYS = ("id", "class", "force", "reason",
+                                 "reviewed_by")
+
+
+def default_baseline_path() -> Path:
+    return Path(__file__).resolve().parent / "baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline plus any schema problems found while loading."""
+
+    path: str
+    #: (rule, package-relative path) pairs with a reviewed entry
+    suppressions: dict[tuple[str, str], dict] = field(
+        default_factory=dict
+    )
+    #: class qualname -> forced-classification entry
+    classifications: dict[str, dict] = field(default_factory=dict)
+    #: P123 findings raised while parsing (incomplete/invalid entries)
+    problems: list[str] = field(default_factory=list)
+
+    def covers_suppression(self, rule: str, module_path: str) -> bool:
+        return (rule, module_path) in self.suppressions
+
+    def forced_classification(self, qualname: str) -> str | None:
+        entry = self.classifications.get(qualname)
+        if entry is None:
+            return None
+        return entry.get("force")
+
+
+def load_baseline(path: str | Path | None = None) -> Baseline:
+    """Load and schema-check the baseline (missing file = empty)."""
+    file = Path(path) if path is not None else default_baseline_path()
+    baseline = Baseline(path=str(file))
+    if not file.exists():
+        return baseline
+    try:
+        payload = json.loads(file.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        baseline.problems.append(f"unreadable baseline {file}: {exc}")
+        return baseline
+    if not isinstance(payload, dict):
+        baseline.problems.append(
+            f"baseline {file} must be a JSON object"
+        )
+        return baseline
+
+    for entry in payload.get("suppressions", []):
+        missing = [
+            key for key in _REQUIRED_SUPPRESSION_KEYS
+            if not str(entry.get(key, "")).strip()
+        ]
+        if missing:
+            baseline.problems.append(
+                f"suppression entry {entry.get('id', '<no id>')!r} is "
+                f"missing {', '.join(missing)}; a suppression without a "
+                "reason and reviewer is not a review record"
+            )
+            continue
+        baseline.suppressions[(entry["rule"], entry["path"])] = entry
+
+    for entry in payload.get("classifications", []):
+        missing = [
+            key for key in _REQUIRED_CLASSIFICATION_KEYS
+            if not str(entry.get(key, "")).strip()
+        ]
+        if missing:
+            baseline.problems.append(
+                f"classification entry {entry.get('id', '<no id>')!r} "
+                f"is missing {', '.join(missing)}"
+            )
+            continue
+        if entry["force"] not in _FORCEABLE:
+            baseline.problems.append(
+                f"classification entry {entry['id']!r} forces "
+                f"{entry['force']!r}; only {_FORCEABLE} can be forced "
+                "(forcing shared-state is pointless — declare "
+                "__effects__ instead)"
+            )
+            continue
+        baseline.classifications[entry["class"]] = entry
+    return baseline

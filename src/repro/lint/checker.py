@@ -35,7 +35,13 @@ class FileReport:
     path: str
     diagnostics: list[Diagnostic] = field(default_factory=list)
     suppressed: int = 0
+    #: the findings the suppressions silenced (P123 checks each one
+    #: against the reviewed baseline)
+    suppressed_diags: list[Diagnostic] = field(default_factory=list)
     error: str | None = None  # syntax / IO failure, if any
+    #: a rule implementation crashed — an analyzer bug, not a finding
+    #: (drives exit code 2, never 1)
+    internal_error: str | None = None
 
 
 def parse_suppressions(source: str) -> dict[int, set[str] | None]:
@@ -89,12 +95,20 @@ def check_source(
     collect_imports(tree, ctx)
     suppressions = parse_suppressions(source)
     for rule in rules:
-        for diag in rule.check(tree, ctx):
+        try:
+            findings = rule.check(tree, ctx)
+        except Exception as exc:  # noqa: BLE001 — any rule crash is ours
+            report.internal_error = (
+                f"rule {rule.code} crashed: {type(exc).__name__}: {exc}"
+            )
+            continue
+        for diag in findings:
             allowed = suppressions.get(diag.line, ...)
             if allowed is None or (
                 allowed is not ... and diag.code in allowed
             ):
                 report.suppressed += 1
+                report.suppressed_diags.append(diag)
                 continue
             report.diagnostics.append(diag)
     report.diagnostics.sort(key=lambda d: (d.line, d.col, d.code))

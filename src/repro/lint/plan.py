@@ -38,6 +38,31 @@ P111   Router fan-out: a partitioning router (``output_kind ==
        must carry a ``filter`` — an unfiltered edge would deliver every
        routed tuple to every shard (duplicated results), a missing
        target would silently drop that shard's share of the input.
+P120   Shard safety: every operator replicated behind a router must
+       certify ``pure``/``stream-local``/``shard-safe`` in the effect
+       manifest (:mod:`repro.lint.effects`); a ``shared-state`` or
+       ``unknown`` operator may only be sharded through a reviewed
+       baseline classification entry.
+P121   Merger order-insensitivity: an operator that fans shard outputs
+       back in must declare ``order_insensitive = True`` (or expose a
+       ``merge_key``) or certify ``pure`` — shard completion order is
+       scheduling-dependent, and an order-sensitive merge would make
+       results depend on it.
+P122   Telemetry direction: operator entry paths may *write* obs
+       instruments but never read them; reading telemetry feeds the
+       metrics plane back into results and (under sharding) couples
+       shards through the shared obs tree.
+P123   Baseline hygiene: every forced classification and every lint
+       suppression must cite a complete, reviewed baseline entry
+       (id, reason, reviewed_by) — see :mod:`repro.lint.baseline`.
+P124   Instance aliasing: the *actual* shard operator instances must
+       not share mutable objects reachable through attributes their
+       certificates say they write (a shared read-only table is fine;
+       a shared written window is one shard scribbling on another).
+
+The effect checks (P120-P124) run automatically whenever the graph
+contains a routed topology, and can be forced on or off with
+``analyze_graph(..., effects=True/False)``.
 =====  ==================================================================
 
 Feasibility (P106) is *symbolic*: rates, selectivities and throttle come
@@ -276,6 +301,130 @@ def _feasibility_profile(
 
 
 # --------------------------------------------------------------------------
+# effect certification checks (P120-P124)
+# --------------------------------------------------------------------------
+
+
+def _state_root_of(path: str) -> str:
+    """``windows[2].tuples`` -> ``windows`` (the owning attribute)."""
+    for sep in (".", "[", "{"):
+        idx = path.find(sep)
+        if idx > 0:
+            path = path[:idx]
+    return path
+
+
+def _effect_checks(
+    report: PlanReport,
+    nodes: dict[str, Any],
+    shard_groups: list[tuple[str, list[str]]],
+    edges: list[Any],
+    baseline: Any = None,
+) -> None:
+    """P120-P124: certify the graph against the effect manifest."""
+    from .baseline import load_baseline
+    from .effects import SHARDABLE, classify_class
+    from .stategraph import shared_mutable_objects
+
+    if baseline is None:
+        baseline = load_baseline()
+
+    # P123 — incomplete/invalid baseline entries are findings themselves
+    for problem in baseline.problems:
+        report.add("P123", problem, node="baseline")
+
+    certificates = {
+        name: classify_class(type(op)) for name, op in nodes.items()
+    }
+
+    # P122 — obs hooks must be write-only, on every node in the plan
+    for name, cert in sorted(certificates.items()):
+        if cert.effects.get("obs") == "reads":
+            methods = ", ".join(
+                d for d in cert.why if d.startswith("reads telemetry")
+            ) or "reads telemetry"
+            report.add(
+                "P122",
+                f"operator {cert.qualname} on node {name!r} reads obs "
+                f"instruments ({methods}); telemetry is write-only from "
+                "operator entry paths — feedback through the metrics "
+                "plane makes results depend on what is being observed",
+                node=name,
+            )
+
+    shard_nodes: set[str] = set()
+    for router_name, targets in shard_groups:
+        shard_nodes.update(targets)
+        # P120 — replicated operators must certify shardable
+        for target in targets:
+            cert = certificates[target]
+            forced = baseline.forced_classification(cert.qualname)
+            effective = forced if forced is not None \
+                else cert.classification
+            if effective in SHARDABLE:
+                continue
+            detail = cert.why[0] if cert.why else "no certificate"
+            report.add(
+                "P120",
+                f"operator {cert.qualname} replicated on shard node "
+                f"{target!r} certifies {cert.classification!r} "
+                f"({detail}); only pure/stream-local/shard-safe "
+                "operators may be sharded — fix the shared state or "
+                "add a reviewed baseline classification entry",
+                node=target,
+            )
+
+        # P121 — whatever fans the shards back in must tolerate any
+        # shard completion order
+        merge_targets = sorted({
+            e.target for e in edges
+            if e.source in set(targets) and e.target not in targets
+        })
+        for merge_target in merge_targets:
+            merger_op = nodes[merge_target]
+            if getattr(merger_op, "order_insensitive", False):
+                continue
+            if getattr(merger_op, "merge_key", None) is not None:
+                continue
+            cert = certificates[merge_target]
+            if cert.classification == "pure":
+                continue
+            report.add(
+                "P121",
+                f"operator {cert.qualname} on node {merge_target!r} "
+                f"merges {len(targets)} shard streams but neither "
+                "declares order_insensitive = True, nor exposes a "
+                "merge_key, nor certifies pure; shard completion order "
+                "is scheduling-dependent and would leak into results",
+                node=merge_target,
+            )
+
+        # P124 — the actual instances must not alias mutable state
+        # through written attributes
+        shard_ops = [nodes[t] for t in targets]
+        for shared in shared_mutable_objects(shard_ops):
+            written_hits = []
+            for owner_index, path in sorted(shared.paths.items()):
+                cert = certificates[targets[owner_index]]
+                root = _state_root_of(path)
+                writes = set(cert.effects.get("mutated_writes", ()))
+                if root in writes or "*" in writes:
+                    written_hits.append(
+                        f"{targets[owner_index]}.{path}"
+                    )
+            if written_hits:
+                report.add(
+                    "P124",
+                    f"shard instances share one mutable "
+                    f"{shared.type_name} reachable through written "
+                    f"state ({shared.render()}); writes at "
+                    f"{', '.join(written_hits)} would be visible to "
+                    "other shards — give every shard its own instance",
+                    node=written_hits[0].split(".", 1)[0],
+                )
+
+
+# --------------------------------------------------------------------------
 # graph analysis
 # --------------------------------------------------------------------------
 
@@ -283,8 +432,11 @@ def _feasibility_profile(
 def analyze_graph(
     graph: "DataflowGraph",
     assumptions: HarvestAssumptions | None = None,
+    effects: bool | None = None,
 ) -> PlanReport:
-    """Validate a constructed dataflow graph (checks P101-P109)."""
+    """Validate a constructed dataflow graph (checks P101-P111, plus the
+    effect-certification checks P120-P124 — automatic for routed
+    topologies, forceable with ``effects=True/False``)."""
     report = PlanReport()
     nodes = graph.node_operators()
     edges = graph.edge_list()
@@ -367,6 +519,7 @@ def analyze_graph(
                 )
 
     # P111 — router fan-out coverage and filtering
+    shard_groups: list[tuple[str, list[str]]] = []
     for name, op in nodes.items():
         if getattr(op, "output_kind", "tuple") != "routed":
             continue
@@ -375,6 +528,7 @@ def analyze_graph(
             continue
         fanout = [e for e in edges if e.source == name]
         targets = {e.target for e in fanout}
+        shard_groups.append((name, sorted(targets)))
         if len(targets) != num_shards:
             report.add(
                 "P111",
@@ -416,6 +570,11 @@ def analyze_graph(
                         node=name,
                     )
                 )
+
+    # P120-P124 — effect certification (automatic for routed plans)
+    run_effects = effects if effects is not None else bool(shard_groups)
+    if run_effects:
+        _effect_checks(report, nodes, shard_groups, edges)
     return report
 
 
@@ -427,6 +586,7 @@ def analyze_graph(
 def analyze_query(
     query: Any,
     assumptions: HarvestAssumptions | None = None,
+    effects: bool | None = None,
 ) -> PlanReport:
     """Validate a declarative :class:`repro.query.Query` before it runs.
 
@@ -521,6 +681,6 @@ def analyze_query(
     # state can actually be assembled
     if report.ok and sources and window is not None and predicate is not None:
         graph, _ = query.build(capacity=1.0)
-        graph_report = analyze_graph(graph)
+        graph_report = analyze_graph(graph, effects=effects)
         report.diagnostics.extend(graph_report.diagnostics)
     return report

@@ -551,8 +551,12 @@ def _dedup_by_line(diags: list[Diagnostic]) -> list[Diagnostic]:
 
 
 #: packages forming the deterministic simulator (R001's scope); obs/ is
-#: included because telemetry is keyed to virtual time by contract
-SIMULATOR_PACKAGES = ("core/", "engine/", "joins/", "streams/", "obs/")
+#: included because telemetry is keyed to virtual time by contract,
+#: parallel/ because sharded runs must replay bit-identically, and
+#: perf/ because benchmark *measurement* may touch the wall clock only
+#: at its two explicitly reviewed timing points (see the baseline)
+SIMULATOR_PACKAGES = ("core/", "engine/", "joins/", "streams/", "obs/",
+                      "parallel/", "perf/")
 
 #: packages whose per-tuple paths are performance critical (R004's scope)
 HOT_PATH_PACKAGES = ("core/", "engine/", "joins/")
@@ -566,8 +570,9 @@ FLOAT_EQ_MODULES = (
 
 #: packages whose operator `process()` methods run once per tuple
 #: (R007's scope); engine/ is excluded — its process-like entry points
-#: are the scheduler, not per-tuple operator code
-PROCESS_HOT_PACKAGES = ("core/", "joins/")
+#: are the scheduler, not per-tuple operator code.  parallel/ routers
+#: and mergers see *every* tuple, perf/ kernels are the hot path itself
+PROCESS_HOT_PACKAGES = ("core/", "joins/", "parallel/", "perf/")
 
 #: modules whose classes sit on the per-tuple hot path (R006's scope)
 SLOTTED_MODULES = (

@@ -49,6 +49,11 @@ class MergerOperator(StreamOperator):
     num_streams = 1
     output_kind = "tuple"
 
+    #: merging is commutative: results carry their own identity (the
+    #: JoinResult key) and logical timestamps, so shard arrival order
+    #: never changes what downstream sees — P121 checks this declaration
+    order_insensitive = True
+
     def __init__(self, num_shards: int, merge_cost: int = 1) -> None:
         if num_shards < 1:
             raise ValueError("need at least one shard")

@@ -44,6 +44,72 @@ def _unwrap(routed: RoutedTuple) -> StreamTuple:
     return routed.tuple
 
 
+def certify_shard_operators(shard_ops: Sequence[StreamOperator]) -> None:
+    """The build-time shard-safety gate (static P120 + dynamic P124).
+
+    Every operator class replicated across shards must certify
+    ``pure``/``stream-local``/``shard-safe`` in the effect manifest
+    (:mod:`repro.lint.effects`) or carry a reviewed baseline
+    classification entry, and the *instances* must not alias mutable
+    objects through attributes their certificates say they write (the
+    classic bug: one window list passed to every shard).  Raises
+    :class:`repro.lint.plan.PlanValidationError` naming every problem
+    at once.
+    """
+    from repro.lint.baseline import load_baseline
+    from repro.lint.effects import SHARDABLE, classify_class
+    from repro.lint.plan import PlanReport
+    from repro.lint.stategraph import shared_mutable_objects
+
+    report = PlanReport()
+    baseline = load_baseline()
+    certificates = [classify_class(type(op)) for op in shard_ops]
+
+    seen: set[str] = set()
+    for cert in certificates:
+        if cert.qualname in seen:
+            continue
+        seen.add(cert.qualname)
+        forced = baseline.forced_classification(cert.qualname)
+        effective = forced if forced is not None else cert.classification
+        if effective in SHARDABLE:
+            continue
+        detail = cert.why[0] if cert.why else "no certificate"
+        report.add(
+            "P120",
+            f"shard operator {cert.qualname} certifies "
+            f"{cert.classification!r} ({detail}); only pure/"
+            "stream-local/shard-safe operators may be replicated — fix "
+            "the shared state or add a reviewed baseline entry",
+            node=cert.qualname,
+        )
+
+    for shared in shared_mutable_objects(list(shard_ops)):
+        written_hits = []
+        for owner_index, path in sorted(shared.paths.items()):
+            root = path.split(".")[0].split("[")[0].split("{")[0]
+            # keyed on *mutated* roots: sharing an injected read-only
+            # collaborator (a predicate) is fine, sharing an object the
+            # operator mutates (a window list) is the classic bug
+            writes = set(
+                certificates[owner_index].effects.get(
+                    "mutated_writes", ())
+            )
+            if root in writes or "*" in writes:
+                written_hits.append(f"shard{owner_index}.{path}")
+        if written_hits:
+            report.add(
+                "P124",
+                f"shard instances share one mutable {shared.type_name} "
+                f"({shared.render()}) reachable through written state; "
+                f"writes at {', '.join(written_hits)} would leak across "
+                "shards — the make_shard factory must build a fresh "
+                "object per shard",
+                node=written_hits[0].split(".", 1)[0],
+            )
+    report.raise_for_errors()
+
+
 def _shard_stream_filter(
     shard: int, stream: int
 ) -> Callable[[RoutedTuple], bool]:
@@ -135,6 +201,7 @@ def build_sharded_graph(
     route_cost: int = 1,
     merge_cost: int = 1,
     shard_buffer_capacity: int | None = None,
+    certify: bool = True,
 ) -> ShardedPlan:
     """Wire router, shards and merger into one dataflow graph.
 
@@ -154,6 +221,14 @@ def build_sharded_graph(
         route_cost: comparisons charged per routed tuple.
         merge_cost: comparisons charged per merged result.
         shard_buffer_capacity: optional bound on each shard input buffer.
+        certify: run the shard-safety gate
+            (:func:`certify_shard_operators`) over the built shard
+            operators — raises
+            :class:`repro.lint.plan.PlanValidationError` when a shard
+            operator certifies ``shared-state``/``unknown`` without a
+            baseline entry (P120), or when instances alias written
+            mutable state (P124).  ``False`` skips the gate (the plan
+            analyzer still catches both at validate time).
 
     Returns:
         The assembled :class:`ShardedPlan` (depth probe already attached).
@@ -198,6 +273,9 @@ def build_sharded_graph(
             )
         shard_names.append(name)
         shard_ops.append(operator)
+
+    if certify:
+        certify_shard_operators(shard_ops)
 
     graph.add_node("merger", merger)
     for k, name in enumerate(shard_names):

@@ -35,7 +35,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from typing import IO, Callable, Sequence
 
 import numpy as np
@@ -132,9 +131,9 @@ def _grub_leg(workload: Workload, capacity: float, fastpath: bool):
         _run_config(workload),
         retain_outputs=True,
     )
-    started = time.perf_counter()
+    started = wall_clock_timer()
     sim.run()
-    wall = time.perf_counter() - started
+    wall = wall_clock_timer() - started
     ids = frozenset(r.key() for r in sim.output_buffer.results)
     return _leg_stats(wall, [timed]), ids
 
@@ -158,9 +157,9 @@ def _sharded_leg(workload: Workload, num_shards: int, fastpath: bool):
         workload.traces, make_shard, num_shards, policy="hash"
     )
     cpu = CpuModel(UNBOUNDED_CAPACITY, cores=num_shards + 2)
-    started = time.perf_counter()
+    started = wall_clock_timer()
     result = plan.run(cpu, _run_config(workload), retain_outputs=True)
-    wall = time.perf_counter() - started
+    wall = wall_clock_timer() - started
     ids = frozenset(plan.merged_result_ids(result))
     return _leg_stats(wall, timed), ids
 

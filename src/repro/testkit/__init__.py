@@ -12,7 +12,10 @@ Four pieces, one contract:
   runner (generate / check / shrink-by-halving) over the workload space;
 * :mod:`~repro.testkit.chaos` — deterministic fault injection (stalls,
   spikes, duplicates, reordering, CPU degradation), all replayable from
-  a seed.
+  a seed;
+* :mod:`~repro.testkit.sanitizer` — runtime determinism sanitizer that
+  shadow-tracks operators and hard-fails on writes the static effect
+  manifest (:mod:`repro.lint.effects`) claims impossible.
 
 ``python -m repro.testkit`` runs the standard matrix and prints a
 canonical JSON verdict; CI diffs two runs byte-for-byte.
@@ -61,6 +64,11 @@ from .properties import (
     run_builtin_properties,
     run_property,
 )
+from .sanitizer import (
+    DeterminismSanitizer,
+    DeterminismViolation,
+    SanitizedOperator,
+)
 from .workloads import (
     Workload,
     default_workloads,
@@ -74,12 +82,15 @@ from .workloads import (
 __all__ = [
     "ChaosScenario",
     "DegradedCpu",
+    "DeterminismSanitizer",
+    "DeterminismViolation",
     "DifferentialReport",
     "FrozenSource",
     "MatrixSpec",
     "OracleResult",
     "PropertyFailure",
     "PropertyOutcome",
+    "SanitizedOperator",
     "Workload",
     "calibrated_shed_capacity",
     "chaos_ids",

@@ -58,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the overloaded (feedback-shedding) subset checks",
     )
     parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run every row under the determinism sanitizer: hard-fail "
+             "on any runtime write the effect manifest claims "
+             "impossible (aliasing, foreign writes, purity breaks)",
+    )
+    parser.add_argument(
         "--check-determinism", action="store_true",
         help="run everything twice and fail unless the JSON verdicts "
              "are byte-identical",
@@ -97,7 +103,8 @@ def run_verdict(args: argparse.Namespace) -> dict:
     verdict: dict = {
         "seeds": list(seeds),
         "differential": differential_matrix(
-            workloads, spec, progress=progress
+            workloads, spec, progress=progress,
+            sanitize=args.sanitize,
         ),
     }
     if args.chaos:

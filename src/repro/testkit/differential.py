@@ -62,8 +62,20 @@ def oracle_ids(workload: Workload) -> OracleResult:
     )
 
 
+def _make_sanitizer(sanitize: bool):
+    """One sanitizer per run when asked for (lazy import keeps the
+    lint machinery off the fast path of unsanitized runs)."""
+    if not sanitize:
+        return None
+    from .sanitizer import DeterminismSanitizer
+
+    return DeterminismSanitizer()
+
+
 def _simulate(workload: Workload, operator, capacity: float,
-              admission=None) -> set[IdVector]:
+              admission=None, sanitizer=None) -> set[IdVector]:
+    if sanitizer is not None:
+        operator = sanitizer.wrap("op", operator)
     sim = Simulation(
         workload.traces,
         operator,
@@ -73,6 +85,8 @@ def _simulate(workload: Workload, operator, capacity: float,
         retain_outputs=True,
     )
     sim.run()
+    if sanitizer is not None:
+        sanitizer.finish()
     return {r.key() for r in sim.output_buffer.results}
 
 
@@ -80,29 +94,34 @@ def mjoin_ids(
     workload: Workload,
     capacity: float = UNBOUNDED_CAPACITY,
     fastpath: bool | None = None,
+    sanitize: bool = False,
 ) -> set[IdVector]:
     """Run the plain nested-loop MJoin and return its identity set."""
     operator = MJoinOperator(
         workload.predicate, workload.window_sizes, workload.basic,
         fastpath=fastpath,
     )
-    return _simulate(workload, operator, capacity)
+    return _simulate(workload, operator, capacity,
+                     sanitizer=_make_sanitizer(sanitize))
 
 
 def indexed_ids(
-    workload: Workload, capacity: float = UNBOUNDED_CAPACITY
+    workload: Workload, capacity: float = UNBOUNDED_CAPACITY,
+    sanitize: bool = False,
 ) -> set[IdVector]:
     """Run the block-probing IndexedMJoin (scalar predicates only)."""
     operator = IndexedMJoin(
         workload.predicate, workload.window_sizes, workload.basic
     )
-    return _simulate(workload, operator, capacity)
+    return _simulate(workload, operator, capacity,
+                     sanitizer=_make_sanitizer(sanitize))
 
 
 def grubjoin_ids(
     workload: Workload,
     capacity: float = UNBOUNDED_CAPACITY,
     pin_z: float | None = None,
+    sanitize: bool = False,
     **operator_kwargs,
 ) -> set[IdVector]:
     """Run GrubJoin; ``pin_z`` swaps in a :class:`FixedThrottle` so the
@@ -116,11 +135,13 @@ def grubjoin_ids(
     )
     if pin_z is not None:
         operator.throttle = FixedThrottle(pin_z)
-    return _simulate(workload, operator, capacity)
+    return _simulate(workload, operator, capacity,
+                     sanitizer=_make_sanitizer(sanitize))
 
 
 def randomdrop_ids(
-    workload: Workload, capacity: float = UNBOUNDED_CAPACITY
+    workload: Workload, capacity: float = UNBOUNDED_CAPACITY,
+    sanitize: bool = False,
 ) -> set[IdVector]:
     """Run the RandomDrop baseline (input shedding ahead of a full join)."""
     operator = MJoinOperator(
@@ -130,7 +151,8 @@ def randomdrop_ids(
         operator, capacity, rng=workload.seed + 202
     )
     return _simulate(workload, operator, capacity,
-                     admission=shedder.filters)
+                     admission=shedder.filters,
+                     sanitizer=_make_sanitizer(sanitize))
 
 
 def sharded_ids(
@@ -139,16 +161,31 @@ def sharded_ids(
     capacity: float = UNBOUNDED_CAPACITY,
     cores: int | None = None,
     fastpath: bool | None = None,
+    sanitize: bool = False,
 ) -> set[IdVector]:
     """Run the router -> K shards -> merger dataflow plan and return the
     merged identity set.  Hash routing co-partitions equal keys, so for
-    equi-join workloads any ``K`` must reproduce the unsharded output."""
-    plan = build_sharded_graph(
-        workload.traces,
-        lambda _k: MJoinOperator(
+    equi-join workloads any ``K`` must reproduce the unsharded output.
+
+    With ``sanitize=True`` every shard runs behind a
+    :class:`~repro.testkit.sanitizer.SanitizedOperator` proxy, so a
+    cross-shard write (one shard's state changing while another runs)
+    hard-fails with provenance instead of silently corrupting the merge.
+    """
+    sanitizer = _make_sanitizer(sanitize)
+
+    def _shard(k: int):
+        operator = MJoinOperator(
             workload.predicate, workload.window_sizes, workload.basic,
             fastpath=fastpath,
-        ),
+        )
+        if sanitizer is not None:
+            return sanitizer.wrap(f"shard{k}", operator)
+        return operator
+
+    plan = build_sharded_graph(
+        workload.traces,
+        _shard,
         num_shards,
         policy="hash",
     )
@@ -156,6 +193,8 @@ def sharded_ids(
         capacity, cores=cores if cores is not None else num_shards + 2
     )
     result = plan.run(cpu, run_config(workload), retain_outputs=True)
+    if sanitizer is not None:
+        sanitizer.finish()
     return plan.merged_result_ids(result)
 
 
@@ -403,6 +442,7 @@ def differential_matrix(
     workloads: Sequence[Workload],
     spec: MatrixSpec | None = None,
     progress: Callable[[str], None] | None = None,
+    sanitize: bool = False,
 ) -> dict:
     """Run the full differential grid and return a JSON-able verdict.
 
@@ -413,11 +453,18 @@ def differential_matrix(
     shedding configuration (pinned z grid, feedback throttling under
     measured overload, RandomDrop under the same overload).
 
+    ``sanitize=True`` runs every row under the determinism sanitizer
+    (:mod:`repro.testkit.sanitizer`): a write that contradicts the
+    static effect manifest raises
+    :class:`~repro.testkit.sanitizer.DeterminismViolation` instead of
+    producing a (possibly still passing) verdict.
+
     The verdict contains no wall-clock material: two invocations with the
     same workloads and spec serialize byte-identically.
     """
     spec = spec or MatrixSpec()
-    verdict: dict = {"workloads": {}, "ok": True, "failures": []}
+    verdict: dict = {"workloads": {}, "ok": True, "failures": [],
+                     "sanitized": bool(sanitize)}
     for workload in workloads:
         if progress is not None:
             progress(f"workload {workload.name}")
@@ -426,11 +473,14 @@ def differential_matrix(
         renders: list[str] = []
 
         _check(reports, renders, "mjoin", reference,
-               mjoin_ids(workload, fastpath=False), workload, "equal")
+               mjoin_ids(workload, fastpath=False, sanitize=sanitize),
+               workload, "equal")
         _check(reports, renders, "indexed", reference,
-               indexed_ids(workload), workload, "equal")
+               indexed_ids(workload, sanitize=sanitize), workload,
+               "equal")
         _check(reports, renders, "grubjoin_z1", reference,
-               grubjoin_ids(workload, pin_z=1.0, fastpath=False),
+               grubjoin_ids(workload, pin_z=1.0, fastpath=False,
+                            sanitize=sanitize),
                workload, "equal")
 
         fast = (
@@ -439,10 +489,12 @@ def differential_matrix(
         )
         if fast:
             _check(reports, renders, "mjoin_fast", reference,
-                   mjoin_ids(workload, fastpath=True), workload,
-                   "equal")
+                   mjoin_ids(workload, fastpath=True,
+                             sanitize=sanitize),
+                   workload, "equal")
             _check(reports, renders, "grubjoin_z1_fast", reference,
-                   grubjoin_ids(workload, pin_z=1.0, fastpath=True),
+                   grubjoin_ids(workload, pin_z=1.0, fastpath=True,
+                                sanitize=sanitize),
                    workload, "equal")
 
         equi = workload.tags.get("kind") == "keys"
@@ -450,28 +502,32 @@ def differential_matrix(
             if k > 1 and not equi:
                 continue
             _check(reports, renders, f"sharded_k{k}", reference,
-                   sharded_ids(workload, k, fastpath=False),
+                   sharded_ids(workload, k, fastpath=False,
+                               sanitize=sanitize),
                    workload, "equal")
             if fast:
                 _check(reports, renders, f"sharded_k{k}_fast",
                        reference,
-                       sharded_ids(workload, k, fastpath=True),
+                       sharded_ids(workload, k, fastpath=True,
+                                   sanitize=sanitize),
                        workload, "equal")
 
         for z in spec.pinned_zs:
             _check(reports, renders, f"grubjoin_z{z:g}", reference,
-                   grubjoin_ids(workload, pin_z=z), workload,
-                   "subset")
+                   grubjoin_ids(workload, pin_z=z, sanitize=sanitize),
+                   workload, "subset")
 
         if spec.include_shedding:
             capacity = calibrated_shed_capacity(
                 workload, spec.shed_fraction
             )
             _check(reports, renders, "grubjoin_shed", reference,
-                   grubjoin_ids(workload, capacity=capacity),
+                   grubjoin_ids(workload, capacity=capacity,
+                                sanitize=sanitize),
                    workload, "subset")
             _check(reports, renders, "randomdrop_shed", reference,
-                   randomdrop_ids(workload, capacity=capacity),
+                   randomdrop_ids(workload, capacity=capacity,
+                                  sanitize=sanitize),
                    workload, "subset")
 
         entry = {

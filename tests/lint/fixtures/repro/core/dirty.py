@@ -1,0 +1,11 @@
+"""Committed golden-test fixture: exactly one R001 finding.
+
+Do not edit — tests/lint/golden/*.json are byte-compares against the
+linter's output over this tree.
+"""
+
+import time
+
+
+def f():
+    return time.perf_counter()

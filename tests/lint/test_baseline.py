@@ -1,0 +1,124 @@
+"""The P123 suppression/classification baseline: schema and lookups."""
+
+import json
+
+from repro.lint.baseline import Baseline, load_baseline
+
+
+def write_baseline(tmp_path, payload) -> str:
+    file = tmp_path / "baseline.json"
+    file.write_text(json.dumps(payload))
+    return str(file)
+
+
+def entry(**overrides) -> dict:
+    base = {
+        "id": "test-entry",
+        "rule": "R001",
+        "path": "perf/bench.py",
+        "reason": "benchmark needs wall time",
+        "reviewed_by": "tests",
+    }
+    base.update(overrides)
+    return base
+
+
+class TestLoading:
+    def test_missing_file_is_empty_and_clean(self, tmp_path):
+        baseline = load_baseline(tmp_path / "nowhere.json")
+        assert baseline.suppressions == {}
+        assert baseline.classifications == {}
+        assert baseline.problems == []
+
+    def test_unreadable_json_is_a_problem(self, tmp_path):
+        file = tmp_path / "baseline.json"
+        file.write_text("{not json")
+        baseline = load_baseline(file)
+        assert baseline.problems
+        assert "unreadable" in baseline.problems[0]
+
+    def test_non_object_payload_is_a_problem(self, tmp_path):
+        baseline = load_baseline(
+            write_baseline(tmp_path, ["not", "an", "object"])
+        )
+        assert "JSON object" in baseline.problems[0]
+
+    def test_committed_baseline_is_schema_clean(self):
+        assert load_baseline().problems == []
+
+
+class TestSuppressions:
+    def test_covers_exact_rule_and_path(self, tmp_path):
+        baseline = load_baseline(write_baseline(
+            tmp_path, {"suppressions": [entry()]}
+        ))
+        assert baseline.covers_suppression("R001", "perf/bench.py")
+        assert not baseline.covers_suppression("R002", "perf/bench.py")
+        assert not baseline.covers_suppression("R001", "core/greedy.py")
+
+    def test_entry_without_reason_is_rejected(self, tmp_path):
+        baseline = load_baseline(write_baseline(
+            tmp_path, {"suppressions": [entry(reason="")]}
+        ))
+        assert baseline.suppressions == {}
+        assert "missing reason" in baseline.problems[0]
+
+    def test_entry_without_reviewer_is_rejected(self, tmp_path):
+        baseline = load_baseline(write_baseline(
+            tmp_path, {"suppressions": [entry(reviewed_by="  ")]}
+        ))
+        assert baseline.suppressions == {}
+        assert "reviewed_by" in baseline.problems[0]
+
+
+class TestClassifications:
+    def classification(self, **overrides) -> dict:
+        base = {
+            "id": "reviewed-op",
+            "class": "repro.scratch.Op",
+            "force": "shard-safe",
+            "reason": "closure verified by sanitizer",
+            "reviewed_by": "tests",
+        }
+        base.update(overrides)
+        return base
+
+    def test_forced_classification_lookup(self, tmp_path):
+        baseline = load_baseline(write_baseline(
+            tmp_path, {"classifications": [self.classification()]}
+        ))
+        assert baseline.forced_classification(
+            "repro.scratch.Op") == "shard-safe"
+        assert baseline.forced_classification("repro.other.Op") is None
+
+    def test_forcing_shared_state_is_rejected(self, tmp_path):
+        baseline = load_baseline(write_baseline(
+            tmp_path,
+            {"classifications": [
+                self.classification(force="shared-state")
+            ]},
+        ))
+        assert baseline.classifications == {}
+        assert "shared-state" in baseline.problems[0]
+
+    def test_forcing_nonsense_is_rejected(self, tmp_path):
+        baseline = load_baseline(write_baseline(
+            tmp_path,
+            {"classifications": [self.classification(force="magic")]},
+        ))
+        assert baseline.classifications == {}
+
+    def test_incomplete_entry_is_rejected(self, tmp_path):
+        baseline = load_baseline(write_baseline(
+            tmp_path,
+            {"classifications": [self.classification(reason="")]},
+        ))
+        assert baseline.classifications == {}
+        assert baseline.problems
+
+
+class TestDefaults:
+    def test_default_construction_is_empty(self):
+        baseline = Baseline(path="<none>")
+        assert not baseline.covers_suppression("R001", "x.py")
+        assert baseline.forced_classification("a.B") is None

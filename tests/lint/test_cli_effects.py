@@ -1,0 +1,126 @@
+"""Effect-mode CLI exit codes, internal-error handling, golden outputs.
+
+Exit-code contract (CI depends on it): ``0`` clean, ``1`` findings or
+manifest drift, ``2`` usage errors *and* analyzer crashes.  A crashing
+rule or a crashing effect pass must never masquerade as a clean tree.
+The golden tests byte-compare ``--format json``/``sarif`` over the
+committed fixture tree — the version-1 schema is frozen.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.rules import REGISTRY, RULES_BY_CODE, Rule
+
+HERE = Path(__file__).resolve().parent
+REPO = HERE.parents[1]
+
+
+class TestEffectsExitCodes:
+    def test_clean_package_exits_zero(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO)
+        assert main(["src", "--effects"]) == 0
+        out = capsys.readouterr().out
+        assert "0 problem(s)" in out
+
+    def test_committed_manifest_matches(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO)
+        assert main([
+            "src", "--effects",
+            "--check-manifest", "benchmarks/effects/MANIFEST.json",
+        ]) == 0
+
+    def test_manifest_drift_exits_one(self, monkeypatch, tmp_path,
+                                      capsys):
+        monkeypatch.chdir(REPO)
+        stale = tmp_path / "MANIFEST.json"
+        stale.write_text("{\"stale\": true}\n")
+        assert main([
+            "src", "--effects", "--check-manifest", str(stale),
+        ]) == 1
+        assert "manifest drift" in capsys.readouterr().out
+
+    def test_manifest_out_writes_the_manifest(self, monkeypatch,
+                                              tmp_path, capsys):
+        monkeypatch.chdir(REPO)
+        out_path = tmp_path / "out" / "MANIFEST.json"
+        assert main([
+            "src", "--effects", "--manifest-out", str(out_path),
+        ]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["version"] == 1
+        assert payload["classes"]
+
+    def test_json_format_prints_manifest(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO)
+        assert main(["src", "--effects", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+
+    def test_analyzer_crash_exits_two(self, monkeypatch, capsys):
+        import repro.lint.effects as effects_mod
+
+        def boom(src_root=None, refresh=False):
+            raise RuntimeError("synthetic analyzer crash")
+
+        monkeypatch.setattr(effects_mod, "analyze_package", boom)
+        monkeypatch.chdir(REPO)
+        assert main(["src", "--effects"]) == 2
+        err = capsys.readouterr().err
+        assert "INTERNAL" in err
+        assert "synthetic analyzer crash" in err
+
+
+class TestRuleCrashIsExitTwo:
+    def test_crashing_rule_exits_two_not_one(self, monkeypatch,
+                                             tmp_path, capsys):
+        import repro.lint.rules as rules_mod
+
+        crasher = Rule(
+            code="R998",
+            name="synthetic-crasher",
+            summary="always raises (test fixture)",
+            scope=(),
+            check=lambda tree, ctx: 1 // 0,
+        )
+        patched = REGISTRY + (crasher,)
+        monkeypatch.setattr(rules_mod, "REGISTRY", patched)
+        monkeypatch.setattr(
+            rules_mod, "RULES_BY_CODE",
+            {**RULES_BY_CODE, "R998": crasher},
+        )
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "ok.py").write_text("def f(x=None):\n    return x\n")
+        assert main([str(tmp_path)]) == 2
+        captured = capsys.readouterr()
+        assert "R998 crashed" in captured.err
+        # a crash must not be double-reported as a finding
+        assert "0 finding(s)" in captured.out
+
+
+class TestGoldenOutputs:
+    """Byte-stable machine formats over the committed fixture tree."""
+
+    @pytest.fixture(autouse=True)
+    def _in_test_dir(self, monkeypatch):
+        # fixture paths in the output are relative to tests/lint
+        monkeypatch.chdir(HERE)
+
+    def run(self, fmt: str, capsys) -> str:
+        assert main(["fixtures", "--format", fmt]) == 1
+        return capsys.readouterr().out
+
+    def test_json_matches_golden(self, capsys):
+        expected = (HERE / "golden" / "dirty.json").read_text()
+        assert self.run("json", capsys) == expected
+
+    def test_sarif_matches_golden(self, capsys):
+        expected = (HERE / "golden" / "dirty.sarif").read_text()
+        assert self.run("sarif", capsys) == expected
+
+    def test_json_is_byte_deterministic(self, capsys):
+        assert self.run("json", capsys) == self.run("json", capsys)

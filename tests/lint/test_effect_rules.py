@@ -1,0 +1,202 @@
+"""Plan rules P120-P124 and the build-time shard-safety gate.
+
+The bad operators here are the canonical sharding bugs: a module-global
+tally (any shard's write visible to all), one window list handed to
+every shard, an order-sensitive merger, an operator that *reads*
+telemetry back into its control path.  Each must be rejected both by the
+plan analyzer (``analyze_graph``) and — where applicable — by the build
+gate inside :func:`repro.parallel.build_sharded_graph`.
+"""
+
+import pytest
+
+from repro.engine.operator import ProcessReceipt, StreamOperator
+from repro.joins import EquiJoin, MJoinOperator
+from repro.lint.plan import PlanValidationError, analyze_graph
+from repro.parallel import build_sharded_graph
+from repro.parallel.sharded import certify_shard_operators
+from repro.testkit.workloads import drift_sources
+
+TALLY = {}
+
+
+class GlobalTallyJoin(StreamOperator):
+    """Writes a module global from process: shared-state, not shardable."""
+
+    num_streams = 3
+
+    def __init__(self):
+        self.count = 0
+
+    def process(self, tup, now):
+        TALLY[tup.stream] = TALLY.get(tup.stream, 0) + 1
+        self.count += 1
+        return ProcessReceipt(comparisons=1, outputs=[])
+
+
+class SharedWindowJoin(StreamOperator):
+    """Mutates a constructor-injected list: only safe if per-instance."""
+
+    num_streams = 3
+
+    def __init__(self, windows):
+        self.windows = windows
+
+    def process(self, tup, now):
+        self.windows.append(tup)
+        return ProcessReceipt(comparisons=1, outputs=[])
+
+
+class ObsReadingJoin(StreamOperator):
+    """Feeds telemetry back into processing: P122 must reject."""
+
+    num_streams = 3
+
+    def __init__(self):
+        self.obs = None
+
+    def process(self, tup, now):
+        if self.obs is not None and self.obs.latest("output_rate") > 5:
+            return ProcessReceipt(comparisons=0, outputs=[])
+        return ProcessReceipt(comparisons=1, outputs=[])
+
+
+class OrderSensitiveMerger(StreamOperator):
+    """Keeps arrival order as state: scheduling would leak into results."""
+
+    num_streams = 1
+    output_kind = "results"
+
+    def __init__(self):
+        self.seen = []
+
+    def process(self, tup, now):
+        self.seen.append(tup)
+        return ProcessReceipt(comparisons=1, outputs=[tup])
+
+
+def sources(m=3):
+    return drift_sources(m=m, rate=30.0, seed=0)
+
+
+def fresh_shard(_k):
+    return MJoinOperator(EquiJoin(), [10.0] * 3, 1.0)
+
+
+def error_codes(report):
+    return {d.code for d in report.errors}
+
+
+class TestGate:
+    def test_good_shards_pass(self):
+        certify_shard_operators([fresh_shard(0), fresh_shard(1)])
+
+    def test_p120_rejects_shared_state_operator(self):
+        with pytest.raises(PlanValidationError) as exc:
+            certify_shard_operators([GlobalTallyJoin(),
+                                     GlobalTallyJoin()])
+        message = str(exc.value)
+        assert "P120" in message
+        assert "TALLY" in message
+
+    def test_p124_rejects_aliased_mutable_state(self):
+        shared = []
+        with pytest.raises(PlanValidationError) as exc:
+            certify_shard_operators([SharedWindowJoin(shared),
+                                     SharedWindowJoin(shared)])
+        message = str(exc.value)
+        assert "P124" in message
+        assert "windows" in message
+
+    def test_per_instance_state_is_not_aliasing(self):
+        certify_shard_operators([SharedWindowJoin([]),
+                                 SharedWindowJoin([])])
+
+    def test_shared_readonly_collaborator_is_allowed(self):
+        # one predicate object across shards is fine: nobody mutates it
+        predicate = EquiJoin()
+        certify_shard_operators([
+            MJoinOperator(predicate, [10.0] * 3, 1.0),
+            MJoinOperator(predicate, [10.0] * 3, 1.0),
+        ])
+
+    def test_build_sharded_graph_runs_the_gate(self):
+        with pytest.raises(PlanValidationError):
+            build_sharded_graph(sources(), lambda _k: GlobalTallyJoin(),
+                                num_shards=2)
+
+    def test_certify_false_skips_the_gate(self):
+        plan = build_sharded_graph(sources(),
+                                   lambda _k: GlobalTallyJoin(),
+                                   num_shards=2, certify=False)
+        assert plan.num_shards == 2
+
+    def test_baseline_can_force_a_classification(self, monkeypatch):
+        from repro.lint import baseline as baseline_mod
+
+        forced = baseline_mod.Baseline(
+            path="<test>",
+            suppressions={},
+            classifications={
+                f"{GlobalTallyJoin.__module__}.GlobalTallyJoin": {
+                    "id": "reviewed-tally",
+                    "class":
+                        f"{GlobalTallyJoin.__module__}.GlobalTallyJoin",
+                    "force": "shard-safe",
+                    "reason": "test fixture",
+                    "reviewed_by": "tests",
+                },
+            },
+        )
+        monkeypatch.setattr(baseline_mod, "load_baseline",
+                            lambda path=None: forced)
+        # the gate imports load_baseline lazily from the module
+        certify_shard_operators([GlobalTallyJoin(), GlobalTallyJoin()])
+
+
+class TestAnalyzerRules:
+    def build(self, make_shard, num_shards=2):
+        return build_sharded_graph(sources(), make_shard, num_shards,
+                                   certify=False)
+
+    def test_clean_sharded_plan_has_no_effect_errors(self):
+        report = analyze_graph(self.build(fresh_shard).graph)
+        assert report.ok, report.render()
+
+    def test_p120_from_analyzer(self):
+        plan = self.build(lambda _k: GlobalTallyJoin())
+        report = analyze_graph(plan.graph)
+        assert "P120" in error_codes(report)
+
+    def test_p124_from_analyzer(self):
+        shared = []
+        plan = self.build(lambda _k: SharedWindowJoin(shared))
+        report = analyze_graph(plan.graph)
+        assert "P124" in error_codes(report)
+
+    def test_p121_rejects_order_sensitive_merger(self):
+        plan = self.build(fresh_shard)
+        plan.graph._nodes["merger"].operator = OrderSensitiveMerger()
+        report = analyze_graph(plan.graph)
+        assert "P121" in error_codes(report)
+
+    def test_p122_rejects_obs_reading_node(self):
+        from repro.engine.graph import DataflowGraph
+
+        g = DataflowGraph()
+        g.add_node("join", ObsReadingJoin())
+        for i, src in enumerate(sources()):
+            g.add_source("join", i, src)
+        report = analyze_graph(g, effects=True)
+        assert "P122" in error_codes(report)
+
+    def test_effects_off_by_default_without_routing(self):
+        from repro.engine.graph import DataflowGraph
+
+        g = DataflowGraph()
+        g.add_node("join", ObsReadingJoin())
+        for i, src in enumerate(sources()):
+            g.add_source("join", i, src)
+        # no shard groups and effects unset: the effect pass stays off
+        report = analyze_graph(g)
+        assert "P122" not in error_codes(report)
