@@ -59,6 +59,11 @@ P124   Instance aliasing: the *actual* shard operator instances must
        not share mutable objects reachable through attributes their
        certificates say they write (a shared read-only table is fine;
        a shared written window is one shard scribbling on another).
+P125   Worker entry (process runtime): an operator about to be forked
+       into a worker process must not carry a bound obs sink (handles
+       do not cross the process boundary) and the shard factory must
+       return a fresh instance per worker id — see
+       :func:`check_worker_entry`.
 
 The effect checks (P120-P124) run automatically whenever the graph
 contains a routed topology, and can be forced on or off with
@@ -422,6 +427,53 @@ def _effect_checks(
                     "other shards — give every shard its own instance",
                     node=written_hits[0].split(".", 1)[0],
                 )
+
+
+def check_worker_entry(shard_ops: Sequence[Any]) -> PlanReport:
+    """P125 — process-parallel worker-entry safety.
+
+    The process runtime (:mod:`repro.parallel.procs`) forks each shard
+    operator into its own OS process, which tightens the shard-safety
+    contract beyond P120/P124:
+
+    * an operator must not carry a bound telemetry sink — obs handles
+      do not cross the process boundary, so a forked copy would record
+      into a dead registry the supervisor never reads (bind obs on the
+      supervisor's router/merger instead);
+    * the factory must return a *fresh instance* per worker id — with
+      fork semantics a shared instance silently becomes K divergent
+      copies, the worst kind of aliasing because no runtime check can
+      see across the boundary afterwards.
+
+    Called by ``certify_shard_operators(..., worker_entry=True)`` on
+    probe instances built *before* any fork.
+    """
+    report = PlanReport()
+    for k, op in enumerate(shard_ops):
+        if getattr(op, "obs", None) is not None:
+            report.add(
+                "P125",
+                f"worker operator shard{k} "
+                f"({type(op).__qualname__}) carries a bound obs sink; "
+                "telemetry handles do not survive the fork — the "
+                "worker would record into a registry the supervisor "
+                "never reads.  Bind obs to the supervisor-side router "
+                "and merger instead",
+                node=f"shard{k}",
+            )
+    seen: dict[int, int] = {}
+    for k, op in enumerate(shard_ops):
+        first = seen.setdefault(id(op), k)
+        if first != k:
+            report.add(
+                "P125",
+                f"shard factory returned the same operator instance "
+                f"for workers {first} and {k}; each forked worker "
+                "must build its own operator (state cannot be shared "
+                "across the process boundary)",
+                node=f"shard{k}",
+            )
+    return report
 
 
 # --------------------------------------------------------------------------

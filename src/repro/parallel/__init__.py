@@ -11,13 +11,29 @@ follows the shared-nothing partitioned designs of Chakraborty's
 parallel windowed stream joins and Hu & Qiu's runtime-optimized m-way
 operator (see PAPERS.md); ``docs/PARALLEL.md`` describes it in detail.
 
-Shards contend for the engine's M/G/k :class:`~repro.engine.cpu.CpuModel`
-(per-core busy-until accounting), and each adaptive shard keeps its own
-:class:`~repro.core.throttle.ThrottleController`, so load shedding stays
-local to the overloaded shards when routing is skewed.
+Two execution modes share that topology:
+
+* the **virtual-time plan** (:func:`build_sharded_graph`): shards
+  contend for the engine's M/G/k :class:`~repro.engine.cpu.CpuModel`
+  (per-core busy-until accounting), and each adaptive shard keeps its
+  own :class:`~repro.core.throttle.ThrottleController`, so load
+  shedding stays local to the overloaded shards when routing is skewed;
+* the **process runtime** (:func:`run_procs` in
+  :mod:`repro.parallel.procs`): the same router/merger supervise K
+  real ``multiprocessing`` workers over pickled-batch pipes, with
+  optional elastic autoscaling (:mod:`repro.parallel.autoscale`) that
+  grows and shrinks the fleet from live backlog.  With scaling pinned,
+  its merged output is bit-identical to the virtual-time plan's.
 """
 
+from .autoscale import (
+    AutoscaleEvent,
+    Autoscaler,
+    AutoscalerConfig,
+    ScaleDecision,
+)
 from .merger import MergerOperator, shard_result_transform
+from .procs import ProcsResult, run_procs
 from .router import (
     ROUTING_POLICIES,
     RoutedTuple,
@@ -27,12 +43,18 @@ from .router import (
 from .sharded import ShardedPlan, build_sharded_graph
 
 __all__ = [
+    "AutoscaleEvent",
+    "Autoscaler",
+    "AutoscalerConfig",
     "MergerOperator",
+    "ProcsResult",
     "ROUTING_POLICIES",
     "RoutedTuple",
     "RouterOperator",
+    "ScaleDecision",
     "ShardedPlan",
     "build_sharded_graph",
+    "run_procs",
     "shard_result_transform",
     "stable_key_hash",
 ]

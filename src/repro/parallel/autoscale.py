@@ -1,0 +1,181 @@
+"""Elastic shard autoscaling: a control loop over live queue depths.
+
+The process runtime (:mod:`repro.parallel.procs`) samples each worker's
+outstanding backlog (tuples routed but not yet acknowledged) at every
+control tick and feeds the sample to an :class:`Autoscaler`.  The
+autoscaler is a pure, deterministic decision core — no processes, no
+clocks, no telemetry of its own — so the scaling policy is unit-testable
+in isolation and the supervisor stays a thin actuator:
+
+* **scale up** when some worker's backlog has exceeded
+  ``high_watermark`` for ``sustain_ticks`` consecutive ticks and the
+  fleet is below ``max_workers``;
+* **scale down** when *every* worker's backlog has stayed below
+  ``low_watermark`` for ``sustain_ticks`` consecutive ticks and the
+  fleet is above ``min_workers`` (the retiree is the shallowest worker,
+  ties to the youngest, so worker 0 — the anchor — retires last);
+* **hold** otherwise, and always for ``cooldown_ticks`` ticks after any
+  scale event — a fresh worker needs time to absorb its migrated
+  buckets before depths mean anything again.
+
+Sustained-signal + cooldown is the classic anti-flapping pair: a single
+bursty tick can neither add nor retire a worker, and two scale events
+can never fire back to back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: decision verdicts, in the order the supervisor switches on them
+ACTIONS = ("hold", "up", "down")
+
+
+@dataclass(frozen=True, slots=True)
+class AutoscalerConfig:
+    """Tuning knobs for the elastic control loop.
+
+    Attributes:
+        min_workers: floor on fleet size (scale-down stops here).
+        max_workers: ceiling on fleet size (scale-up stops here).
+        high_watermark: per-worker backlog (tuples in flight) above
+            which a worker counts as sustained-hot.
+        low_watermark: fleet-wide backlog ceiling below which the fleet
+            counts as sustained-idle.
+        sustain_ticks: consecutive hot/idle ticks required before a
+            scale decision fires (debounce).
+        cooldown_ticks: ticks to hold after any scale event before the
+            streak counters start accumulating again.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 8
+    high_watermark: float = 256.0
+    low_watermark: float = 16.0
+    sustain_ticks: int = 2
+    cooldown_ticks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.low_watermark >= self.high_watermark:
+            raise ValueError("low_watermark must be < high_watermark")
+        if self.sustain_ticks < 1:
+            raise ValueError("sustain_ticks must be >= 1")
+        if self.cooldown_ticks < 0:
+            raise ValueError("cooldown_ticks must be >= 0")
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleDecision:
+    """One control-tick verdict.
+
+    ``action`` is ``"hold"``/``"up"``/``"down"``; ``worker`` names the
+    hottest worker (up — the natural bucket donor) or the retiree
+    (down); ``reason`` is a short human-readable justification that the
+    supervisor forwards to telemetry.
+    """
+
+    action: str
+    worker: int | None
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class AutoscaleEvent:
+    """A recorded scale event: which tick, what happened, and the
+    depth sample that justified it (worker id, depth) pairs."""
+
+    tick: int
+    action: str
+    worker: int | None
+    depths: tuple[tuple[int, int], ...]
+    reason: str
+
+
+@dataclass
+class Autoscaler:
+    """The deterministic scale up/down decision core.
+
+    Feed one backlog sample per control tick to :meth:`observe`; apply
+    the returned :class:`ScaleDecision` (spawn/retire) on the caller's
+    side and the cooldown starts automatically.  ``events`` keeps every
+    non-hold decision for diagnostics.
+    """
+
+    config: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    ticks: int = 0
+    scale_ups: int = 0
+    scale_downs: int = 0
+    events: list[AutoscaleEvent] = field(default_factory=list)
+    _hot_streak: int = 0
+    _idle_streak: int = 0
+    _cooldown: int = 0
+
+    def observe(self, depths: Mapping[int, int]) -> ScaleDecision:
+        """One control tick: ``depths`` maps live worker id -> backlog."""
+        self.ticks += 1
+        if not depths:
+            return ScaleDecision("hold", None, "no live workers")
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            self._hot_streak = 0
+            self._idle_streak = 0
+            return ScaleDecision("hold", None, "cooling down")
+        cfg = self.config
+        n = len(depths)
+        hottest = max(depths, key=lambda w: (depths[w], -w))
+        peak = depths[hottest]
+        if peak > cfg.high_watermark and n < cfg.max_workers:
+            self._hot_streak += 1
+        else:
+            self._hot_streak = 0
+        if peak < cfg.low_watermark and n > cfg.min_workers:
+            self._idle_streak += 1
+        else:
+            self._idle_streak = 0
+
+        if self._hot_streak >= cfg.sustain_ticks:
+            return self._fire(
+                "up", hottest, depths,
+                f"worker {hottest} backlog {peak} > "
+                f"{cfg.high_watermark:g} for {self._hot_streak} ticks",
+            )
+        if self._idle_streak >= cfg.sustain_ticks:
+            # retire the shallowest worker; ties to the youngest so the
+            # anchor worker 0 is always the last one standing
+            retiree = min(depths, key=lambda w: (depths[w], -w))
+            return self._fire(
+                "down", retiree, depths,
+                f"fleet backlog peak {peak} < {cfg.low_watermark:g} "
+                f"for {self._idle_streak} ticks",
+            )
+        return ScaleDecision("hold", None, "within watermarks")
+
+    def _fire(
+        self,
+        action: str,
+        worker: int,
+        depths: Mapping[int, int],
+        reason: str,
+    ) -> ScaleDecision:
+        self._hot_streak = 0
+        self._idle_streak = 0
+        self._cooldown = self.config.cooldown_ticks
+        if action == "up":
+            self.scale_ups += 1
+        else:
+            self.scale_downs += 1
+        self.events.append(AutoscaleEvent(
+            tick=self.ticks,
+            action=action,
+            worker=worker,
+            depths=tuple(sorted(
+                (int(w), int(d)) for w, d in depths.items()
+            )),
+            reason=reason,
+        ))
+        return ScaleDecision(action, worker, reason)

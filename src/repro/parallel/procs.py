@@ -1,0 +1,596 @@
+"""Process-parallel shard runtime: K join shards on real workers.
+
+Everything else in ``repro.parallel`` runs inside the virtual-time
+simulator; this module is the wall-clock execution mode that backs the
+ROADMAP's scale-out claim with real OS processes.  The topology is the
+same router -> shards -> merger plan as
+:func:`~repro.parallel.sharded.build_sharded_graph`, but each shard is a
+``multiprocessing`` worker and the supervisor (this process) owns the
+router and the merger:
+
+* **transport** — pickled-batch duplex pipes.  The supervisor routes
+  tuples through the live :class:`~repro.parallel.router.RouterOperator`
+  bucket map, packs per-worker batches, and bounds the number of
+  unacknowledged batches per worker so the downstream pipe always fits
+  the OS buffer (sends never block) while acks are drained continuously
+  (workers never stall on a full upstream pipe) — the classic
+  two-sided-pipe deadlock cannot form.
+* **deterministic seeding** — workers are forked, and each builds its
+  own operator via ``make_shard(worker_id)`` inside the child; a factory
+  that seeds from the worker id reproduces bit-identical shard state on
+  every run.  Tuples are replayed in global ``(delivery_time, stream,
+  seq)`` order restricted to each worker, which is exactly the order the
+  virtual-time graph services them in (de-phased workloads never tie),
+  and each worker replays the adaptation ticks the simulator would have
+  fired.  With a pinned bucket map the merged identity set is therefore
+  bit-identical to the :class:`ShardedPlan` oracle — the testkit's
+  ``procs_k{K}`` differential rows prove it against the same frozen
+  workloads.
+* **elastic autoscaling** — an optional
+  :class:`~repro.parallel.autoscale.Autoscaler` watches live per-worker
+  backlog (tuples routed minus tuples acknowledged) at every control
+  tick, forks a new worker under sustained backlog (migrating virtual
+  buckets to it via :meth:`RouterOperator.add_shard`) and drains/retires
+  the shallowest worker when the fleet idles
+  (:meth:`RouterOperator.retire_shard` re-homes its buckets first, so
+  no tuple ever routes to a retiring worker).  Scale events move future
+  tuples only — window history stays behind, the same bounded
+  one-window-loss trade-off as virtual-time bucket migration — so runs
+  with autoscaling enabled may legitimately diverge from the pinned
+  oracle (documented in ``docs/PARALLEL.md``).
+
+Telemetry: pass ``obs=`` to export ``procs_*`` transport counters and
+the ``autoscaler_*`` counter/series families (see
+``docs/OBSERVABILITY.md``); the obs clock is bound to wall seconds since
+the run started, read through the injected ``timer`` (the sanctioned
+seam from :mod:`repro.timing` — this module never touches the wall
+clock directly).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from typing import Any, Callable, Sequence
+
+from repro.engine.operator import StreamOperator
+from repro.streams.tuples import StreamTuple
+from repro.timing import Timer, wall_clock_timer
+
+from .autoscale import AutoscaleEvent, Autoscaler, AutoscalerConfig
+from .merger import MergerOperator
+from .router import RouterOperator
+
+#: per-worker cap on unacknowledged batches; with the default batch
+#: size this keeps well under the ~64 KiB pipe buffer, so supervisor
+#: sends never block on a busy worker
+DEFAULT_MAX_INFLIGHT = 4
+
+#: tuples per pickled batch (amortizes pickling + syscall overhead)
+DEFAULT_BATCH_SIZE = 64
+
+
+def _worker_main(
+    conn,
+    make_shard: Callable[[int], StreamOperator],
+    worker_id: int,
+    adaptation_interval: float | None,
+) -> None:
+    """Worker entry path: build the shard, replay batches, ack results.
+
+    Runs in the forked child.  The operator is constructed *here* so
+    its state never crosses the process boundary; only plain
+    :class:`StreamTuple` batches come in and result identity keys go
+    out.  Virtual time inside the worker is each tuple's delivery time,
+    and adaptation ticks are replayed at the same multiples of
+    ``adaptation_interval`` the simulator would fire (with empty buffer
+    statistics — there are no simulator buffers here).
+    """
+    try:
+        operator = make_shard(worker_id)
+        next_adapt = (
+            adaptation_interval if adaptation_interval else None
+        )
+        while True:
+            msg = conn.recv()
+            if msg[0] == "batch":
+                _, seq, batch = msg
+                keys: list = []
+                comparisons = 0
+                for tup in batch:
+                    now = tup.delivery_time
+                    if next_adapt is not None:
+                        while now >= next_adapt:
+                            operator.on_adapt(
+                                next_adapt, [], adaptation_interval
+                            )
+                            next_adapt += adaptation_interval
+                    receipt = operator.process(tup, now)
+                    comparisons += receipt.comparisons
+                    keys.extend(r.key() for r in receipt.outputs)
+                conn.send(
+                    ("ack", worker_id, seq, len(batch), keys,
+                     comparisons)
+                )
+            elif msg[0] == "stop":
+                conn.send(("bye", worker_id))
+                return
+    except EOFError:
+        return
+    except BaseException:  # surface the traceback, never hang the run
+        import traceback
+
+        try:
+            conn.send(("error", worker_id, traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+@dataclass(slots=True)
+class _Worker:
+    """Supervisor-side bookkeeping for one shard worker."""
+
+    id: int
+    process: Any
+    conn: Any
+    routed: int = 0          # tuples sent
+    acked: int = 0           # tuples acknowledged processed
+    batches_sent: int = 0
+    batches_acked: int = 0
+    results: int = 0
+    comparisons: int = 0
+    retired: bool = False
+    done: bool = False       # "bye" received
+
+    @property
+    def backlog(self) -> int:
+        return self.routed - self.acked
+
+
+@dataclass
+class ProcsResult:
+    """Outcome of one process-parallel run.
+
+    ``merged_ids`` is the identity set the testkit diffs (each element
+    a :meth:`JoinResult.key` — the ``(stream, seq)`` pairs of the
+    result's constituents), ``merged_per_worker`` /
+    ``routed_per_worker`` are indexed by stable worker id (retired
+    workers keep their slot).
+    """
+
+    merged_ids: frozenset
+    merged_count: int
+    merged_per_worker: list[int]
+    routed_per_worker: list[int]
+    comparisons_per_worker: list[int]
+    tuples_routed: int
+    wall_seconds: float
+    workers_spawned: int
+    workers_retired: int
+    rebalances: int
+    autoscale_events: list[AutoscaleEvent] = field(default_factory=list)
+
+    @property
+    def merged_rate(self) -> float:
+        """Merged results per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.merged_count / self.wall_seconds
+
+    def describe(self) -> str:
+        return (
+            f"Procs(workers={self.workers_spawned}, "
+            f"retired={self.workers_retired}, "
+            f"merged={self.merged_count}, "
+            f"wall={self.wall_seconds:.3f}s)"
+        )
+
+
+class _Supervisor:
+    """Owns the router, the merger, the worker fleet and the pipes."""
+
+    def __init__(
+        self,
+        sources: Sequence[Any],
+        make_shard: Callable[[int], StreamOperator],
+        num_shards: int,
+        *,
+        duration: float,
+        key: Callable[[StreamTuple], Any] | None,
+        buckets: int,
+        rebalance_threshold: float | None,
+        adaptation_interval: float | None,
+        batch_size: int,
+        max_inflight_batches: int,
+        autoscale: AutoscalerConfig | None,
+        control_interval: int,
+        obs,
+        timer: Timer,
+        start_method: str,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one worker shard")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if max_inflight_batches < 1:
+            raise ValueError("max_inflight_batches must be >= 1")
+        if control_interval < 1:
+            raise ValueError("control_interval must be >= 1")
+        if autoscale is not None and rebalance_threshold is not None:
+            raise ValueError(
+                "skew rebalancing and autoscaling are separate control "
+                "loops over the same bucket map; enable one or the "
+                "other (rebalance_threshold=None under the autoscaler)"
+            )
+        self.sources = sources
+        self.make_shard = make_shard
+        self.duration = float(duration)
+        self.adaptation_interval = adaptation_interval
+        self.batch_size = int(batch_size)
+        self.max_inflight = int(max_inflight_batches)
+        self.control_interval = int(control_interval)
+        self.timer = timer
+        self.ctx = mp.get_context(start_method)
+        self.router = RouterOperator(
+            num_streams=len(sources),
+            num_shards=num_shards,
+            policy="hash",
+            key=key,
+            buckets=buckets,
+            rebalance_threshold=rebalance_threshold,
+        )
+        self.merger = MergerOperator(num_shards)
+        self.autoscaler = (
+            Autoscaler(autoscale) if autoscale is not None else None
+        )
+        self.workers: dict[int, _Worker] = {}
+        self.pending: dict[int, list[StreamTuple]] = {}
+        self.merged_ids: set = set()
+        self.workers_retired = 0
+        self.obs = obs
+        self._obs_backlog: dict[int, Any] = {}
+        if obs is not None:
+            origin = timer()
+            obs.bind_clock(lambda: timer() - origin)
+            self.router.bind_obs(obs, node="router")
+            self.merger.bind_obs(obs, node="merger")
+            self._obs_batches = obs.counter("procs_batches_total")
+            self._obs_tuples = obs.counter("procs_tuples_total")
+            self._obs_ticks = obs.counter("autoscaler_ticks_total")
+            self._obs_ups = obs.counter("autoscaler_scale_ups_total")
+            self._obs_downs = obs.counter(
+                "autoscaler_scale_downs_total"
+            )
+            self._obs_fleet = obs.series("autoscaler_workers")
+
+    # -- fleet ---------------------------------------------------------
+
+    def spawn(self, worker_id: int) -> _Worker:
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        process = self.ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.make_shard, worker_id,
+                  self.adaptation_interval),
+            daemon=True,
+            name=f"repro-shard-{worker_id}",
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(worker_id, process, parent_conn)
+        self.workers[worker_id] = worker
+        self.pending[worker_id] = []
+        if self.obs is not None:
+            self._obs_backlog[worker_id] = self.obs.series(
+                "autoscaler_backlog", worker=worker_id
+            )
+        return worker
+
+    def active_ids(self) -> list[int]:
+        return sorted(
+            w.id for w in self.workers.values() if not w.retired
+        )
+
+    # -- transport -----------------------------------------------------
+
+    def _handle(self, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "ack":
+            _, wid, _seq, n, keys, comparisons = msg
+            worker = self.workers[wid]
+            worker.acked += n
+            worker.batches_acked += 1
+            worker.results += len(keys)
+            worker.comparisons += comparisons
+            for result_key in keys:
+                self.merged_ids.add(result_key)
+                self.merger.process(
+                    StreamTuple(
+                        value=result_key, timestamp=0.0, stream=wid
+                    ),
+                    0.0,
+                )
+        elif kind == "bye":
+            worker = self.workers[msg[1]]
+            worker.done = True
+        elif kind == "error":
+            _, wid, trace = msg
+            self.shutdown(force=True)
+            raise RuntimeError(
+                f"shard worker {wid} crashed:\n{trace}"
+            )
+        else:  # pragma: no cover - protocol guard
+            raise RuntimeError(f"unknown worker message {msg!r}")
+
+    def drain(self, timeout: float = 0.0) -> None:
+        """Handle every ready upstream message (acks, byes, errors)."""
+        conns = {
+            w.conn: w for w in self.workers.values() if not w.done
+        }
+        if not conns:
+            return
+        for conn in _conn_wait(list(conns), timeout):
+            try:
+                msg = conn.recv()
+            except EOFError:
+                conns[conn].done = True
+                continue
+            self._handle(msg)
+
+    def _send(self, worker: _Worker, payload: tuple) -> None:
+        """Send downstream; if the worker died mid-run, surface its
+        parting error report (still readable in the pipe even after the
+        child exited) instead of a bare ``BrokenPipeError``."""
+        try:
+            worker.conn.send(payload)
+        except (BrokenPipeError, OSError):
+            # the dead worker's conn must stay drainable here: its
+            # parting "error" message is what we're looking for
+            self.drain(0.5)  # raises with the worker's traceback if any
+            worker.done = True
+            self.shutdown(force=True)
+            raise RuntimeError(
+                f"shard worker {worker.id} died without an error report"
+            )
+
+    def flush(self, worker_id: int) -> None:
+        """Ship the pending batch, waiting for ack capacity first.
+
+        Waiting means *reading* acks, never blocking on a send: the cap
+        keeps the downstream pipe below the OS buffer, so once capacity
+        exists the send completes immediately.
+        """
+        batch = self.pending[worker_id]
+        if not batch:
+            return
+        worker = self.workers[worker_id]
+        while (worker.batches_sent - worker.batches_acked
+               >= self.max_inflight):
+            self.drain(0.05)
+        self._send(worker, ("batch", worker.batches_sent, batch))
+        worker.batches_sent += 1
+        worker.routed += len(batch)
+        if self.obs is not None:
+            self._obs_batches.inc()
+            self._obs_tuples.inc(len(batch))
+        self.pending[worker_id] = []
+
+    # -- elastic control ----------------------------------------------
+
+    def control_tick(self) -> None:
+        self.drain(0.0)
+        if self.autoscaler is None and \
+                self.router.rebalance_threshold is None:
+            return
+        now_rel = None
+        depths = {
+            w.id: w.backlog
+            for w in self.workers.values()
+            if not w.retired
+        }
+        if self.obs is not None:
+            now_rel = self.obs.now()
+            for wid, depth in depths.items():
+                self._obs_backlog[wid].observe(now_rel, depth)
+        if self.router.rebalance_threshold is not None:
+            dense = [depths.get(k, 0)
+                     for k in range(self.router.num_shards)]
+            self.router.last_depths = dense
+            self.router.maybe_rebalance(dense)
+            return
+        decision = self.autoscaler.observe(depths)
+        if self.obs is not None:
+            self._obs_ticks.inc()
+            self._obs_fleet.observe(now_rel, len(depths))
+        if decision.action == "up":
+            new_id = self.router.add_shard()
+            self.merger.add_shard()
+            self.spawn(new_id)
+            if self.obs is not None:
+                self._obs_ups.inc()
+        elif decision.action == "down":
+            self.retire(decision.worker)
+            if self.obs is not None:
+                self._obs_downs.inc()
+
+    def retire(self, worker_id: int) -> None:
+        """Drain and retire one worker: re-home its buckets, flush what
+        it already owns, send stop.  Its in-flight acks keep arriving
+        and are accounted normally; the "bye" marks it done."""
+        worker = self.workers[worker_id]
+        survivors = [w for w in self.active_ids() if w != worker_id]
+        self.router.retire_shard(worker_id, survivors)
+        self.flush(worker_id)
+        self._send(worker, ("stop",))
+        worker.retired = True
+        self.workers_retired += 1
+
+    # -- lifecycle -----------------------------------------------------
+
+    def shutdown(self, force: bool = False) -> None:
+        for worker in self.workers.values():
+            if force:
+                if worker.process.is_alive():
+                    worker.process.terminate()
+            worker.process.join(timeout=5.0)
+            worker.conn.close()
+
+    def run(self) -> ProcsResult:
+        started = self.timer()
+        arrivals = sorted(
+            (
+                tup
+                for source in self.sources
+                for tup in source.iter_tuples(self.duration)
+            ),
+            key=lambda t: (t.delivery_time, t.stream, t.seq),
+        )
+        for k in range(self.router.num_shards):
+            self.spawn(k)
+        tuples_routed = 0
+        flushes = 0
+        try:
+            for tup in arrivals:
+                receipt = self.router.process(tup, tup.delivery_time)
+                shard = receipt.outputs[0].shard
+                tuples_routed += 1
+                self.pending[shard].append(tup)
+                if len(self.pending[shard]) >= self.batch_size:
+                    self.flush(shard)
+                    flushes += 1
+                    if flushes % self.control_interval == 0:
+                        self.control_tick()
+            for worker_id in list(self.pending):
+                self.flush(worker_id)
+            for worker_id in self.active_ids():
+                self._send(self.workers[worker_id], ("stop",))
+            deadline = self.timer() + 60.0
+            while any(not w.done for w in self.workers.values()):
+                if self.timer() > deadline:
+                    raise RuntimeError(
+                        "timed out draining shard workers"
+                    )
+                self.drain(0.1)
+        finally:
+            self.shutdown()
+        wall = self.timer() - started
+        order = sorted(self.workers)
+        return ProcsResult(
+            merged_ids=frozenset(self.merged_ids),
+            merged_count=self.merger.merged,
+            merged_per_worker=[
+                self.merger.merged_per_shard[w] for w in order
+            ],
+            routed_per_worker=[
+                self.router.routed_per_shard[w] for w in order
+            ],
+            comparisons_per_worker=[
+                self.workers[w].comparisons for w in order
+            ],
+            tuples_routed=tuples_routed,
+            wall_seconds=wall,
+            workers_spawned=len(self.workers),
+            workers_retired=self.workers_retired,
+            rebalances=self.router.rebalances,
+            autoscale_events=(
+                list(self.autoscaler.events)
+                if self.autoscaler is not None
+                else []
+            ),
+        )
+
+
+def run_procs(
+    sources: Sequence[Any],
+    make_shard: Callable[[int], StreamOperator],
+    num_shards: int,
+    *,
+    duration: float,
+    key: Callable[[StreamTuple], Any] | None = None,
+    buckets: int = 64,
+    rebalance_threshold: float | None = None,
+    adaptation_interval: float | None = 2.0,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    max_inflight_batches: int = DEFAULT_MAX_INFLIGHT,
+    autoscale: AutoscalerConfig | None = None,
+    control_interval: int = 4,
+    certify: bool = True,
+    obs=None,
+    timer: Timer = wall_clock_timer,
+    start_method: str = "fork",
+) -> ProcsResult:
+    """Run the m-way join sharded over ``num_shards`` worker processes.
+
+    Args:
+        sources: one replayable source per joined stream (anything with
+            ``iter_tuples(until)`` — frozen :class:`TraceSource`
+            bundles from the testkit are the canonical input).
+        make_shard: factory called with each worker id *inside the
+            forked child*; must build a fresh operator whose state
+            derives only from that id (deterministic seeding).
+        num_shards: initial worker count (the autoscaler may grow or
+            shrink the fleet between ``min_workers``/``max_workers``).
+        duration: virtual seconds of trace to replay.
+        key: join-key extractor for hash routing (default: tuple value).
+        buckets: virtual hash buckets (migration granularity).
+        rebalance_threshold: enable the router's skew rebalancing over
+            live worker backlog; mutually exclusive with ``autoscale``
+            (two control loops would fight over the bucket map).
+        adaptation_interval: virtual period of the adaptation ticks
+            workers replay (match the simulator config when comparing
+            against a :class:`ShardedPlan` run); ``None`` disables.
+        batch_size / max_inflight_batches: transport tuning — tuples
+            per pickled batch, and the per-worker cap on batches in
+            flight (keeps pipes below the OS buffer: deadlock-free).
+        autoscale: :class:`AutoscalerConfig` enabling elastic scaling.
+        control_interval: run the control loop every this many flushed
+            batches.
+        certify: run the P120-series shard-safety gate over probe
+            operators built from ``make_shard`` before forking,
+            including the worker-entry checks (P125).
+        obs: optional :class:`repro.obs.Obs` sink (supervisor-side
+            only; worker operators must not carry one — P125).
+        timer: injectable wall-clock (tests pass a
+            :class:`repro.timing.ManualTimer`).
+        start_method: multiprocessing start method; ``fork`` is
+            required for closure factories (spawn would have to pickle
+            ``make_shard``).
+
+    Returns:
+        A :class:`ProcsResult`; with ``autoscale=None`` and
+        ``rebalance_threshold=None`` its ``merged_ids`` is bit-identical
+        to the virtual-time plan's
+        :meth:`~repro.parallel.sharded.ShardedPlan.merged_result_ids`.
+    """
+    if certify:
+        from .sharded import certify_shard_operators
+
+        probes = [make_shard(k) for k in range(num_shards)]
+        for k, op in enumerate(probes):
+            if op.num_streams != len(sources):
+                raise ValueError(
+                    f"shard {k} consumes {op.num_streams} streams, "
+                    f"but {len(sources)} sources were given"
+                )
+        certify_shard_operators(probes, worker_entry=True)
+        del probes
+    supervisor = _Supervisor(
+        sources,
+        make_shard,
+        num_shards,
+        duration=duration,
+        key=key,
+        buckets=buckets,
+        rebalance_threshold=rebalance_threshold,
+        adaptation_interval=adaptation_interval,
+        batch_size=batch_size,
+        max_inflight_batches=max_inflight_batches,
+        autoscale=autoscale,
+        control_interval=control_interval,
+        obs=obs,
+        timer=timer,
+        start_method=start_method,
+    )
+    return supervisor.run()

@@ -53,14 +53,38 @@ class RoutedTuple:
     tuple: StreamTuple
 
 
+def _canonical_key(key: Any) -> Any:
+    """Collapse numerically-equal join keys onto one representative.
+
+    Python's ``==`` makes ``1 == 1.0 == True``, but their reprs differ
+    (``'1'`` / ``'1.0'`` / ``'True'``), so hashing the raw repr would
+    send equal keys to different shards — silently breaking equi-join
+    co-partitioning on mixed int/float/bool key domains.  Bools and
+    integral floats map onto the plain ``int`` (mirroring the builtin
+    ``hash`` contract that equal numbers hash equal); composite tuple
+    keys canonicalize element-wise.  Non-integral floats and every
+    other type pass through unchanged — ``'1'`` the string still
+    hashes apart from ``1`` the number.
+    """
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, float) and key.is_integer():
+        return int(key)
+    if isinstance(key, tuple):
+        return tuple(_canonical_key(k) for k in key)
+    return key
+
+
 def stable_key_hash(key: Any) -> int:
     """Deterministic, process-independent hash of a join key.
 
     Python's builtin ``hash`` is salted per process for strings, which
     would break bit-identical reruns; CRC32 over the canonical repr is
-    stable everywhere and cheap.
+    stable everywhere and cheap.  Numeric keys are canonicalized first
+    (see :func:`_canonical_key`) so keys that compare equal route to
+    the same bucket regardless of representation.
     """
-    return zlib.crc32(repr(key).encode("utf-8"))
+    return zlib.crc32(repr(_canonical_key(key)).encode("utf-8"))
 
 
 class RouterOperator(StreamOperator):
@@ -131,13 +155,17 @@ class RouterOperator(StreamOperator):
         self.routed_per_shard = [0] * self.num_shards
         self.rebalances = 0
         self.last_depths: list[int] = []
+        #: ticks to sit out after a rebalance before the next one may fire
+        self._rebalance_cooldown = 0
         # cached obs instrument handles (populated by _obs_setup)
         self._obs_routed = None
         self._obs_rebalances = None
         self._obs_depths = None
+        self._obs_labels: dict[str, str] = {}
 
     def _obs_setup(self, obs, labels) -> None:
         """Cache per-shard routing counters and depth series."""
+        self._obs_labels = dict(labels)
         shards = range(self.num_shards)
         self._obs_routed = [
             obs.counter("router_routed_total", shard=k, **labels)
@@ -193,9 +221,16 @@ class RouterOperator(StreamOperator):
         self._depth_probe = probe
 
     def on_adapt(
-        self, now: float, stats: list[BufferStats], interval: float
+        self, now: float, _stats: list[BufferStats], interval: float
     ) -> None:
-        """Rebalance shard ownership when the backlog skew is too large."""
+        """Consult the depth probe and rebalance on excessive skew.
+
+        The engine's buffer statistics (the second positional argument)
+        are deliberately ignored: they describe the *router's own*
+        input buffers, which say nothing about shard backlog.  Skew
+        decisions key off the wired depth probe, which reads the shard
+        input buffers directly (see :meth:`attach_depth_probe`).
+        """
         if self._depth_probe is None or self.rebalance_threshold is None:
             return
         depths = [int(d) for d in self._depth_probe()]
@@ -208,46 +243,153 @@ class RouterOperator(StreamOperator):
         if self._obs_depths is not None:
             for k, depth in enumerate(depths):
                 self._obs_depths[k].observe(now, depth)
-        if self.num_shards < 2:
-            return
+        self.maybe_rebalance(depths)
+
+    def maybe_rebalance(self, depths: Sequence[int]) -> bool:
+        """Apply one rebalance decision for the given per-shard depths.
+
+        Returns ``True`` when a migration (hash) or reweight
+        (round-robin) actually happened.  Honours a one-tick cooldown
+        after any rebalance: freshly migrated buckets need a tick for
+        their backlog to drain before depths mean anything again —
+        without it, back-to-back adaptation ticks see the same stale
+        skew and ping-pong the same buckets between shards.
+
+        This is the shared decision core: the virtual-time graph calls
+        it from :meth:`on_adapt`, the process runtime's supervisor
+        (:mod:`repro.parallel.procs`) calls it with live worker queue
+        depths.
+        """
+        if self.rebalance_threshold is None or self.num_shards < 2:
+            return False
+        if self._rebalance_cooldown > 0:
+            self._rebalance_cooldown -= 1
+            return False
+        depths = [int(d) for d in depths]
         hot = max(range(self.num_shards), key=lambda k: (depths[k], k))
         cold = min(range(self.num_shards), key=lambda k: (depths[k], k))
         # +1 keeps the ratio finite on empty buffers and ignores noise
         # around near-empty shards
         if depths[hot] + 1 <= self.rebalance_threshold * (depths[cold] + 1):
-            return
+            return False
         if self.policy == "hash":
-            self._migrate_buckets(hot, cold)
+            if not self._migrate_buckets(hot, cold):
+                return False
         else:
             self._reweight_cycle(depths)
         self.rebalances += 1
+        self._rebalance_cooldown = 1
         if self._obs_rebalances is not None:
             self._obs_rebalances.inc()
+        return True
 
-    def _migrate_buckets(self, hot: int, cold: int) -> None:
-        """Move ~a quarter of the hot shard's buckets to the cold shard."""
+    def _migrate_buckets(self, hot: int, cold: int) -> bool:
+        """Move ~a quarter of the hot shard's buckets to the cold shard.
+
+        The donor always keeps at least one bucket: stripping the hot
+        shard's last bucket would cut it out of the key space entirely
+        (with ``buckets == num_shards`` every shard owns exactly one,
+        so such a migration is a no-op, not an eviction).  Returns
+        whether any bucket actually moved.
+        """
         owned = [b for b, s in enumerate(self.bucket_map) if s == hot]
-        if not owned:
-            return
-        for b in owned[: max(1, len(owned) // 4)]:
+        if len(owned) <= 1:
+            return False
+        movable = min(max(1, len(owned) // 4), len(owned) - 1)
+        for b in owned[:movable]:
             self.bucket_map[b] = cold
+        return True
 
     def _reweight_cycle(self, depths: Sequence[int]) -> None:
         """Rebuild the round-robin cycle with slots inversely
-        proportional to backlog, interleaved to avoid bursts."""
+        proportional to backlog, evenly interleaved.
+
+        Stride scheduling in one pass: shard ``k``'s ``j``-th slot sits
+        at fractional position ``(j + 0.5) / slots[k]``, and a single
+        sort (ties broken by shard id) merges all slots into a cycle
+        with each shard's slots spread as evenly as possible.  Every
+        shard keeps at least one slot, so a hot shard is starved, never
+        cut off.
+        """
         inv = [1.0 / (1 + d) for d in depths]
         total = sum(inv)
         slots = [
             max(1, round(4 * self.num_shards * w / total)) for w in inv
         ]
-        credits = list(slots)
-        cycle: list[int] = []
-        while any(c > 0 for c in credits):
-            for k in range(self.num_shards):
-                if credits[k] > 0:
-                    cycle.append(k)
-                    credits[k] -= 1
-        self._rr_cycle = cycle
+        self._rr_cycle = [
+            k
+            for _, k in sorted(
+                ((j + 0.5) / n, k)
+                for k, n in enumerate(slots)
+                for j in range(n)
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # elastic membership (process runtime / autoscaler)
+    # ------------------------------------------------------------------
+
+    def add_shard(self) -> int:
+        """Register shard ``K`` and seed it with a fair share of buckets.
+
+        Elastic scale-up for the process runtime
+        (:mod:`repro.parallel.procs`): the new shard receives
+        ``buckets // (K + 1)`` virtual buckets, taken one at a time from
+        whichever shard currently owns the most (ties to the lowest id;
+        every donor keeps at least one bucket).  Returns the new shard
+        id.  The virtual-time graph topology is fixed at build time, so
+        :class:`~repro.parallel.sharded.ShardedPlan` never calls this.
+        """
+        if self.policy != "hash":
+            raise ValueError("elastic scaling requires hash routing")
+        new = self.num_shards
+        self.num_shards += 1
+        self.routed_per_shard.append(0)
+        if self._obs_routed is not None:
+            self._obs_routed.append(self.obs.counter(
+                "router_routed_total", shard=new, **self._obs_labels))
+            self._obs_depths.append(self.obs.series(
+                "shard_queue_depth", shard=new, **self._obs_labels))
+        share = self.buckets // self.num_shards
+        for _ in range(share):
+            counts: dict[int, int] = {}
+            for s in self.bucket_map:
+                counts[s] = counts.get(s, 0) + 1
+            donor = max(
+                (k for k in counts if k != new),
+                key=lambda k: (counts[k], -k),
+                default=None,
+            )
+            if donor is None or counts[donor] <= 1:
+                break
+            for b, s in enumerate(self.bucket_map):
+                if s == donor:
+                    self.bucket_map[b] = new
+                    break
+        return new
+
+    def retire_shard(
+        self, shard: int, targets: Sequence[int]
+    ) -> int:
+        """Re-home every bucket owned by ``shard`` across ``targets``.
+
+        Elastic scale-down: buckets are reassigned round-robin over the
+        surviving shards so the retiree's key share spreads evenly.
+        The shard id stays valid (ids are stable for accounting); it
+        simply owns no buckets afterwards, so no future tuple routes to
+        it.  Returns the number of buckets moved.
+        """
+        if self.policy != "hash":
+            raise ValueError("elastic scaling requires hash routing")
+        survivors = [int(t) for t in targets if int(t) != shard]
+        if not survivors:
+            raise ValueError("need at least one surviving shard")
+        moved = 0
+        for b, s in enumerate(self.bucket_map):
+            if s == shard:
+                self.bucket_map[b] = survivors[moved % len(survivors)]
+                moved += 1
+        return moved
 
     def describe(self) -> str:
         return (

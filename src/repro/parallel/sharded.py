@@ -44,7 +44,10 @@ def _unwrap(routed: RoutedTuple) -> StreamTuple:
     return routed.tuple
 
 
-def certify_shard_operators(shard_ops: Sequence[StreamOperator]) -> None:
+def certify_shard_operators(
+    shard_ops: Sequence[StreamOperator],
+    worker_entry: bool = False,
+) -> None:
     """The build-time shard-safety gate (static P120 + dynamic P124).
 
     Every operator class replicated across shards must certify
@@ -55,13 +58,22 @@ def certify_shard_operators(shard_ops: Sequence[StreamOperator]) -> None:
     classic bug: one window list passed to every shard).  Raises
     :class:`repro.lint.plan.PlanValidationError` naming every problem
     at once.
+
+    ``worker_entry=True`` additionally runs the P125 worker-entry
+    checks (:func:`repro.lint.plan.check_worker_entry`): the process
+    runtime is about to fork these operators, so none may carry a
+    bound obs sink and no two worker ids may share an instance.
     """
     from repro.lint.baseline import load_baseline
     from repro.lint.effects import SHARDABLE, classify_class
-    from repro.lint.plan import PlanReport
+    from repro.lint.plan import PlanReport, check_worker_entry
     from repro.lint.stategraph import shared_mutable_objects
 
     report = PlanReport()
+    if worker_entry:
+        report.diagnostics.extend(
+            check_worker_entry(shard_ops).diagnostics
+        )
     baseline = load_baseline()
     certificates = [classify_class(type(op)) for op in shard_ops]
 

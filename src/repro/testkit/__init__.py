@@ -43,6 +43,7 @@ from .differential import (
     indexed_ids,
     mjoin_ids,
     oracle_ids,
+    procs_ids,
     randomdrop_ids,
     run_config,
     sharded_ids,
@@ -77,6 +78,7 @@ from .workloads import (
     freeze,
     key_sources,
     key_workload,
+    mixed_key_workload,
 )
 
 __all__ = [
@@ -112,9 +114,11 @@ __all__ = [
     "indexed_ids",
     "key_sources",
     "key_workload",
+    "mixed_key_workload",
     "mjoin_ids",
     "oracle_ids",
     "oracle_join",
+    "procs_ids",
     "random_workload",
     "randomdrop_ids",
     "rate_spike",

@@ -58,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the overloaded (feedback-shedding) subset checks",
     )
     parser.add_argument(
+        "--procs", default=None, metavar="KS",
+        help="comma-separated worker counts for the wall-clock "
+             "process-parallel rows, e.g. '2' or '2,4' "
+             "(default: the matrix standard 2,4; '0' disables them)",
+    )
+    parser.add_argument(
         "--sanitize", action="store_true",
         help="run every row under the determinism sanitizer: hard-fail "
              "on any runtime write the effect manifest claims "
@@ -99,7 +105,18 @@ def run_verdict(args: argparse.Namespace) -> dict:
     )
     seeds = (1,) if args.quick else _parse_seeds(args.seeds)
     workloads = default_workloads(seeds)
-    spec = MatrixSpec(include_shedding=not args.no_shedding)
+    spec_kwargs: dict = {"include_shedding": not args.no_shedding}
+    if args.procs is not None:
+        try:
+            counts = tuple(
+                int(s) for s in args.procs.split(",") if s.strip()
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad --procs value {args.procs!r}: {exc}")
+        spec_kwargs["procs_counts"] = tuple(
+            k for k in counts if k > 0
+        )
+    spec = MatrixSpec(**spec_kwargs)
     verdict: dict = {
         "seeds": list(seeds),
         "differential": differential_matrix(

@@ -198,6 +198,45 @@ def sharded_ids(
     return plan.merged_result_ids(result)
 
 
+def procs_ids(
+    workload: Workload,
+    num_shards: int,
+    fastpath: bool | None = None,
+) -> set[IdVector]:
+    """Run the wall-clock process-parallel runtime and return the
+    merged identity set.
+
+    ``K`` real ``multiprocessing`` workers behind the supervisor-owned
+    router/merger (:func:`repro.parallel.procs.run_procs`), with
+    scaling pinned — no autoscaler, no skew rebalancing — and the same
+    adaptation cadence as :func:`run_config`, so for equi-join
+    workloads the result must be bit-identical to
+    :func:`sharded_ids` and the oracle.
+
+    No ``sanitize`` parameter: the determinism sanitizer shadow-tracks
+    operator state in-process and cannot observe writes across a
+    process boundary, so the matrix skips the procs rows when
+    sanitizing (the worker entry path is certified statically instead —
+    lint P120/P124/P125).
+    """
+    from repro.parallel.procs import run_procs
+
+    def _shard(k: int):
+        return MJoinOperator(
+            workload.predicate, workload.window_sizes, workload.basic,
+            fastpath=fastpath,
+        )
+
+    result = run_procs(
+        workload.traces,
+        _shard,
+        num_shards,
+        duration=workload.duration + DRAIN_TAIL,
+        adaptation_interval=2.0,
+    )
+    return set(result.merged_ids)
+
+
 def calibrated_shed_capacity(
     workload: Workload, fraction: float = 0.3
 ) -> float:
@@ -403,6 +442,10 @@ class MatrixSpec:
         shard_counts: ``K`` values checked for sharded equivalence
             (restricted to equi-join workloads for ``K > 1`` — hash
             routing only co-partitions equal keys).
+        procs_counts: worker counts checked for the wall-clock
+            process-parallel runtime (``Procs(K)`` ≡ Sharded ≡ oracle;
+            equi-join workloads only, and skipped when sanitizing —
+            the sanitizer cannot see across a process boundary).
         shed_fraction: overload level for the feedback-shedding runs
             (capacity = this fraction of measured full-join demand).
         include_shedding: run the overloaded GrubJoin / RandomDrop
@@ -417,6 +460,7 @@ class MatrixSpec:
 
     pinned_zs: tuple[float, ...] = (0.3, 0.6)
     shard_counts: tuple[int, ...] = (1, 2, 4)
+    procs_counts: tuple[int, ...] = (2, 4)
     shed_fraction: float = 0.3
     include_shedding: bool = True
     include_fastpath: bool = True
@@ -451,7 +495,11 @@ def differential_matrix(
     predicate has a columnar kernel, the same equalities again with the
     fast path forced on (``*_fast`` rows) — plus subset for every
     shedding configuration (pinned z grid, feedback throttling under
-    measured overload, RandomDrop under the same overload).
+    measured overload, RandomDrop under the same overload).  Equi-join
+    workloads additionally run the wall-clock process-parallel rows
+    (``procs_k{K}``): real worker processes whose merged identity set
+    must be bit-identical to the same-K sharded plan (skipped under
+    ``sanitize`` — a process boundary hides writes from the sanitizer).
 
     ``sanitize=True`` runs every row under the determinism sanitizer
     (:mod:`repro.testkit.sanitizer`): a write that contradicts the
@@ -498,18 +546,30 @@ def differential_matrix(
                    workload, "equal")
 
         equi = workload.tags.get("kind") == "keys"
+        sharded_sets: dict[int, set[IdVector]] = {}
         for k in spec.shard_counts:
             if k > 1 and not equi:
                 continue
+            observed = sharded_ids(workload, k, fastpath=False,
+                                   sanitize=sanitize)
+            sharded_sets[k] = observed
             _check(reports, renders, f"sharded_k{k}", reference,
-                   sharded_ids(workload, k, fastpath=False,
-                               sanitize=sanitize),
-                   workload, "equal")
+                   observed, workload, "equal")
             if fast:
                 _check(reports, renders, f"sharded_k{k}_fast",
                        reference,
                        sharded_ids(workload, k, fastpath=True,
                                    sanitize=sanitize),
+                       workload, "equal")
+
+        if equi and not sanitize:
+            for k in spec.procs_counts:
+                # diff against the same-K sharded set when it ran, so
+                # Procs(K) ≡ Sharded is checked literally; the sharded
+                # row already proved Sharded ≡ oracle
+                _check(reports, renders, f"procs_k{k}",
+                       sharded_sets.get(k, reference),
+                       procs_ids(workload, k, fastpath=False),
                        workload, "equal")
 
         for z in spec.pinned_zs:

@@ -14,7 +14,7 @@ comparison replays byte-identical inputs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.joins.predicates import EpsilonJoin, EquiJoin, JoinPredicate
@@ -226,6 +226,60 @@ def key_workload(
         duration=duration,
         seed=seed,
         tags={"kind": "keys", "n_keys": n_keys},
+    )
+
+
+def _mixed_cast(value, kind: int):
+    """Re-type an integer key per stream: ints / floats / bools."""
+    if kind == 1:
+        return float(value)
+    if kind == 2 and value in (0, 1):
+        return bool(value)
+    return value
+
+
+def mixed_key_workload(
+    seed: int,
+    m: int = 3,
+    rate: float = 12.0,
+    duration: float = 10.0,
+    window: float = 4.0,
+    basic: float = 1.0,
+    n_keys: int = 12,
+) -> Workload:
+    """An equi-join workload with mixed numeric key representations.
+
+    Streams carry the *same* logical keys in different types: stream 0
+    keeps plain ints, stream 1 casts every key to ``float``, stream 2
+    maps the keys 0/1 onto bools (``m > 3`` cycles the pattern).
+    Python equality makes ``1 == 1.0 == True``, so the oracle joins
+    across representations — and hash routing must co-partition them
+    the same way, which is exactly what a raw-repr key hash gets wrong
+    (the ``stable_key_hash`` regression this workload exists to catch:
+    ``repr(1)``, ``repr(1.0)`` and ``repr(True)`` all differ).
+
+    A small ``n_keys`` keeps the bool-eligible keys 0 and 1 frequent.
+    """
+    sources = key_sources(m=m, rate=rate, n_keys=n_keys, seed=seed)
+    traces = [
+        TraceSource(
+            trace.stream,
+            [
+                replace(t, value=_mixed_cast(t.value, trace.stream % 3))
+                for t in trace.tuples
+            ],
+        )
+        for trace in freeze(sources, duration)
+    ]
+    return Workload(
+        name=f"mixedkeys-m{m}-r{rate:g}-s{seed}",
+        traces=traces,
+        predicate=EquiJoin(),
+        window=window,
+        basic=basic,
+        duration=duration,
+        seed=seed,
+        tags={"kind": "keys", "n_keys": n_keys, "mixed": True},
     )
 
 

@@ -1,0 +1,181 @@
+"""Unit tests for the elastic autoscaling decision core.
+
+The :class:`Autoscaler` is deliberately pure — no processes, no clocks —
+so every policy nuance (sustain debounce, cooldown, watermark bounds,
+retiree selection) is pinned here with plain depth dictionaries.
+"""
+
+import pytest
+
+from repro.parallel import Autoscaler, AutoscalerConfig
+
+
+def scaler(**overrides) -> Autoscaler:
+    defaults = dict(
+        min_workers=1,
+        max_workers=4,
+        high_watermark=100.0,
+        low_watermark=10.0,
+        sustain_ticks=2,
+        cooldown_ticks=2,
+    )
+    defaults.update(overrides)
+    return Autoscaler(config=AutoscalerConfig(**defaults))
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        AutoscalerConfig()
+
+    def test_min_workers_floor(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_workers=0)
+
+    def test_max_at_least_min(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(min_workers=4, max_workers=2)
+
+    def test_watermarks_ordered(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(high_watermark=10.0, low_watermark=10.0)
+
+    def test_sustain_positive(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(sustain_ticks=0)
+
+    def test_cooldown_non_negative(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(cooldown_ticks=-1)
+
+
+class TestHold:
+    def test_empty_fleet_holds(self):
+        decision = scaler().observe({})
+        assert decision.action == "hold"
+        assert decision.worker is None
+
+    def test_within_watermarks_holds(self):
+        auto = scaler()
+        for _ in range(10):
+            assert auto.observe({0: 50, 1: 50}).action == "hold"
+        assert auto.scale_ups == 0
+        assert auto.scale_downs == 0
+        assert auto.events == []
+
+
+class TestScaleUp:
+    def test_sustained_hot_fires_up(self):
+        auto = scaler()
+        assert auto.observe({0: 500}).action == "hold"  # streak 1
+        decision = auto.observe({0: 500})  # streak 2 == sustain
+        assert decision.action == "up"
+        assert decision.worker == 0
+        assert auto.scale_ups == 1
+
+    def test_single_burst_is_debounced(self):
+        auto = scaler()
+        assert auto.observe({0: 500}).action == "hold"
+        assert auto.observe({0: 5, 1: 5}).action == "hold"  # resets
+        assert auto.observe({0: 500}).action == "hold"  # streak restarts
+        assert auto.scale_ups == 0
+
+    def test_up_names_the_hottest_worker(self):
+        auto = scaler()
+        auto.observe({0: 150, 1: 400, 2: 150})
+        decision = auto.observe({0: 150, 1: 400, 2: 150})
+        assert (decision.action, decision.worker) == ("up", 1)
+
+    def test_hot_tie_goes_to_lowest_id(self):
+        auto = scaler()
+        auto.observe({0: 400, 1: 400})
+        decision = auto.observe({0: 400, 1: 400})
+        assert decision.worker == 0
+
+    def test_max_workers_caps_scale_up(self):
+        auto = scaler(max_workers=2)
+        for _ in range(6):
+            decision = auto.observe({0: 500, 1: 500})
+            assert decision.action == "hold"
+        assert auto.scale_ups == 0
+
+
+class TestScaleDown:
+    def test_sustained_idle_fires_down(self):
+        auto = scaler()
+        assert auto.observe({0: 2, 1: 2}).action == "hold"
+        decision = auto.observe({0: 2, 1: 2})
+        assert decision.action == "down"
+        assert auto.scale_downs == 1
+
+    def test_retiree_is_shallowest(self):
+        auto = scaler()
+        auto.observe({0: 8, 1: 1, 2: 5})
+        decision = auto.observe({0: 8, 1: 1, 2: 5})
+        assert (decision.action, decision.worker) == ("down", 1)
+
+    def test_idle_tie_retires_the_youngest(self):
+        # worker 0 is the anchor: with equal depths the newest worker
+        # goes first, so 0 is always the last one standing
+        auto = scaler()
+        auto.observe({0: 3, 1: 3, 2: 3})
+        decision = auto.observe({0: 3, 1: 3, 2: 3})
+        assert decision.worker == 2
+
+    def test_min_workers_blocks_scale_down(self):
+        auto = scaler(min_workers=2)
+        for _ in range(6):
+            assert auto.observe({0: 0, 1: 0}).action == "hold"
+        assert auto.scale_downs == 0
+
+    def test_one_busy_worker_blocks_scale_down(self):
+        auto = scaler()
+        for _ in range(6):
+            assert auto.observe({0: 2, 1: 50}).action == "hold"
+        assert auto.scale_downs == 0
+
+
+class TestCooldown:
+    def test_cooldown_holds_after_scale_event(self):
+        auto = scaler(cooldown_ticks=2)
+        auto.observe({0: 500})
+        assert auto.observe({0: 500}).action == "up"
+        # two cooldown ticks hold regardless of pressure
+        assert auto.observe({0: 500, 1: 500}).reason == "cooling down"
+        assert auto.observe({0: 500, 1: 500}).reason == "cooling down"
+        # streaks were reset: pressure must re-sustain from scratch
+        assert auto.observe({0: 500, 1: 500}).action == "hold"
+        assert auto.observe({0: 500, 1: 500}).action == "up"
+
+    def test_zero_cooldown_still_needs_fresh_streak(self):
+        auto = scaler(cooldown_ticks=0, sustain_ticks=2)
+        auto.observe({0: 500})
+        assert auto.observe({0: 500}).action == "up"
+        assert auto.observe({0: 500, 1: 500}).action == "hold"
+        assert auto.observe({0: 500, 1: 500}).action == "up"
+
+
+class TestEventsAndDeterminism:
+    def test_events_record_tick_and_sorted_depths(self):
+        auto = scaler()
+        auto.observe({1: 400, 0: 150})
+        auto.observe({1: 400, 0: 150})
+        assert len(auto.events) == 1
+        event = auto.events[0]
+        assert event.tick == 2
+        assert event.action == "up"
+        assert event.worker == 1
+        assert event.depths == ((0, 150), (1, 400))
+        assert "400" in event.reason
+
+    def test_replay_is_deterministic(self):
+        samples = [
+            {0: 500}, {0: 500}, {0: 300, 1: 300}, {0: 2, 1: 2},
+            {0: 2, 1: 2}, {0: 2, 1: 2}, {0: 2, 1: 2}, {0: 2, 1: 2},
+        ]
+        a, b = scaler(), scaler()
+        decisions_a = [a.observe(dict(s)) for s in samples]
+        decisions_b = [b.observe(dict(s)) for s in samples]
+        assert decisions_a == decisions_b
+        assert a.events == b.events
+        assert (a.scale_ups, a.scale_downs) == (b.scale_ups,
+                                                b.scale_downs)

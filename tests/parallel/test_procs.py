@@ -1,0 +1,266 @@
+"""End-to-end tests for the process-parallel shard runtime.
+
+The determinism contract is the headline: with scaling pinned,
+``run_procs`` over real ``multiprocessing`` workers must merge the
+*bit-identical* identity set the virtual-time :class:`ShardedPlan`
+(and the brute-force oracle) produce on the same frozen workload.
+Elastic autoscaling, crash propagation and the P125 worker-entry
+certification ride along.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine.operator import ProcessReceipt, StreamOperator
+from repro.joins import MJoinOperator
+from repro.lint.plan import PlanValidationError
+from repro.obs import Obs
+from repro.parallel import AutoscalerConfig, run_procs
+from repro.testkit import (
+    key_workload,
+    mixed_key_workload,
+    oracle_ids,
+    sharded_ids,
+)
+from repro.testkit.differential import DRAIN_TAIL
+from repro.timing import ManualTimer
+
+
+def mjoin_factory(workload):
+    """A deterministic shard factory: every worker builds the same
+    fresh MJoin from the workload geometry alone."""
+
+    def _shard(worker_id: int) -> MJoinOperator:
+        return MJoinOperator(
+            workload.predicate,
+            workload.window_sizes,
+            workload.basic,
+            fastpath=False,
+        )
+
+    return _shard
+
+
+def procs_run(workload, num_shards, **kwargs):
+    kwargs.setdefault("duration", workload.duration + DRAIN_TAIL)
+    kwargs.setdefault("adaptation_interval", 2.0)
+    return run_procs(
+        workload.traces, mjoin_factory(workload), num_shards, **kwargs
+    )
+
+
+class SlowShard(StreamOperator):
+    """A deliberately slow pass-through: builds worker backlog so the
+    autoscaler's high watermark trips (never certified — tests pass
+    ``certify=False``)."""
+
+    num_streams = 3
+
+    def __init__(self, delay: float = 0.002):
+        self.delay = delay
+
+    def process(self, tup, now):
+        time.sleep(self.delay)
+        return ProcessReceipt(comparisons=1)
+
+
+class CrashShard(StreamOperator):
+    """Raises mid-stream to exercise worker crash propagation."""
+
+    num_streams = 3
+
+    def __init__(self):
+        self.count = 0
+
+    def process(self, tup, now):
+        self.count += 1
+        if self.count > 5:
+            raise ValueError("boom on purpose")
+        return ProcessReceipt(comparisons=1)
+
+
+class TestDeterminism:
+    def test_procs_matches_sharded_plan_and_oracle(self):
+        workload = key_workload(seed=1)
+        oracle = oracle_ids(workload).id_set
+        assert oracle, "workload produced no joins — test is vacuous"
+        for num_shards in (1, 2):
+            observed = set(procs_run(workload, num_shards).merged_ids)
+            assert observed == oracle
+            assert observed == sharded_ids(
+                workload, num_shards, fastpath=False
+            )
+
+    def test_procs_matches_oracle_on_mixed_keys(self):
+        # mixed int/float/bool keys cross the pickle boundary and the
+        # canonicalized hash alike
+        workload = mixed_key_workload(seed=1)
+        observed = set(procs_run(workload, 2).merged_ids)
+        assert observed == oracle_ids(workload).id_set
+
+    def test_double_run_is_bit_identical(self):
+        workload = key_workload(seed=2, duration=5.0)
+        first = procs_run(workload, 2)
+        second = procs_run(workload, 2)
+        assert first.merged_ids == second.merged_ids
+        assert first.routed_per_worker == second.routed_per_worker
+        assert first.merged_count == second.merged_count
+
+
+class TestAccounting:
+    def test_result_bookkeeping_is_consistent(self):
+        workload = key_workload(seed=1, duration=5.0)
+        result = procs_run(workload, 2)
+        assert result.tuples_routed == workload.tuple_count()
+        assert sum(result.routed_per_worker) == result.tuples_routed
+        assert result.merged_count == len(result.merged_ids)
+        assert sum(result.merged_per_worker) == result.merged_count
+        assert result.workers_spawned == 2
+        assert result.workers_retired == 0
+        assert result.autoscale_events == []
+        assert "Procs(" in result.describe()
+
+    def test_manual_timer_is_honoured(self):
+        # a frozen injected clock proves the runtime never reads the
+        # wall clock behind the sanctioned timing seam
+        workload = key_workload(seed=1, duration=3.0)
+        result = procs_run(workload, 2, timer=ManualTimer())
+        assert result.wall_seconds == 0.0
+        assert result.merged_rate == 0.0
+
+
+class TestAutoscaling:
+    def test_sustained_backlog_scales_up(self):
+        workload = key_workload(seed=1, rate=30.0, duration=6.0)
+        result = run_procs(
+            workload.traces,
+            lambda worker_id: SlowShard(),
+            1,
+            duration=workload.duration,
+            adaptation_interval=None,
+            batch_size=16,
+            max_inflight_batches=8,
+            control_interval=1,
+            autoscale=AutoscalerConfig(
+                max_workers=4,
+                high_watermark=8.0,
+                low_watermark=1.0,
+                sustain_ticks=1,
+                cooldown_ticks=0,
+            ),
+            certify=False,
+        )
+        assert result.workers_spawned > 1
+        assert any(e.action == "up" for e in result.autoscale_events)
+        # the new workers actually received load after bucket migration
+        assert sum(1 for n in result.routed_per_worker if n > 0) > 1
+
+    def test_idle_fleet_drains_and_retires(self):
+        workload = key_workload(seed=1, duration=6.0)
+        result = procs_run(
+            workload, 3,
+            batch_size=8,
+            control_interval=1,
+            autoscale=AutoscalerConfig(
+                min_workers=1,
+                max_workers=3,
+                high_watermark=10_000.0,
+                low_watermark=5_000.0,
+                sustain_ticks=1,
+                cooldown_ticks=0,
+            ),
+        )
+        assert result.workers_retired >= 1
+        assert any(e.action == "down" for e in result.autoscale_events)
+        # migration moves future tuples only, so results may drop a
+        # window of matches — but never invent one
+        assert set(result.merged_ids) <= oracle_ids(workload).id_set
+
+    def test_autoscale_conflicts_with_rebalancing(self):
+        workload = key_workload(seed=1, duration=2.0)
+        with pytest.raises(ValueError, match="separate control loops"):
+            procs_run(
+                workload, 2,
+                rebalance_threshold=2.0,
+                autoscale=AutoscalerConfig(),
+            )
+
+
+class TestFailurePaths:
+    def test_worker_crash_propagates_traceback(self):
+        workload = key_workload(seed=1, duration=4.0)
+        with pytest.raises(RuntimeError, match="boom on purpose"):
+            run_procs(
+                workload.traces,
+                lambda worker_id: CrashShard(),
+                2,
+                duration=workload.duration,
+                batch_size=4,
+                certify=False,
+            )
+
+    def test_stream_arity_mismatch_is_rejected(self):
+        workload = key_workload(seed=1, m=4, duration=2.0)
+        with pytest.raises(ValueError, match="4 sources"):
+            run_procs(
+                workload.traces,
+                mjoin_factory(key_workload(seed=1, m=3, duration=2.0)),
+                2,
+                duration=workload.duration,
+            )
+
+    def test_parameter_validation(self):
+        workload = key_workload(seed=1, duration=2.0)
+        for bad in (
+            dict(batch_size=0),
+            dict(max_inflight_batches=0),
+            dict(control_interval=0),
+        ):
+            with pytest.raises(ValueError):
+                procs_run(workload, 2, **bad)
+        with pytest.raises(ValueError):
+            procs_run(workload, 0)
+
+
+class TestWorkerEntryCertification:
+    def test_bound_obs_sink_is_rejected(self):
+        workload = key_workload(seed=1, duration=2.0)
+        obs = Obs()
+        base = mjoin_factory(workload)
+
+        def _bound(worker_id: int) -> MJoinOperator:
+            operator = base(worker_id)
+            operator.bind_obs(obs, node=f"shard{worker_id}")
+            return operator
+
+        with pytest.raises(PlanValidationError, match="P125"):
+            run_procs(
+                workload.traces, _bound, 2,
+                duration=workload.duration,
+            )
+
+    def test_shared_instance_is_rejected(self):
+        workload = key_workload(seed=1, duration=2.0)
+        one = mjoin_factory(workload)(0)
+        with pytest.raises(PlanValidationError, match="P125"):
+            run_procs(
+                workload.traces,
+                lambda worker_id: one,
+                2,
+                duration=workload.duration,
+            )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="scaling speedup needs at least 4 cores",
+)
+class TestScaling:
+    def test_more_workers_raise_merged_rate(self):
+        workload = key_workload(seed=1, rate=25.0, duration=8.0)
+        single = procs_run(workload, 1)
+        quad = procs_run(workload, 4)
+        assert quad.merged_ids == single.merged_ids
+        assert quad.merged_rate > single.merged_rate

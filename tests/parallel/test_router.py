@@ -139,3 +139,228 @@ class TestRebalancing:
         # the cold shard now receives most of the slots
         assert cycle.count(1) > cycle.count(0)
         assert cycle.count(0) >= 1  # hot shard is starved, never cut off
+
+
+class TestKeyCanonicalization:
+    """Equal numeric keys must hash — and therefore route — equally."""
+
+    def test_equal_numbers_hash_equal(self):
+        assert stable_key_hash(1) == stable_key_hash(1.0)
+        assert stable_key_hash(1) == stable_key_hash(True)
+        assert stable_key_hash(0) == stable_key_hash(0.0)
+        assert stable_key_hash(0) == stable_key_hash(False)
+        assert stable_key_hash(2**53) == stable_key_hash(float(2**53))
+
+    def test_composite_keys_canonicalize_elementwise(self):
+        assert stable_key_hash((1, 2.0)) == stable_key_hash((1.0, 2))
+        assert stable_key_hash((True, "x")) == stable_key_hash((1, "x"))
+
+    def test_unequal_keys_stay_apart(self):
+        assert stable_key_hash("1") != stable_key_hash(1)
+        assert stable_key_hash(1.5) != stable_key_hash(1)
+
+    def test_router_co_partitions_mixed_representations(self):
+        router = RouterOperator(num_streams=3, num_shards=4)
+        shards = {
+            router.shard_of(tup(1, stream=0)),
+            router.shard_of(tup(1.0, stream=1)),
+            router.shard_of(tup(True, stream=2)),
+        }
+        assert len(shards) == 1
+
+    def test_sharded_equals_unsharded_on_mixed_key_workload(self):
+        """The satellite regression: an equi-join over mixed
+        int/float/bool keys must produce the same results sharded and
+        unsharded.  Fails on the pre-canonicalization hash, which
+        scattered 1 / 1.0 / True across shards."""
+        from repro.testkit import (
+            mixed_key_workload,
+            oracle_ids,
+            sharded_ids,
+        )
+
+        workload = mixed_key_workload(seed=1)
+        assert sharded_ids(workload, 4, fastpath=False) == \
+            oracle_ids(workload).id_set
+
+    def test_old_hash_would_lose_mixed_key_matches(self, monkeypatch):
+        """Locks the discrimination power of the regression workload:
+        with canonicalization disabled (the old behaviour), the same
+        check diverges — so the test above genuinely guards the fix."""
+        import repro.parallel.router as router_mod
+        from repro.testkit import (
+            mixed_key_workload,
+            oracle_ids,
+            sharded_ids,
+        )
+
+        monkeypatch.setattr(
+            router_mod, "_canonical_key", lambda key: key
+        )
+        workload = mixed_key_workload(seed=1)
+        assert sharded_ids(workload, 4, fastpath=False) != \
+            oracle_ids(workload).id_set
+
+
+class TestMigrationGuards:
+    def probe(self, depths):
+        return lambda: depths
+
+    def test_donor_keeps_its_last_bucket(self):
+        router = RouterOperator(num_streams=1, num_shards=2, buckets=2,
+                                rebalance_threshold=2.0)
+        router.attach_depth_probe(self.probe([100, 0]))
+        router.on_adapt(5.0, [], 5.0)
+        # hot shard owns exactly one bucket: stripping it would evict
+        # the shard from the key space, so nothing may move
+        assert router.bucket_map == [0, 1]
+        assert router.rebalances == 0
+
+    def test_migration_never_empties_donor(self):
+        router = RouterOperator(num_streams=1, num_shards=2, buckets=8,
+                                rebalance_threshold=2.0)
+        for _ in range(20):
+            router.maybe_rebalance([100, 0])
+        assert router.bucket_map.count(0) >= 1
+
+    def test_cooldown_blocks_back_to_back_rebalances(self):
+        router = RouterOperator(num_streams=1, num_shards=2, buckets=8,
+                                rebalance_threshold=2.0)
+        assert router.maybe_rebalance([100, 0]) is True
+        # the very next tick sees the same stale skew; without the
+        # cooldown this would ping-pong the same buckets straight back
+        assert router.maybe_rebalance([0, 100]) is False
+        assert router.rebalances == 1
+        # one tick later the (fresh) observation may act again
+        assert router.maybe_rebalance([0, 100]) is True
+        assert router.rebalances == 2
+
+    def test_skewed_workload_converges_without_ping_pong(self):
+        """2-shard skewed regression: with depths lagging one tick
+        behind migrations (backlog does not drain instantly), the
+        control loop must reach a fixed point instead of oscillating."""
+        router = RouterOperator(num_streams=1, num_shards=2, buckets=8,
+                                rebalance_threshold=2.0)
+        router.bucket_map[:] = [0] * 6 + [1] * 2
+        lagged = [5 * router.bucket_map.count(k) for k in (0, 1)]
+        history = []
+        for _ in range(10):
+            router.maybe_rebalance(lagged)
+            lagged = [5 * router.bucket_map.count(k) for k in (0, 1)]
+            history.append(list(router.bucket_map))
+        assert router.rebalances <= 2
+        assert history[-1] == history[-2] == history[-3]
+
+
+class TestReweightInterleave:
+    def test_equal_depths_give_perfect_interleave(self):
+        router = RouterOperator(num_streams=1, num_shards=2,
+                                policy="round-robin",
+                                rebalance_threshold=2.0)
+        router._reweight_cycle([3, 3])
+        assert router._rr_cycle == [0, 1] * 4
+        router3 = RouterOperator(num_streams=1, num_shards=3,
+                                 policy="round-robin")
+        router3._reweight_cycle([0, 0, 0])
+        assert router3._rr_cycle == [0, 1, 2] * 4
+
+    def test_reweight_is_deterministic(self):
+        a = RouterOperator(num_streams=1, num_shards=3,
+                           policy="round-robin")
+        b = RouterOperator(num_streams=1, num_shards=3,
+                           policy="round-robin")
+        a._reweight_cycle([17, 2, 5])
+        b._reweight_cycle([17, 2, 5])
+        assert a._rr_cycle == b._rr_cycle
+
+    def test_slots_spread_instead_of_bursting(self):
+        router = RouterOperator(num_streams=1, num_shards=2,
+                                policy="round-robin")
+        router._reweight_cycle([0, 3])
+        cycle = router._rr_cycle
+        majority = max(set(cycle), key=cycle.count)
+        longest_run = run = 1
+        for prev, cur in zip(cycle, cycle[1:]):
+            run = run + 1 if prev == cur == majority else 1
+            longest_run = max(longest_run, run)
+        # the majority shard's slots are interleaved, not clumped
+        assert longest_run < cycle.count(majority)
+
+
+class TestElasticMembership:
+    def test_add_shard_takes_fair_share(self):
+        router = RouterOperator(num_streams=1, num_shards=2, buckets=9)
+        new = router.add_shard()
+        assert new == 2
+        assert router.num_shards == 3
+        assert len(router.routed_per_shard) == 3
+        assert router.bucket_map.count(2) == 3  # buckets // 3
+        for shard in range(3):
+            assert router.bucket_map.count(shard) >= 1
+
+    def test_add_shard_never_empties_a_donor(self):
+        router = RouterOperator(num_streams=1, num_shards=2, buckets=2)
+        router.add_shard()
+        # both donors own exactly one bucket: nothing may move
+        assert sorted(router.bucket_map) == [0, 1]
+
+    def test_retire_rehomes_every_bucket(self):
+        router = RouterOperator(num_streams=1, num_shards=3, buckets=9)
+        owned = router.bucket_map.count(1)
+        moved = router.retire_shard(1, [0, 2])
+        assert moved == owned
+        assert router.bucket_map.count(1) == 0
+        # no tuple can ever route to the retiree again
+        shards = {router.shard_of(tup(float(v))) for v in range(200)}
+        assert 1 not in shards
+
+    def test_retire_needs_a_survivor(self):
+        router = RouterOperator(num_streams=1, num_shards=2)
+        with pytest.raises(ValueError):
+            router.retire_shard(0, [0])
+
+    def test_elastic_requires_hash_policy(self):
+        router = RouterOperator(num_streams=1, num_shards=2,
+                                policy="round-robin")
+        with pytest.raises(ValueError):
+            router.add_shard()
+        with pytest.raises(ValueError):
+            router.retire_shard(1, [0])
+
+
+class TestRouterEdgeCases:
+    def probe(self, depths):
+        return lambda: depths
+
+    def test_buckets_equal_num_shards_minimum_indirection(self):
+        router = RouterOperator(num_streams=1, num_shards=4, buckets=4)
+        shards = {router.shard_of(tup(float(v))) for v in range(200)}
+        assert shards == {0, 1, 2, 3}
+        # every migration attempt is refused: each donor owns one bucket
+        router.attach_depth_probe(self.probe([50, 0, 0, 0]))
+        router.on_adapt(5.0, [], 5.0)
+        assert router.rebalances == 0
+        assert sorted(router.bucket_map) == [0, 1, 2, 3]
+
+    def test_all_equal_depths_no_rebalance(self):
+        router = RouterOperator(num_streams=1, num_shards=3,
+                                rebalance_threshold=2.0)
+        before = list(router.bucket_map)
+        router.attach_depth_probe(self.probe([7, 7, 7]))
+        router.on_adapt(5.0, [], 5.0)
+        assert router.rebalances == 0
+        assert router.bucket_map == before
+
+    def test_zero_depth_probe_no_rebalance(self):
+        router = RouterOperator(num_streams=1, num_shards=3,
+                                rebalance_threshold=2.0)
+        router.attach_depth_probe(self.probe([0, 0, 0]))
+        router.on_adapt(5.0, [], 5.0)
+        assert router.rebalances == 0
+        assert router.last_depths == [0, 0, 0]
+
+    def test_threshold_none_ignores_any_skew(self):
+        router = RouterOperator(num_streams=1, num_shards=2,
+                                rebalance_threshold=None)
+        assert router.maybe_rebalance([10_000, 0]) is False
+        assert router.rebalances == 0

@@ -104,9 +104,11 @@ class TestIndependentShedding:
     def test_skewed_keys_shed_only_on_hot_shards(self):
         # every tuple carries the same key: exactly one shard gets all
         # the work, the rest idle; only the hot shard's controller sheds
+        # (key 39 occupies virtual bucket 7 -> shard 3, where this
+        # marginal overload reliably trips the throttle)
         def hot_sources():
             return [
-                StreamSource(i, ConstantRate(60.0), ConstantProcess(7.0))
+                StreamSource(i, ConstantRate(60.0), ConstantProcess(39.0))
                 for i in range(M)
             ]
 
