@@ -28,6 +28,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.streams.tuples import StreamTuple
+from repro.streams.windows import WindowPolicy, resolve_policy
 
 #: storage modes for the join-attribute values inside a basic window
 SCALAR, VECTOR, GENERIC = "scalar", "vector", "generic"
@@ -214,10 +215,15 @@ class PartitionedWindow:
         mode: value storage mode (``scalar`` / ``vector`` / ``generic``).
         dim: vector dimension for ``vector`` mode.
         start_time: virtual time at which the window begins.
+        policy: membership policy (:class:`~repro.streams.windows
+            .WindowPolicy` instance, spec string, or ``None`` for the
+            bit-identical sliding default).  Non-sliding policies only
+            further restrict :meth:`full_slices`; retention, rotation,
+            and the harvesting views are policy-independent.
     """
 
     __slots__ = (
-        "window_size", "basic_window_size", "n", "mode", "_ring",
+        "window_size", "basic_window_size", "n", "mode", "policy", "_ring",
         "_epoch_start", "rotations", "version",
         "_fs_key", "_fs_prefix", "_fs_now", "_fs_full",
     )
@@ -229,6 +235,7 @@ class PartitionedWindow:
         mode: str = SCALAR,
         dim: int | None = None,
         start_time: float = 0.0,
+        policy: "WindowPolicy | str | None" = None,
     ) -> None:
         if window_size <= 0:
             raise ValueError("window_size must be positive")
@@ -240,6 +247,7 @@ class PartitionedWindow:
         self.basic_window_size = float(basic_window_size)
         self.n = math.ceil(window_size / basic_window_size)
         self.mode = mode
+        self.policy = resolve_policy(policy)
         #: physical basic windows, index 0 = newest (currently filling)
         self._ring: deque[BasicWindow] = deque(
             BasicWindow(mode, dim) for _ in range(self.n + 1)
@@ -369,8 +377,15 @@ class PartitionedWindow:
         they are reused until the next mutation; only the oldest window's
         expiration cut depends on ``now`` and is redone per distinct call
         time.  Treat the returned list as immutable.
+
+        Under a non-sliding :attr:`policy` the live set is the sliding
+        set further restricted by the policy's inclusive lower timestamp
+        bound; that cut moves with ``now`` and the live contents, so the
+        policy path bypasses the sliding cache entirely.
         """
         self.rotate_to(now)
+        if not self.policy.is_sliding:
+            return self._policy_slices(now)
         key = (self.rotations, self.version)
         if key == self._fs_key:
             if now == self._fs_now:
@@ -393,6 +408,44 @@ class PartitionedWindow:
                 slices.append(WindowSlice(oldest, lo, hi))
         self._fs_now = now
         self._fs_full = slices
+        return slices
+
+    def _policy_slices(self, now: float) -> list[WindowSlice]:
+        """Policy-restricted live slices (non-sliding policies only).
+
+        Collects the sliding-live ranges (ages in ``[0, n*b)``), hands
+        the policy their ascending timestamps plus ``now``, and recuts
+        each range at the returned inclusive lower bound — the same
+        bound the testkit oracle applies with ``bisect_left``.
+        """
+        b = self.basic_window_size
+        horizon = self.n * b
+        ts_lo = now - horizon
+        # ring index 0 is the newest window, so ranges come out newest
+        # first; reverse to feed the policy a globally ascending series
+        ranges: list[tuple[BasicWindow, int, int]] = []
+        for k in range(self.n + 1):
+            window = self._ring[k]
+            if len(window) == 0:
+                continue
+            lo, hi = window.slice_between(ts_lo, now)
+            if hi > lo:
+                ranges.append((window, lo, hi))
+        live_ts: list[float] = []
+        for window, lo, hi in reversed(ranges):
+            live_ts.extend(window.timestamps[lo:hi].tolist())
+        cut = self.policy.live_from(horizon, live_ts, now)
+        slices: list[WindowSlice] = []
+        for window, lo, hi in ranges:
+            if cut != float("-inf"):
+                lo = max(
+                    lo,
+                    int(np.searchsorted(
+                        window.timestamps, cut, side="left"
+                    )),
+                )
+            if hi > lo:
+                slices.append(WindowSlice(window, lo, hi))
         return slices
 
     def logical_span_slices(

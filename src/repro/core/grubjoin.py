@@ -33,8 +33,10 @@ from repro.joins.join_order import (
 from repro.joins.columnar import select_kernel
 from repro.joins.pipeline import merge_slices, run_pipeline
 from repro.joins.selectivity import SelectivityEstimator
+from repro.joins.variants import JoinMode
 from repro.obs.explainer import explain_adaptation
 from repro.streams.tuples import JoinResult, StreamTuple
+from repro.streams.windows import SlidingWindow
 
 from .basic_windows import PartitionedWindow
 from .cost_model import JoinProfile
@@ -150,6 +152,11 @@ class GrubJoinOperator(StreamOperator):
         self.predicate = predicate
         self.window_sizes = [float(w) for w in window_sizes]
         self.basic_window_size = float(basic_window_size)
+        # shedding is only sound for inner-mode sliding windows (plan
+        # rule P131); GrubJoin therefore pins both and merely declares
+        # them for obs labels and plan-analyzer introspection
+        self.mode = JoinMode.INNER
+        self.window_policy = SlidingWindow()
         self.windows = [
             PartitionedWindow(
                 w,
@@ -232,6 +239,11 @@ class GrubJoinOperator(StreamOperator):
     def _obs_setup(self, obs, labels) -> None:
         """Cache instrument handles so hot paths pay one guarded call."""
         m = self.num_streams
+        labels = {
+            "mode": self.mode.value,
+            "window_policy": self.window_policy.name,
+            **labels,
+        }
         self._obs_handles = {
             "adaptations": obs.counter(
                 "grubjoin_adaptations_total", **labels

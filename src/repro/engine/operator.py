@@ -77,6 +77,13 @@ class StreamOperator(ABC):
         push/pop counts of stream ``i``'s input buffer over the last
         interval.  Default: no adaptation."""
 
+    def on_finish(self, now: float) -> list[JoinResult]:
+        """End-of-run flush at virtual time ``now`` (the configured run
+        duration).  Operators with deferred emission (anti/outer join
+        modes, whose survivors only become definite once expired) drain
+        their pending results here.  Default: nothing pending."""
+        return []
+
     def describe(self) -> str:
         """Short human-readable label for logs and result tables."""
         return type(self).__name__

@@ -205,6 +205,7 @@ class Simulation:
             }[event.kind]
             handler(event.payload)
 
+        self._drain_finish(cfg.duration)
         return self._build_result()
 
     @property
@@ -271,6 +272,20 @@ class Simulation:
         self._latency_count += 1
         self._latency_hist.observe(now - probe.timestamp)
         self._fill_cores()
+
+    def _drain_finish(self, now: float) -> None:
+        """Collect the operator's end-of-run flush (deferred emissions
+        from anti/outer join modes).  Flushed results are stamped at the
+        stop time and counted like completions, but carry no service
+        latency — they were never serviced, only released."""
+        outputs = self.operator.on_finish(now)
+        if not outputs:
+            return
+        for result in outputs:
+            result.timestamp = now
+        self._output.push_many(outputs)
+        if self._warm_output_start is None and now >= self.config.warmup:
+            self._warm_output_start = self._output.count - len(outputs)
 
     def _on_adapt(self, _payload) -> None:
         now = self._clock.now

@@ -26,6 +26,7 @@ from .predicates import (
 from .random_drop import RandomDropFilter, RandomDropShedder
 from .selectivity import SelectivityEstimator
 from .two_way import AdaptiveTwoWayJoin
+from .variants import SHEDDABLE_MODES, JoinMode, ModeState
 
 __all__ = [
     "AdaptiveTwoWayJoin",
@@ -38,13 +39,16 @@ __all__ = [
     "IndexedMJoin",
     "InnerProductJoin",
     "JaccardJoin",
+    "JoinMode",
     "JoinPredicate",
     "MJoinOperator",
     "MemoryLimitedMJoin",
+    "ModeState",
     "PerPairPredicate",
     "PipelineResult",
     "RandomDropFilter",
     "RandomDropShedder",
+    "SHEDDABLE_MODES",
     "SelectivityEstimator",
     "ThetaJoin",
     "VectorDistanceJoin",

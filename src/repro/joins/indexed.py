@@ -22,9 +22,11 @@ from repro.core.indexing import SortedWindowIndex
 from repro.engine.buffers import BufferStats
 from repro.engine.operator import ProcessReceipt, StreamOperator
 from repro.streams.tuples import JoinResult, StreamTuple
+from repro.streams.windows import WindowPolicy, resolve_policy
 
 from .join_order import default_orders, validate_order
 from .predicates import JoinPredicate
+from .variants import JoinMode, ModeState
 
 
 class IndexedMJoin(StreamOperator):
@@ -38,6 +40,10 @@ class IndexedMJoin(StreamOperator):
         basic_window_size: segment granularity (seconds).
         orders: optional fixed join orders (default ascending).
         output_cost: work units charged per result tuple.
+        mode: emission semantics (same contract as
+            :class:`repro.joins.mjoin.MJoinOperator`).
+        window_policy: membership policy for every stream's window
+            (``None`` keeps the bit-identical sliding default).
     """
 
     def __init__(
@@ -47,6 +53,8 @@ class IndexedMJoin(StreamOperator):
         basic_window_size: float,
         orders: Sequence[Sequence[int]] | None = None,
         output_cost: float = 2.0,
+        mode: "JoinMode | str" = JoinMode.INNER,
+        window_policy: "WindowPolicy | str | None" = None,
     ) -> None:
         if predicate.storage_mode != SCALAR:
             raise ValueError(
@@ -58,10 +66,23 @@ class IndexedMJoin(StreamOperator):
         self.num_streams = m
         self.output_kind = "join-result"
         self.predicate = predicate
+        self.mode = JoinMode(mode)
+        self.window_policy = resolve_policy(window_policy)
         self.windows = [
-            PartitionedWindow(w, basic_window_size, mode=SCALAR)
+            PartitionedWindow(
+                w, basic_window_size, mode=SCALAR,
+                policy=self.window_policy,
+            )
             for w in window_sizes
         ]
+        self._modes = (
+            None
+            if self.mode is JoinMode.INNER
+            else ModeState(
+                self.mode,
+                [pw.n * pw.basic_window_size for pw in self.windows],
+            )
+        )
         if orders is None:
             self.orders = default_orders(m)
         else:
@@ -78,6 +99,11 @@ class IndexedMJoin(StreamOperator):
     def _obs_setup(self, obs, labels) -> None:
         """Cache per-(direction, hop) indexed-probe work counters."""
         m = self.num_streams
+        labels = {
+            "mode": self.mode.value,
+            "window_policy": self.window_policy.name,
+            **labels,
+        }
         self._obs_work = [
             [
                 obs.counter(
@@ -133,6 +159,8 @@ class IndexedMJoin(StreamOperator):
             if partials and len(partials[0]) == self.num_streams
             else []
         )
+        if self._modes is not None:
+            outputs = self._modes.observe(tup, outputs, now)
         self.tuples_processed += 1
         self.work_total += work
         total = work + int(self.output_cost * len(outputs))
@@ -143,6 +171,12 @@ class IndexedMJoin(StreamOperator):
     ) -> None:
         """Nothing to adapt: the full join has no shedding knobs."""
 
+    def on_finish(self, now: float) -> list[JoinResult]:
+        """Release deferred anti/outer survivors at end-of-run."""
+        if self._modes is None:
+            return []
+        return self._modes.flush(now)
+
     def testkit_profile(self) -> dict:
         """Join semantics for the correctness oracle (see
         :meth:`repro.joins.mjoin.MJoinOperator.testkit_profile`)."""
@@ -150,6 +184,8 @@ class IndexedMJoin(StreamOperator):
             "predicate": self.predicate,
             "window_sizes": [w.window_size for w in self.windows],
             "basic_window_size": self.windows[0].basic_window_size,
+            "mode": self.mode.value,
+            "window_policy": self.window_policy.name,
         }
 
     def describe(self) -> str:

@@ -15,13 +15,15 @@ from typing import Sequence
 from repro.core.basic_windows import PartitionedWindow
 from repro.engine.buffers import BufferStats
 from repro.engine.operator import ProcessReceipt, StreamOperator
-from repro.streams.tuples import StreamTuple
+from repro.streams.tuples import JoinResult, StreamTuple
+from repro.streams.windows import WindowPolicy, resolve_policy
 
 from .columnar import select_kernel
 from .join_order import default_orders, low_selectivity_first, validate_order
 from .pipeline import run_pipeline
 from .predicates import JoinPredicate
 from .selectivity import SelectivityEstimator
+from .variants import JoinMode, ModeState
 
 
 class MJoinOperator(StreamOperator):
@@ -46,6 +48,15 @@ class MJoinOperator(StreamOperator):
             ``None`` (default) auto-enables it when the predicate supports
             it; ``False`` forces the reference nested-loop pipeline;
             ``True`` raises for unsupported predicates.
+        mode: emission semantics (:class:`repro.joins.variants.JoinMode`
+            or its string value).  Non-inner modes run the same inner
+            pipeline and post-process its outputs; anti/outer emission is
+            deferred to window-expiry and the end-of-run flush.  The
+            columnar fast path is certified for inner only, so non-inner
+            modes force the reference pipeline.
+        window_policy: membership policy for every stream's window
+            (:class:`repro.streams.windows.WindowPolicy`, spec string, or
+            ``None`` for the bit-identical sliding default).
     """
 
     def __init__(
@@ -57,6 +68,8 @@ class MJoinOperator(StreamOperator):
         adapt_orders: bool = True,
         output_cost: float = 2.0,
         fastpath: bool | None = None,
+        mode: "JoinMode | str" = JoinMode.INNER,
+        window_policy: "WindowPolicy | str | None" = None,
     ) -> None:
         m = len(window_sizes)
         if m < 2:
@@ -68,15 +81,36 @@ class MJoinOperator(StreamOperator):
         self.predicate = predicate
         self.window_sizes = [float(w) for w in window_sizes]
         self.basic_window_size = float(basic_window_size)
+        self.mode = JoinMode(mode)
+        self.window_policy = resolve_policy(window_policy)
+        plain = (
+            self.mode is JoinMode.INNER and self.window_policy.is_sliding
+        )
+        if not plain:
+            if fastpath:
+                raise ValueError(
+                    "the columnar fast path is only certified for "
+                    "inner-mode sliding-window joins"
+                )
+            fastpath = False
         self.windows = [
             PartitionedWindow(
                 w,
                 basic_window_size,
                 mode=predicate.storage_mode,
                 dim=predicate.dim,
+                policy=self.window_policy,
             )
             for w in self.window_sizes
         ]
+        self._modes = (
+            None
+            if self.mode is JoinMode.INNER
+            else ModeState(
+                self.mode,
+                [pw.n * pw.basic_window_size for pw in self.windows],
+            )
+        )
         if orders is None:
             self.orders = default_orders(m)
         else:
@@ -96,6 +130,11 @@ class MJoinOperator(StreamOperator):
     def _obs_setup(self, obs, labels) -> None:
         """Cache per-(direction, hop) comparison counters."""
         m = self.num_streams
+        labels = {
+            "mode": self.mode.value,
+            "window_policy": self.window_policy.name,
+            **labels,
+        }
         self._obs_comparisons = [
             [
                 obs.counter(
@@ -130,10 +169,13 @@ class MJoinOperator(StreamOperator):
                 per_hop[hop].inc(stats.scanned)
         self.tuples_processed += 1
         self.comparisons_total += result.comparisons
+        outputs = result.outputs
+        if self._modes is not None:
+            outputs = self._modes.observe(tup, outputs, now)
         work = result.comparisons + round(
-            self.output_cost * len(result.outputs)
+            self.output_cost * len(outputs)
         )
-        return ProcessReceipt(comparisons=work, outputs=result.outputs)
+        return ProcessReceipt(comparisons=work, outputs=outputs)
 
     def on_adapt(
         self, now: float, stats: list[BufferStats], interval: float
@@ -143,6 +185,12 @@ class MJoinOperator(StreamOperator):
         if self.adapt_orders:
             self.orders = low_selectivity_first(self.selectivity.matrix())
 
+    def on_finish(self, now: float) -> list[JoinResult]:
+        """Release deferred anti/outer survivors at end-of-run."""
+        if self._modes is None:
+            return []
+        return self._modes.flush(now)
+
     def testkit_profile(self) -> dict:
         """Join semantics for the correctness oracle: the predicate and
         window geometry this operator actually joins over (consumed by
@@ -151,6 +199,8 @@ class MJoinOperator(StreamOperator):
             "predicate": self.predicate,
             "window_sizes": list(self.window_sizes),
             "basic_window_size": self.basic_window_size,
+            "mode": self.mode.value,
+            "window_policy": self.window_policy.name,
         }
 
     def describe(self) -> str:

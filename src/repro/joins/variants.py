@@ -1,0 +1,125 @@
+"""Join-mode variants: inner, semi, anti, outer over windowed m-way joins.
+
+The paper's operators emit *inner* results — full m-tuples whose
+constituents pairwise satisfy the predicate inside each other's windows.
+Three standard variants reuse that machinery:
+
+* **semi** — emit each tuple (as a 1-tuple :class:`JoinResult`) the
+  first time it participates in any inner combination; an existence
+  test, emitted inline;
+* **anti** — emit each tuple that *never* participates in an inner
+  combination during its matchable lifetime; well-defined under virtual
+  time only once the tuple has expired from every peer window, so
+  emission is deferred to window-expiry (and an end-of-run flush);
+* **outer** — the inner results plus the anti survivors (the null-padded
+  rows of a relational full outer join, reduced to their single non-null
+  constituent since pad columns carry no identity).
+
+:class:`ModeState` is the bolt-on tracker the engines thread their inner
+outputs through.  It watches which tuple identities have matched, keeps
+an expiry heap ordered by ``timestamp + horizon`` (the instant a tuple
+can no longer gain new matches — mirroring the oracle's
+``bisect_right(ts, T - horizon)`` exclusion), and converts the engine's
+inner stream into the mode's output stream.  Shedding is sound for
+inner and semi modes (dropping inputs only removes outputs); for anti
+and outer a dropped tuple would *invent* results, so those modes reject
+shedding — enforced statically by plan rule P131.
+"""
+
+from __future__ import annotations
+
+import heapq
+from enum import Enum, unique
+from typing import Iterable, Sequence
+
+from repro.streams.tuples import JoinResult, StreamTuple
+
+
+@unique
+class JoinMode(str, Enum):
+    """The join's emission semantics (default: the paper's inner join)."""
+
+    INNER = "inner"
+    SEMI = "semi"
+    ANTI = "anti"
+    OUTER = "outer"
+
+
+#: modes where load shedding keeps output(shed) ⊆ output(full) sound
+SHEDDABLE_MODES = (JoinMode.INNER, JoinMode.SEMI)
+
+
+class ModeState:
+    """Per-operator tracker converting inner outputs to a mode's outputs.
+
+    The operator calls :meth:`observe` once per processed tuple with the
+    inner combinations that probe produced, and :meth:`flush` once at
+    end-of-run.  Identity is ``(stream, seq)``; the ``_tracked`` guard
+    makes duplicate deliveries (at-least-once chaos legs) idempotent.
+    State grows with the distinct-tuple universe — acceptable at testkit
+    scale, where non-inner modes live; production paths stay inner.
+    """
+
+    __slots__ = ("mode", "horizons", "_matched", "_tracked", "_heap")
+
+    def __init__(self, mode: JoinMode, horizons: Sequence[float]) -> None:
+        mode = JoinMode(mode)
+        if mode is JoinMode.INNER:
+            raise ValueError("inner mode needs no ModeState")
+        self.mode = mode
+        self.horizons = tuple(float(h) for h in horizons)
+        self._matched: set[tuple[int, int]] = set()
+        self._tracked: set[tuple[int, int]] = set()
+        self._heap: list[tuple[float, int, int, StreamTuple]] = []
+
+    def observe(
+        self,
+        tup: StreamTuple,
+        inner_outputs: Iterable[JoinResult],
+        now: float,
+    ) -> list[JoinResult]:
+        """Record one probe's inner results; return the mode's outputs."""
+        outputs: list[JoinResult] = []
+        if self.mode is JoinMode.OUTER:
+            outputs.extend(inner_outputs)
+            inner_outputs = outputs[:]
+        key = (tup.stream, tup.seq)
+        if key not in self._tracked:
+            self._tracked.add(key)
+            expiry = tup.timestamp + self.horizons[tup.stream]
+            heapq.heappush(self._heap, (expiry, tup.stream, tup.seq, tup))
+        for result in inner_outputs:
+            for part in result.constituents:
+                pkey = (part.stream, part.seq)
+                if pkey in self._matched:
+                    continue
+                self._matched.add(pkey)
+                if self.mode is JoinMode.SEMI:
+                    outputs.append(JoinResult((part,)))
+        outputs.extend(self._expire(now))
+        return outputs
+
+    def _expire(self, now: float) -> list[JoinResult]:
+        """Emit anti survivors whose matchable lifetime ended by ``now``."""
+        emitted: list[JoinResult] = []
+        while self._heap and self._heap[0][0] <= now:
+            _, stream, seq, tup = heapq.heappop(self._heap)
+            if (stream, seq) in self._matched:
+                continue
+            if self.mode is not JoinMode.SEMI:
+                emitted.append(JoinResult((tup,)))
+        return emitted
+
+    def flush(self, now: float) -> list[JoinResult]:
+        """Drain every pending expiry at end-of-run (``now`` = horizon)."""
+        outputs = self._expire(now)
+        while self._heap:
+            _, stream, seq, tup = heapq.heappop(self._heap)
+            if (stream, seq) in self._matched:
+                continue
+            if self.mode is not JoinMode.SEMI:
+                outputs.append(JoinResult((tup,)))
+        return outputs
+
+
+__all__ = ["JoinMode", "ModeState", "SHEDDABLE_MODES"]

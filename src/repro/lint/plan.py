@@ -64,6 +64,23 @@ P125   Worker entry (process runtime): an operator about to be forked
        do not cross the process boundary) and the shard factory must
        return a fresh instance per worker id — see
        :func:`check_worker_entry`.
+P130   Mode/runtime compatibility: anti and outer joins defer emission
+       to window expiry plus an end-of-run flush; the graph runtime has
+       no flush, so those modes may not appear in a dataflow graph (or
+       a :class:`~repro.query.Query`).  Shard targets behind a router
+       additionally require the paper's home configuration — inner
+       mode over sliding windows.
+P131   Shedding soundness: load shedding with an anti or outer join is
+       an ERROR — dropping a tuple's matches turns the tuple into a
+       spurious "survivor", inventing results instead of losing them.
+       The ``grubjoin`` policy further requires inner-mode
+       sliding-window joins (the only configuration its harvest
+       algebra is defined for).
+P132   Session-gap geometry (warnings): a session gap that is not an
+       integral multiple of the basic window makes expiry granularity
+       ragged; a gap at or above the effective window horizon can
+       never close a session inside the window, degenerating the
+       policy to sliding.
 
 The effect checks (P120-P124) run automatically whenever the graph
 contains a routed topology, and can be forced on or off with
@@ -202,6 +219,57 @@ def _check_join_windows(
                 "basic-window algebra assumes w = n*b",
                 node=node,
             )
+
+
+def _join_mode_of(op: Any):
+    """The operator's :class:`~repro.joins.variants.JoinMode`, if any."""
+    from repro.joins.variants import JoinMode
+
+    mode = getattr(op, "mode", None)
+    return mode if isinstance(mode, JoinMode) else None
+
+
+def _window_policy_of(op: Any):
+    """The operator's :class:`~repro.streams.windows.WindowPolicy`."""
+    from repro.streams.windows import WindowPolicy
+
+    policy = getattr(op, "window_policy", None)
+    return policy if isinstance(policy, WindowPolicy) else None
+
+
+def _check_session_policy(
+    report: PlanReport,
+    policy: Any,
+    window_sizes: Sequence[float],
+    basic: float,
+    node: str,
+) -> None:
+    """P132 — session-gap geometry warnings."""
+    from repro.streams.windows import SessionWindow
+
+    if not isinstance(policy, SessionWindow):
+        return
+    if not _is_multiple(policy.gap, basic):
+        report.add(
+            "P132",
+            f"session gap={policy.gap:g}s is not an integral multiple "
+            f"of the basic window b={basic:g}s; gap boundaries land "
+            "mid-slice, so session expiry granularity is ragged",
+            severity=Severity.WARNING,
+            node=node,
+        )
+    horizon = min(
+        math.ceil(w / basic) * basic for w in window_sizes
+    )
+    if policy.gap >= horizon:
+        report.add(
+            "P132",
+            f"session gap={policy.gap:g}s is >= the effective window "
+            f"horizon {horizon:g}s; no session can close inside the "
+            "window, so the policy degenerates to sliding",
+            severity=Severity.WARNING,
+            node=node,
+        )
 
 
 def _check_aggregate(
@@ -542,11 +610,32 @@ def analyze_graph(
             )
 
     # P103 / P104 / P108 / P109 — per-operator window parameters
+    # P130 / P132 — join-mode runtime compatibility, session geometry
     for name, op in nodes.items():
         window_sizes = getattr(op, "window_sizes", None)
         basic = getattr(op, "basic_window_size", None)
         if window_sizes is not None and basic is not None:
             _check_join_windows(report, window_sizes, basic, name)
+        mode = _join_mode_of(op)
+        if mode is not None and mode.value in ("anti", "outer"):
+            report.add(
+                "P130",
+                f"node {name!r} runs an {mode.value} join; those modes "
+                "defer emission to window expiry plus an end-of-run "
+                "flush, which the graph runtime does not perform — "
+                "survivors past the last arrival would be silently "
+                "dropped.  Run this mode through the Simulation "
+                "runtime",
+                node=name,
+            )
+        policy = _window_policy_of(op)
+        if (
+            policy is not None
+            and window_sizes is not None
+            and basic is not None
+        ):
+            _check_session_policy(report, policy, window_sizes, basic,
+                                  name)
         slide = getattr(op, "slide", None)
         window = getattr(op, "window_size", None)
         function = getattr(op, "function", None)
@@ -600,6 +689,27 @@ def analyze_graph(
                     node=name,
                 )
 
+    # P130 — shard targets must run the certified home configuration
+    for router_name, targets in shard_groups:
+        for target in targets:
+            op = nodes[target]
+            mode = _join_mode_of(op)
+            policy = _window_policy_of(op)
+            offending = []
+            if mode is not None and mode.value != "inner":
+                offending.append(f"mode={mode.value}")
+            if policy is not None and not policy.is_sliding:
+                offending.append(f"window_policy={policy.name}")
+            if offending:
+                report.add(
+                    "P130",
+                    f"shard node {target!r} behind router "
+                    f"{router_name!r} runs {', '.join(offending)}; "
+                    "hash-partitioned sharding is only certified for "
+                    "inner-mode sliding-window joins",
+                    node=target,
+                )
+
     # P106 — symbolic harvest feasibility, when a hypothesis is given
     if assumptions is not None:
         for name, op in nodes.items():
@@ -646,7 +756,9 @@ def analyze_query(
     unless the declaration is structurally sound — so *every* problem is
     reported in one pass instead of whichever constructor raises first.
     """
+    from repro.joins.variants import JoinMode
     from repro.query import SHEDDING_POLICIES
+    from repro.streams.windows import resolve_policy
 
     report = PlanReport()
 
@@ -656,6 +768,9 @@ def analyze_query(
     predicate = getattr(query, "_predicate", None)
     shedding = getattr(query, "_shedding", "grubjoin")
     stages = getattr(query, "_stages", [])
+    mode = getattr(query, "_mode", JoinMode.INNER)
+    policy = resolve_policy(getattr(query, "_policy", None))
+    plain = mode is JoinMode.INNER and policy.is_sliding
 
     if not sources:
         report.add("P100", "no input streams; call .streams(...)",
@@ -676,10 +791,47 @@ def analyze_query(
             node="join",
         )
 
+    # P130 — deferred-emission modes need the Simulation runtime
+    if mode in (JoinMode.ANTI, JoinMode.OUTER):
+        report.add(
+            "P130",
+            f"{mode.value} joins defer emission to window expiry plus "
+            "an end-of-run flush; the query's graph runtime performs "
+            "no flush, so survivors past the last arrival would be "
+            "silently dropped.  Run this mode through the Simulation "
+            "runtime instead",
+            node="join",
+        )
+    # P131 — shedding soundness and policy support for variant modes
+    if shedding in SHEDDING_POLICIES and shedding != "none":
+        if mode in (JoinMode.ANTI, JoinMode.OUTER):
+            report.add(
+                "P131",
+                f"load shedding is unsound for {mode.value} joins: "
+                "dropping a tuple's matches makes the tuple a spurious "
+                "survivor, so shedding would invent results instead of "
+                "losing them; use shedding='none'",
+                node="join",
+            )
+        elif shedding == "grubjoin" and not plain:
+            report.add(
+                "P131",
+                "shedding policy 'grubjoin' only speaks inner-mode "
+                f"sliding-window joins (got mode={mode.value}, "
+                f"window_policy={policy.name}); use "
+                "shedding='randomdrop' or 'none'",
+                node="join",
+            )
+
     # P103 — window divisibility
     m = len(sources)
     if window is not None and basic is not None and m >= 2:
         _check_join_windows(report, [window] * m, basic, "join")
+
+    # P132 — session-gap geometry
+    if window is not None and basic is not None and m >= 2:
+        _check_session_policy(report, policy, [window] * m, basic,
+                              "join")
 
     # P104 / P108 / P109 — declared aggregate stages
     for index, (kind, arg) in enumerate(stages):

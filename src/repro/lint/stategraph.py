@@ -33,7 +33,7 @@ identical fingerprints (the sanitizer's reports stay deterministic).
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, is_dataclass
 from typing import Any, Callable, Iterator
 
 #: instance-attribute roots excluded from the walk: telemetry plumbing,
@@ -67,6 +67,14 @@ def is_mutable(obj: Any) -> bool:
         return False
     if callable(obj):
         return False
+    if is_dataclass(obj) and not isinstance(obj, type):
+        params = getattr(type(obj), "__dataclass_params__", None)
+        if params is not None and params.frozen:
+            # frozen all the way down (e.g. a WindowPolicy) is a value,
+            # not state — sharing it cannot leak writes
+            return any(
+                is_mutable(getattr(obj, f.name)) for f in fields(obj)
+            )
     return True
 
 

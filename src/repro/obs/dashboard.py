@@ -171,7 +171,12 @@ def render_dashboard(obs: Obs, top: int = 5) -> str:
         f"  spans={len(obs.spans)}  adaptations={len(obs.decisions)}  "
         f"metrics={len(obs.registry)}"
     )
-    z = obs.registry.get("throttle_z")
+    # the throttle series carries operator labels (mode, window_policy),
+    # so match by name alone — one simulation hosts one throttled join
+    z = next(
+        (i for i in obs.registry.collect() if i.name == "throttle_z"),
+        None,
+    )
     if isinstance(z, Series) and z.times:
         lines.append(_section(
             "throttle trajectory",

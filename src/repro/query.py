@@ -38,7 +38,9 @@ from .engine import (
     SimulationConfig,
 )
 from .joins import JoinPredicate, MJoinOperator, RandomDropShedder
+from .joins.variants import JoinMode
 from .streams import StreamTuple
+from .streams.windows import WindowPolicy, resolve_policy
 
 #: load-shedding policies the builder understands
 SHEDDING_POLICIES = ("grubjoin", "randomdrop", "none")
@@ -82,6 +84,8 @@ class Query:
         self._basic: float | None = None
         self._predicate: JoinPredicate | None = None
         self._shedding = "grubjoin"
+        self._mode = JoinMode.INNER
+        self._policy = resolve_policy(None)
         self._join_kwargs: dict[str, Any] = {}
         self._stages: list[tuple[str, Any]] = []
         self._projection: Callable | None = None
@@ -93,25 +97,41 @@ class Query:
         self._sources = list(sources)
         return self
 
-    def window(self, seconds: float, basic: float) -> "Query":
-        """Set the join window and basic-window sizes (seconds)."""
+    def window(
+        self,
+        seconds: float,
+        basic: float,
+        policy: "WindowPolicy | str | None" = None,
+    ) -> "Query":
+        """Set the join window and basic-window sizes (seconds).
+
+        ``policy`` selects the window membership policy over the same
+        basic-window substrate: ``None``/``"sliding"`` (the paper's
+        default), ``"tumbling"``, ``"session:<gap>"``, or a
+        :class:`~repro.streams.windows.WindowPolicy` instance.
+        """
         if seconds <= 0 or basic <= 0 or basic > seconds:
             raise ValueError("need 0 < basic <= window")
         self._window = float(seconds)
         self._basic = float(basic)
+        self._policy = resolve_policy(policy)
         return self
 
     def join(
         self,
         predicate: JoinPredicate,
         shedding: str = "grubjoin",
+        mode: "JoinMode | str" = JoinMode.INNER,
         **operator_kwargs,
     ) -> "Query":
-        """Set the join predicate and load-shedding policy.
+        """Set the join predicate, load-shedding policy and join mode.
 
         ``shedding``: ``grubjoin`` (window harvesting), ``randomdrop``
         (drop operators in front of the buffers) or ``none`` (plain
-        MJoin).  Extra kwargs go to the join operator.
+        MJoin).  ``mode``: ``inner`` (default) or ``semi``; ``anti``
+        and ``outer`` are rejected at validation time (P130 — the graph
+        runtime has no end-of-run flush for their deferred emissions).
+        Extra kwargs go to the join operator.
         """
         if shedding not in SHEDDING_POLICIES:
             raise ValueError(
@@ -119,6 +139,7 @@ class Query:
             )
         self._predicate = predicate
         self._shedding = shedding
+        self._mode = JoinMode(mode)
         self._join_kwargs = operator_kwargs
         return self
 
@@ -157,9 +178,22 @@ class Query:
         if m < 2:
             raise ValueError("a join needs at least two streams")
 
+        if self._mode in (JoinMode.ANTI, JoinMode.OUTER):
+            raise ValueError(
+                f"{self._mode.value} joins defer emission to an "
+                "end-of-run flush the graph runtime never performs "
+                "(P130); run them through the Simulation runtime"
+            )
+        plain = self._mode is JoinMode.INNER and self._policy.is_sliding
         graph = DataflowGraph()
         shedder: RandomDropShedder | None = None
         if self._shedding == "grubjoin":
+            if not plain:
+                raise ValueError(
+                    "grubjoin shedding only speaks inner-mode "
+                    "sliding-window joins (P131); use "
+                    "shedding='randomdrop' or 'none'"
+                )
             join_op: Any = GrubJoinOperator(
                 self._predicate, [self._window] * m, self._basic,
                 **self._join_kwargs,
@@ -168,6 +202,7 @@ class Query:
         else:
             join_op = MJoinOperator(
                 self._predicate, [self._window] * m, self._basic,
+                mode=self._mode, window_policy=self._policy,
                 **self._join_kwargs,
             )
             if self._shedding == "randomdrop":

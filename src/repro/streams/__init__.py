@@ -27,6 +27,14 @@ from .stochastic import (
 )
 from .trace import TraceSource, load_trace, record_trace, save_trace
 from .tuples import JoinResult, StreamTuple
+from .windows import (
+    SLIDING,
+    SessionWindow,
+    SlidingWindow,
+    TumblingWindow,
+    WindowPolicy,
+    resolve_policy,
+)
 
 __all__ = [
     "ArrivalProcess",
@@ -42,18 +50,24 @@ __all__ = [
     "PiecewiseRate",
     "PoissonArrivals",
     "RandomWalkProcess",
+    "SLIDING",
     "SchemaError",
+    "SessionWindow",
+    "SlidingWindow",
     "StreamSchema",
     "StreamSource",
     "StreamTuple",
     "TopicWorld",
     "TraceSource",
+    "TumblingWindow",
     "UniformProcess",
     "ValueProcess",
+    "WindowPolicy",
     "WorldEvent",
     "load_trace",
     "merge_sources",
     "numeric_schema",
     "record_trace",
+    "resolve_policy",
     "save_trace",
 ]

@@ -1,0 +1,191 @@
+"""Pluggable window-membership policies: sliding, tumbling, session.
+
+The paper's join windows are *sliding*: a tuple is live exactly while its
+age stays below the window's effective horizon ``n*b``.  Two further
+policies from the wider streaming literature share the same substrate —
+the basic-window ring of :class:`repro.core.basic_windows.PartitionedWindow`
+keeps retaining ages in ``[0, n*b)`` and a policy merely *restricts* which
+of the retained tuples are live at a given instant:
+
+* **tumbling** — time is cut into fixed epochs of ``n*b`` seconds; only
+  tuples from the current epoch are live, and the whole epoch empties at
+  once when the next one starts (slide == window);
+* **session** — a stream's window is live only while tuples keep arriving
+  within ``gap`` seconds of each other; the live set is the maximal
+  suffix of retained tuples whose consecutive inter-arrival times are all
+  at most ``gap``.
+
+A policy is a pure function of ``(horizon, retained timestamps, now)``:
+:meth:`WindowPolicy.live_from` returns the *inclusive* lower timestamp
+bound of the live set (``-inf`` for "everything retained", ``+inf`` for
+"nothing").  Both the engines (:class:`PartitionedWindow`) and the
+testkit oracle evaluate membership through this one method, so the two
+sides cannot drift apart — the differential proof in
+:mod:`repro.testkit.differential` closes the loop.
+
+Because a policy only ever *shrinks* the sliding window, the retained
+substrate (rotation, batch expiry, binary-search slicing) is untouched,
+and sliding mode remains the bit-identical default everywhere.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
+
+class WindowPolicy(ABC):
+    """Membership policy over a basic-window partitioned join window.
+
+    Subclasses are immutable value objects; :attr:`name` labels verdict
+    rows and obs metrics, :attr:`is_sliding` gates the engines' cached
+    sliding fast path (only the bit-identical default may use it).
+    """
+
+    #: stable label ("sliding" / "tumbling" / "session")
+    name: str = "policy"
+
+    #: True only for the sliding default (enables the cached fast path)
+    is_sliding: bool = False
+
+    @abstractmethod
+    def live_from(
+        self, horizon: float, timestamps: Sequence[float], now: float
+    ) -> float:
+        """Inclusive lower timestamp bound of the live set at ``now``.
+
+        Args:
+            horizon: the window's effective age span ``n*b`` (seconds).
+            timestamps: the retained tuples' timestamps, ascending, all
+                within ``(now - horizon, now]``.
+            now: current virtual time.
+
+        Returns:
+            A timestamp ``c``: tuples with ``timestamp >= c`` (and inside
+            the horizon) are live.  ``-inf`` keeps every retained tuple,
+            ``+inf`` keeps none.
+        """
+
+    def describe(self) -> str:
+        """Short human-readable label for logs and reports."""
+        return self.name
+
+
+@dataclass(frozen=True)
+class SlidingWindow(WindowPolicy):
+    """The paper's default: live iff age is in ``[0, horizon)``."""
+
+    name: str = "sliding"
+    is_sliding: bool = True
+
+    def live_from(
+        self, horizon: float, timestamps: Sequence[float], now: float
+    ) -> float:
+        return _NEG_INF
+
+
+@dataclass(frozen=True)
+class TumblingWindow(WindowPolicy):
+    """Fixed epochs of ``horizon`` seconds (slide == window).
+
+    A tuple is live iff its timestamp falls into the epoch containing
+    ``now``: ``[origin + k*horizon, origin + (k+1)*horizon)``.  The epoch
+    start is an *inclusive* bound — the tuple that opens an epoch is live
+    from the instant the epoch begins.
+    """
+
+    origin: float = 0.0
+    name: str = "tumbling"
+
+    def live_from(
+        self, horizon: float, timestamps: Sequence[float], now: float
+    ) -> float:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        epochs = (now - self.origin) // horizon
+        return self.origin + epochs * horizon
+
+
+@dataclass(frozen=True)
+class SessionWindow(WindowPolicy):
+    """Inactivity-gap sessions: live while arrivals stay within ``gap``.
+
+    The live set at ``now`` is empty when the newest retained tuple is
+    more than ``gap`` seconds old (the session has closed); otherwise it
+    is the maximal suffix of the retained timestamps whose consecutive
+    differences are all at most ``gap`` — intersected, as always, with
+    the retention horizon.
+    """
+
+    gap: float = 1.0
+    name: str = "session"
+
+    def __post_init__(self) -> None:
+        if self.gap <= 0:
+            raise ValueError("session gap must be positive")
+
+    def live_from(
+        self, horizon: float, timestamps: Sequence[float], now: float
+    ) -> float:
+        n = len(timestamps)
+        if n == 0:
+            return _POS_INF
+        newest = float(timestamps[n - 1])
+        if now - newest > self.gap:
+            return _POS_INF
+        start = newest
+        for i in range(n - 2, -1, -1):
+            ts = float(timestamps[i])
+            if start - ts > self.gap:
+                break
+            start = ts
+        return start
+
+    def describe(self) -> str:
+        return f"session(gap={self.gap:g})"
+
+
+#: the shared sliding default (engines compare against this identity-free)
+SLIDING = SlidingWindow()
+
+
+def resolve_policy(spec: "WindowPolicy | str | None") -> WindowPolicy:
+    """Normalize a policy spec to a :class:`WindowPolicy` instance.
+
+    Accepts ``None`` (the sliding default), an instance, or a string:
+    ``"sliding"``, ``"tumbling"``, or ``"session:<gap>"`` (e.g.
+    ``"session:1.5"``).
+    """
+    if spec is None:
+        return SLIDING
+    if isinstance(spec, WindowPolicy):
+        return spec
+    if isinstance(spec, str):
+        if spec == "sliding":
+            return SLIDING
+        if spec == "tumbling":
+            return TumblingWindow()
+        if spec.startswith("session:"):
+            try:
+                gap = float(spec.split(":", 1)[1])
+            except ValueError:
+                raise ValueError(f"bad session gap in {spec!r}")
+            return SessionWindow(gap)
+    raise ValueError(
+        f"unknown window policy {spec!r}; expected None, a WindowPolicy, "
+        "'sliding', 'tumbling', or 'session:<gap>'"
+    )
+
+
+__all__ = [
+    "SLIDING",
+    "SessionWindow",
+    "SlidingWindow",
+    "TumblingWindow",
+    "WindowPolicy",
+    "resolve_policy",
+]

@@ -9,7 +9,8 @@ Four pieces, one contract:
   workload and diff its identity set against the oracle (``equal`` for
   unconstrained runs, ``subset`` for shedding ones);
 * :mod:`~repro.testkit.properties` — a dependency-free seeded property
-  runner (generate / check / shrink-by-halving) over the workload space;
+  runner (generate / check / shrink by halving the span and dropping
+  streams) over the workload space, join modes and window policies;
 * :mod:`~repro.testkit.chaos` — deterministic fault injection (stalls,
   spikes, duplicates, reordering, CPU degradation), all replayable from
   a seed;
@@ -60,7 +61,9 @@ from .properties import (
     PropertyOutcome,
     check_full_join_matches_oracle,
     check_shedding_is_subset,
+    check_variants_match_oracle,
     default_shrink,
+    random_scenario_workload,
     random_workload,
     run_builtin_properties,
     run_property,
@@ -72,6 +75,7 @@ from .sanitizer import (
 )
 from .workloads import (
     Workload,
+    build_scenarios,
     default_workloads,
     drift_sources,
     drift_workload,
@@ -79,6 +83,9 @@ from .workloads import (
     key_sources,
     key_workload,
     mixed_key_workload,
+    register_scenario,
+    scenario_names,
+    scenario_workload,
 )
 
 __all__ = [
@@ -94,11 +101,13 @@ __all__ = [
     "PropertyOutcome",
     "SanitizedOperator",
     "Workload",
+    "build_scenarios",
     "calibrated_shed_capacity",
     "chaos_ids",
     "chaos_matrix",
     "check_full_join_matches_oracle",
     "check_shedding_is_subset",
+    "check_variants_match_oracle",
     "compare",
     "dedupe_tuples",
     "default_scenarios",
@@ -119,13 +128,17 @@ __all__ = [
     "oracle_ids",
     "oracle_join",
     "procs_ids",
+    "random_scenario_workload",
     "random_workload",
     "randomdrop_ids",
     "rate_spike",
+    "register_scenario",
     "reorder",
     "run_builtin_properties",
     "run_config",
     "run_property",
+    "scenario_names",
+    "scenario_workload",
     "sharded_ids",
     "stall",
     "window_state",

@@ -37,6 +37,8 @@ import numpy as np
 
 from repro.core import GrubJoinOperator
 from repro.engine import CpuModel, Simulation
+from repro.joins import MJoinOperator, RandomDropShedder
+from repro.joins.variants import SHEDDABLE_MODES
 from repro.streams.disorder import DisorderedSource
 from repro.streams.tuples import StreamTuple
 
@@ -335,18 +337,41 @@ def chaos_ids(
     capacity: float,
     cpu: CpuModel | None = None,
 ) -> set[IdVector]:
-    """Run feedback-throttled GrubJoin over (possibly faulted) sources."""
-    operator = GrubJoinOperator(
-        workload.predicate,
-        workload.window_sizes,
-        workload.basic,
-        rng=workload.seed + 303,
-    )
+    """Run a feedback-shedding join over (possibly faulted) sources.
+
+    Plain workloads (inner mode, sliding windows) run the paper's
+    feedback-throttled GrubJoin.  Scenario-grid workloads whose mode and
+    policy GrubJoin does not speak run a mode-aware MJoin behind the
+    RandomDrop admission filter instead, so chaos coverage extends to
+    the variant semantics without misrepresenting what GrubJoin
+    supports.  Modes where shedding is unsound (anti/outer) are the
+    caller's responsibility to skip — :func:`chaos_matrix` does.
+    """
+    admission = None
+    if workload.plain:
+        operator = GrubJoinOperator(
+            workload.predicate,
+            workload.window_sizes,
+            workload.basic,
+            rng=workload.seed + 303,
+        )
+    else:
+        operator = MJoinOperator(
+            workload.predicate,
+            workload.window_sizes,
+            workload.basic,
+            mode=workload.mode,
+            window_policy=workload.window_policy,
+        )
+        admission = RandomDropShedder(
+            operator, capacity, rng=workload.seed + 303
+        ).filters
     sim = Simulation(
         list(sources),
         operator,
         cpu if cpu is not None else CpuModel(capacity),
         run_config(workload),
+        admission=admission,
         retain_outputs=True,
     )
     sim.run()
@@ -378,6 +403,19 @@ def chaos_matrix(
     verdict: dict = {"seed": seed, "workloads": {}, "ok": True,
                      "failures": []}
     for workload in workloads:
+        if workload.mode not in SHEDDABLE_MODES:
+            # every chaos cell sheds (overloaded CPU or admission
+            # filter), and shedding an anti/outer join invents results
+            # for the dropped tuples — there is no subset contract to
+            # check, so the cell is recorded as skipped, not silently
+            # green
+            verdict["workloads"][workload.name] = {
+                "skipped": (
+                    f"shedding is unsound for {workload.mode.value} "
+                    "joins (dropped tuples would surface as survivors)"
+                )
+            }
+            continue
         capacity = calibrated_shed_capacity(
             workload, fraction=overload_fraction
         )
@@ -391,6 +429,8 @@ def chaos_matrix(
                 workload.predicate,
                 workload.window_sizes,
                 workload.basic,
+                mode=workload.mode,
+                window_policy=workload.window_policy,
             )
 
             def make_cpu() -> CpuModel | None:

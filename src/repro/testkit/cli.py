@@ -22,7 +22,7 @@ from typing import Sequence
 from .chaos import chaos_matrix
 from .differential import MatrixSpec, differential_matrix
 from .properties import run_builtin_properties
-from .workloads import default_workloads
+from .workloads import build_scenarios, default_workloads
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +40,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick", action="store_true",
         help="single-seed smoke run (overrides --seeds with '1')",
+    )
+    parser.add_argument(
+        "--scenarios", default=None, metavar="PATTERNS",
+        help="run the named scenario library instead of the default "
+             "seeded workloads: comma-separated fnmatch patterns over "
+             "scenario names ('all' or '*' selects the whole "
+             "mode x window grid, 'sc-anti-*' a slice of it)",
     )
     parser.add_argument(
         "--chaos", action="store_true",
@@ -104,7 +111,17 @@ def run_verdict(args: argparse.Namespace) -> dict:
         else None
     )
     seeds = (1,) if args.quick else _parse_seeds(args.seeds)
-    workloads = default_workloads(seeds)
+    if args.scenarios is not None:
+        patterns = tuple(
+            "*" if p.strip() == "all" else p.strip()
+            for p in args.scenarios.split(",") if p.strip()
+        ) or ("*",)
+        try:
+            workloads = build_scenarios(patterns)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    else:
+        workloads = default_workloads(seeds)
     spec_kwargs: dict = {"include_shedding": not args.no_shedding}
     if args.procs is not None:
         try:
@@ -119,6 +136,10 @@ def run_verdict(args: argparse.Namespace) -> dict:
     spec = MatrixSpec(**spec_kwargs)
     verdict: dict = {
         "seeds": list(seeds),
+        "scenarios": (
+            [w.name for w in workloads] if args.scenarios is not None
+            else None
+        ),
         "differential": differential_matrix(
             workloads, spec, progress=progress,
             sanitize=args.sanitize,

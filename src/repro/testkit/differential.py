@@ -28,6 +28,7 @@ from repro.core import FixedThrottle, GrubJoinOperator
 from repro.engine import CpuModel, Simulation, SimulationConfig
 from repro.joins import IndexedMJoin, MJoinOperator, RandomDropShedder
 from repro.joins.columnar import supports_columnar
+from repro.joins.variants import SHEDDABLE_MODES
 from repro.parallel import build_sharded_graph
 
 from .oracle import IdVector, OracleResult, oracle_join, window_state
@@ -53,12 +54,15 @@ def run_config(workload: Workload) -> SimulationConfig:
 
 
 def oracle_ids(workload: Workload) -> OracleResult:
-    """The ground-truth result set for ``workload``."""
+    """The ground-truth result set for ``workload`` (in the workload's
+    join mode over its window policy)."""
     return oracle_join(
         workload.traces,
         workload.predicate,
         workload.window_sizes,
         workload.basic,
+        mode=workload.mode,
+        window_policy=workload.window_policy,
     )
 
 
@@ -100,6 +104,7 @@ def mjoin_ids(
     operator = MJoinOperator(
         workload.predicate, workload.window_sizes, workload.basic,
         fastpath=fastpath,
+        mode=workload.mode, window_policy=workload.window_policy,
     )
     return _simulate(workload, operator, capacity,
                      sanitizer=_make_sanitizer(sanitize))
@@ -111,7 +116,8 @@ def indexed_ids(
 ) -> set[IdVector]:
     """Run the block-probing IndexedMJoin (scalar predicates only)."""
     operator = IndexedMJoin(
-        workload.predicate, workload.window_sizes, workload.basic
+        workload.predicate, workload.window_sizes, workload.basic,
+        mode=workload.mode, window_policy=workload.window_policy,
     )
     return _simulate(workload, operator, capacity,
                      sanitizer=_make_sanitizer(sanitize))
@@ -145,7 +151,8 @@ def randomdrop_ids(
 ) -> set[IdVector]:
     """Run the RandomDrop baseline (input shedding ahead of a full join)."""
     operator = MJoinOperator(
-        workload.predicate, workload.window_sizes, workload.basic
+        workload.predicate, workload.window_sizes, workload.basic,
+        mode=workload.mode, window_policy=workload.window_policy,
     )
     shedder = RandomDropShedder(
         operator, capacity, rng=workload.seed + 202
@@ -249,7 +256,8 @@ def calibrated_shed_capacity(
     if not 0 < fraction <= 1:
         raise ValueError("fraction must be in (0, 1]")
     operator = MJoinOperator(
-        workload.predicate, workload.window_sizes, workload.basic
+        workload.predicate, workload.window_sizes, workload.basic,
+        mode=workload.mode, window_policy=workload.window_policy,
     )
     cpu = CpuModel(UNBOUNDED_CAPACITY)
     Simulation(
@@ -501,6 +509,17 @@ def differential_matrix(
     must be bit-identical to the same-K sharded plan (skipped under
     ``sanitize`` — a process boundary hides writes from the sanitizer).
 
+    Non-plain workloads (semi/anti/outer modes, tumbling/session
+    windows — the scenario grid) run the rows their contracts cover:
+    the MJoin/IndexedMJoin equality rows always, the GrubJoin, fast
+    path, sharded/procs and pinned-z rows only on the paper's home turf
+    (inner + sliding, where they are defined and certified), and the
+    RandomDrop subset row whenever shedding is sound for the mode
+    (inner/semi — an anti/outer run would *invent* results for dropped
+    tuples) over sliding windows (under backlog a stale probe evaluates
+    a tumbling/session cut at a later instant than the oracle, which
+    can legitimately resurrect results the probe-time cut excluded).
+
     ``sanitize=True`` runs every row under the determinism sanitizer
     (:mod:`repro.testkit.sanitizer`): a write that contradicts the
     static effect manifest raises
@@ -520,19 +539,29 @@ def differential_matrix(
         reports: dict = {}
         renders: list[str] = []
 
+        plain = workload.plain
         _check(reports, renders, "mjoin", reference,
                mjoin_ids(workload, fastpath=False, sanitize=sanitize),
                workload, "equal")
         _check(reports, renders, "indexed", reference,
                indexed_ids(workload, sanitize=sanitize), workload,
                "equal")
-        _check(reports, renders, "grubjoin_z1", reference,
-               grubjoin_ids(workload, pin_z=1.0, fastpath=False,
-                            sanitize=sanitize),
-               workload, "equal")
+        if plain:
+            _check(reports, renders, "grubjoin_z1", reference,
+                   grubjoin_ids(workload, pin_z=1.0, fastpath=False,
+                                warm_start=False, sanitize=sanitize),
+                   workload, "equal")
+            # same pin, warm-started solver: the warm path must land on
+            # the same identity set (its configurations may differ, its
+            # z=1 harvests may not)
+            _check(reports, renders, "grubjoin_z1_warm", reference,
+                   grubjoin_ids(workload, pin_z=1.0, fastpath=False,
+                                warm_start=True, sanitize=sanitize),
+                   workload, "equal")
 
         fast = (
-            spec.include_fastpath
+            plain
+            and spec.include_fastpath
             and supports_columnar(workload.predicate)
         )
         if fast:
@@ -548,7 +577,7 @@ def differential_matrix(
         equi = workload.tags.get("kind") == "keys"
         sharded_sets: dict[int, set[IdVector]] = {}
         for k in spec.shard_counts:
-            if k > 1 and not equi:
+            if not plain or (k > 1 and not equi):
                 continue
             observed = sharded_ids(workload, k, fastpath=False,
                                    sanitize=sanitize)
@@ -562,7 +591,7 @@ def differential_matrix(
                                    sanitize=sanitize),
                        workload, "equal")
 
-        if equi and not sanitize:
+        if plain and equi and not sanitize:
             for k in spec.procs_counts:
                 # diff against the same-K sharded set when it ran, so
                 # Procs(K) ≡ Sharded is checked literally; the sharded
@@ -572,19 +601,26 @@ def differential_matrix(
                        procs_ids(workload, k, fastpath=False),
                        workload, "equal")
 
-        for z in spec.pinned_zs:
-            _check(reports, renders, f"grubjoin_z{z:g}", reference,
-                   grubjoin_ids(workload, pin_z=z, sanitize=sanitize),
-                   workload, "subset")
+        if plain:
+            for z in spec.pinned_zs:
+                _check(reports, renders, f"grubjoin_z{z:g}", reference,
+                       grubjoin_ids(workload, pin_z=z,
+                                    sanitize=sanitize),
+                       workload, "subset")
 
-        if spec.include_shedding:
+        sheddable = (
+            workload.mode in SHEDDABLE_MODES
+            and workload.policy.is_sliding
+        )
+        if spec.include_shedding and sheddable:
             capacity = calibrated_shed_capacity(
                 workload, spec.shed_fraction
             )
-            _check(reports, renders, "grubjoin_shed", reference,
-                   grubjoin_ids(workload, capacity=capacity,
-                                sanitize=sanitize),
-                   workload, "subset")
+            if plain:
+                _check(reports, renders, "grubjoin_shed", reference,
+                       grubjoin_ids(workload, capacity=capacity,
+                                    sanitize=sanitize),
+                       workload, "subset")
             _check(reports, renders, "randomdrop_shed", reference,
                    randomdrop_ids(workload, capacity=capacity,
                                   sanitize=sanitize),
@@ -594,6 +630,8 @@ def differential_matrix(
             "m": workload.m,
             "seed": workload.seed,
             "tuples": workload.tuple_count(),
+            "mode": workload.mode.value,
+            "window": workload.policy.name,
             "oracle_results": len(reference.ids),
             "checks": reports,
         }

@@ -21,17 +21,34 @@ of each constituent, ordered by stream — the same canonical identity
 :meth:`repro.streams.tuples.JoinResult.key` produces — collected into a
 sorted tuple so two oracle runs (or an oracle and an engine run) compare
 with ``==``.
+
+Beyond the paper's inner join, the oracle speaks every
+:class:`repro.joins.variants.JoinMode` over every
+:class:`repro.streams.windows.WindowPolicy`:
+
+* window policies restrict each probe's candidate pools through the same
+  ``live_from`` cut the engines apply (one shared implementation, so the
+  two sides cannot diverge);
+* **semi** results are existence witnesses — one singleton identity per
+  tuple that participates in at least one inner combination;
+* **anti** results are the survivors — one singleton per tuple that
+  never participates (well-defined because the oracle sees the whole
+  trace, exactly like the engines' end-of-run flush);
+* **outer** = inner ∪ anti (the null-padded rows of a relational full
+  outer join, reduced to their single non-null constituent).
 """
 
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.joins.predicates import JoinPredicate
+from repro.joins.variants import JoinMode
 from repro.streams.tuples import StreamTuple
+from repro.streams.windows import WindowPolicy, resolve_policy
 
 #: identity of one join result: ``((stream, seq), ...)`` ordered by stream
 IdVector = tuple[tuple[int, int], ...]
@@ -72,11 +89,15 @@ class OracleResult:
         ids: sorted, duplicate-free identity vectors of every result.
         horizons: the per-stream effective age horizons used.
         probes: tuples considered (after dedup), for diagnostics.
+        mode: the join mode these ids realize.
+        window_policy: the window policy's label.
     """
 
     ids: tuple[IdVector, ...]
     horizons: tuple[float, ...]
     probes: int
+    mode: str = "inner"
+    window_policy: str = "sliding"
 
     @property
     def id_set(self) -> frozenset[IdVector]:
@@ -90,6 +111,8 @@ def oracle_join(
     window_sizes: Sequence[float],
     basic_window_size: float,
     until: float | None = None,
+    mode: "JoinMode | str" = JoinMode.INNER,
+    window_policy: "WindowPolicy | str | None" = None,
 ) -> OracleResult:
     """Compute the ideal m-way windowed join over recorded traces.
 
@@ -100,6 +123,8 @@ def oracle_join(
         window_sizes: per-stream window sizes ``w_i`` in seconds.
         basic_window_size: ``b`` in seconds (fixes the effective horizon).
         until: optional timestamp cutoff; defaults to the whole trace.
+        mode: emission semantics (inner / semi / anti / outer).
+        window_policy: membership policy (``None`` = sliding).
 
     Returns:
         The canonical :class:`OracleResult`.
@@ -109,6 +134,8 @@ def oracle_join(
         raise ValueError("an m-way join needs at least 2 streams")
     if len(window_sizes) != m:
         raise ValueError("need one window size per trace")
+    mode = JoinMode(mode)
+    policy = resolve_policy(window_policy)
     horizons = tuple(
         effective_horizon(w, basic_window_size) for w in window_sizes
     )
@@ -152,6 +179,14 @@ def oracle_join(
             # ages in [0, horizon): timestamps in (probe.ts - h, probe.ts]
             lo = bisect_right(ts, probe.timestamp - horizons[stream])
             hi = bisect_right(ts, probe.timestamp)
+            if not policy.is_sliding:
+                # same inclusive lower bound the engines apply in
+                # PartitionedWindow._policy_slices
+                cut = policy.live_from(
+                    horizons[stream], ts[lo:hi], probe.timestamp
+                )
+                if cut != float("-inf"):
+                    lo = max(lo, bisect_left(ts, cut, lo, hi))
             pool = [
                 t
                 for t in per_stream[stream][lo:hi]
@@ -164,11 +199,40 @@ def oracle_join(
         if not feasible:
             continue
         _extend(probe, candidates, 0, [probe], predicate, results)
+    if mode is not JoinMode.INNER:
+        results = _apply_mode(mode, results, probes)
     return OracleResult(
         ids=tuple(sorted(results)),
         horizons=horizons,
         probes=len(probes),
+        mode=mode.value,
+        window_policy=policy.name,
     )
+
+
+def _apply_mode(
+    mode: JoinMode,
+    inner: set[IdVector],
+    probes: Sequence[StreamTuple],
+) -> set[IdVector]:
+    """Derive a variant mode's identity vectors from the inner results.
+
+    The matched set is every identity appearing in any inner vector; the
+    universe is every deduped tuple.  Semi keeps the matched singletons,
+    anti the unmatched ones, outer the inner vectors plus the anti
+    singletons.
+    """
+    matched = {ident for vector in inner for ident in vector}
+    if mode is JoinMode.SEMI:
+        return {(ident,) for ident in matched}
+    anti = {
+        ((t.stream, t.seq),)
+        for t in probes
+        if (t.stream, t.seq) not in matched
+    }
+    if mode is JoinMode.ANTI:
+        return anti
+    return inner | anti
 
 
 def _extend(

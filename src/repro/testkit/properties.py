@@ -12,12 +12,16 @@ The lifecycle per example is the classic property-testing loop:
 2. **check** — a callable that raises ``AssertionError`` on violation;
 3. **shrink** — on failure, walk smaller variants of the case while they
    still fail.  The default shrinker halves a workload's time span via
-   :meth:`~repro.testkit.workloads.Workload.halved`, which preserves the
-   failing seed and geometry while cutting the tuple count.
+   :meth:`~repro.testkit.workloads.Workload.halved` *and* removes one
+   stream at a time via
+   :meth:`~repro.testkit.workloads.Workload.dropped_stream`, so a
+   failure found on a wide m-way join minimizes along both axes —
+   shorter trace, fewer streams — while preserving the failing seed.
 
-Built-in properties cover the repo's two core contracts: the full join
-must match the oracle exactly, and any shedding configuration must stay
-a subset of it.
+Built-in properties cover the repo's core contracts: the full join must
+match the oracle exactly, any shedding configuration must stay a subset
+of it, and the variant join modes over every window policy must agree
+with the oracle's extended semantics on both engine implementations.
 """
 
 from __future__ import annotations
@@ -27,10 +31,13 @@ from typing import Callable, Iterable, Iterator
 
 import numpy as np
 
+from repro.joins.variants import JoinMode
+
 from .differential import (
     calibrated_shed_capacity,
     compare,
     grubjoin_ids,
+    indexed_ids,
     mjoin_ids,
     oracle_ids,
 )
@@ -41,7 +48,7 @@ def describe_case(case) -> str:
     """A short, stable description of a case for failure reports."""
     if isinstance(case, Workload):
         return (
-            f"{case.name} duration={case.duration:g} "
+            f"{case.name} m={case.m} duration={case.duration:g} "
             f"tuples={case.tuple_count()}"
         )
     return repr(case)
@@ -52,13 +59,21 @@ def default_shrink(case) -> Iterator:
 
     Works on anything exposing ``halved()`` and ``tuple_count()`` —
     i.e. :class:`~repro.testkit.workloads.Workload`; other case types get
-    no automatic shrinking.
+    no automatic shrinking.  Two shrink axes are tried per step: halve
+    the time span, then drop each stream in turn (``m > 2`` only — a
+    2-way join cannot lose a stream), so a failure seeded on a 5-way
+    join walks down to the narrowest join that still reproduces it.
     """
     if not (hasattr(case, "halved") and hasattr(case, "tuple_count")):
         return
     smaller = case.halved()
     if 0 < smaller.tuple_count() < case.tuple_count():
         yield smaller
+    if getattr(case, "m", 0) > 2:
+        for index in range(case.m):
+            dropped = case.dropped_stream(index)
+            if dropped.tuple_count() > 0:
+                yield dropped
 
 
 @dataclass
@@ -209,6 +224,31 @@ def random_workload(rng: np.random.Generator) -> Workload:
     )
 
 
+def random_scenario_workload(rng: np.random.Generator) -> Workload:
+    """Draw a random workload over the *variant* space: any join mode
+    over any window policy, drift or key values.  Poisson arrivals keep
+    session gaps irregular enough that the session policy actually
+    closes sessions; the short high-rate traces keep oracle enumeration
+    cheap."""
+    mode = JoinMode(str(rng.choice([m.value for m in JoinMode])))
+    policy = str(rng.choice(["sliding", "tumbling", "session:1.5"]))
+    seed = int(rng.integers(1 << 30))
+    if rng.integers(2):
+        workload = key_workload(
+            seed, rate=2.0, duration=8.0, basic=0.5, n_keys=8,
+            poisson=True,
+        )
+    else:
+        workload = drift_workload(
+            seed, rate=2.0, duration=8.0, basic=0.5, epsilon=2.0,
+            lags=[0.1 * i for i in range(3)], poisson=True,
+        )
+    workload.mode = mode
+    workload.window_policy = policy
+    workload.name = f"{workload.name}-{mode.value}-{policy}"
+    return workload
+
+
 def check_full_join_matches_oracle(case) -> None:
     """Property: unconstrained MJoin output ≡ the brute-force oracle."""
     report = compare(
@@ -232,10 +272,25 @@ def check_shedding_is_subset(case) -> None:
     assert report.ok, "\n" + report.render()
 
 
-#: the properties ``python -m repro.testkit --properties N`` runs
-BUILTIN_PROPERTIES: tuple[tuple[str, Callable], ...] = (
-    ("full_join_matches_oracle", check_full_join_matches_oracle),
-    ("shedding_is_subset", check_shedding_is_subset),
+def check_variants_match_oracle(case) -> None:
+    """Property: over any join mode and window policy, the nested-loop
+    MJoin, the IndexedMJoin and the oracle produce the same identity
+    set."""
+    reference = oracle_ids(case)
+    for label, ids in (("mjoin", mjoin_ids(case)),
+                       ("indexed", indexed_ids(case))):
+        report = compare(reference, ids, case, mode="equal", label=label)
+        assert report.ok, "\n" + report.render()
+
+
+#: the properties ``python -m repro.testkit --properties N`` runs:
+#: ``(name, generator, check)`` triples
+BUILTIN_PROPERTIES: tuple[tuple[str, Callable, Callable], ...] = (
+    ("full_join_matches_oracle", random_workload,
+     check_full_join_matches_oracle),
+    ("shedding_is_subset", random_workload, check_shedding_is_subset),
+    ("variants_match_oracle", random_scenario_workload,
+     check_variants_match_oracle),
 )
 
 
@@ -244,9 +299,9 @@ def run_builtin_properties(
 ) -> dict:
     """Run every built-in property; returns a JSON-able verdict block."""
     verdict: dict = {}
-    for name, check in BUILTIN_PROPERTIES:
+    for name, generate, check in BUILTIN_PROPERTIES:
         outcome = run_property(
-            name, random_workload, check, seed=seed, examples=examples
+            name, generate, check, seed=seed, examples=examples
         )
         verdict[name] = outcome.summary()
     return verdict

@@ -390,6 +390,13 @@ class SanitizedOperator(StreamOperator):
         finally:
             self._sanitizer.after_call(self._label, sampled)
 
+    def on_finish(self, now):
+        sampled = self._sanitizer.before_call(self._label)
+        try:
+            return self._inner.on_finish(now)
+        finally:
+            self._sanitizer.after_call(self._label, sampled)
+
     def bind_obs(self, obs, **labels) -> None:
         self._inner.bind_obs(obs, **labels)
 

@@ -15,9 +15,11 @@ comparison replays byte-identical inputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from fnmatch import fnmatchcase
+from typing import Callable, Sequence
 
 from repro.joins.predicates import EpsilonJoin, EquiJoin, JoinPredicate
+from repro.joins.variants import JoinMode
 from repro.streams import (
     ConstantRate,
     DiscreteUniformProcess,
@@ -26,6 +28,7 @@ from repro.streams import (
     StreamSource,
     TraceSource,
 )
+from repro.streams.windows import WindowPolicy, resolve_policy
 
 
 def drift_sources(
@@ -94,6 +97,7 @@ def key_sources(
     n_keys: int = 40,
     seed: int = 0,
     phase_step: float = 1e-3,
+    poisson: bool = False,
 ) -> list[StreamSource]:
     """Uniform integer-key streams — the natural equi-join workload for
     partitioned (sharded) plans: equal keys always co-partition.
@@ -101,12 +105,18 @@ def key_sources(
     Streams are de-phased by ``phase_step`` so no two tuples ever share a
     timestamp and no cross-stream age lands exactly on a window boundary
     (where float rounding would make oracle and engine disagree about a
-    result that is neither clearly in nor clearly out).
+    result that is neither clearly in nor clearly out).  ``poisson``
+    draws Poisson arrivals instead — the bursty inter-arrival gaps that
+    session-window scenarios need in order to actually close sessions.
     """
     return [
         StreamSource(
             i,
-            ConstantRate(rate, phase=i * phase_step),
+            (
+                PoissonArrivals(rate, rng=seed + 1000 + i)
+                if poisson
+                else ConstantRate(rate, phase=i * phase_step)
+            ),
             DiscreteUniformProcess(n_keys, rng=seed + i),
         )
         for i in range(m)
@@ -130,6 +140,9 @@ class Workload:
         basic: basic window ``b``.
         duration: trace length in virtual seconds.
         seed: the seed everything was generated from.
+        mode: join emission semantics (default: the paper's inner join).
+        window_policy: membership policy spec (``None`` = sliding); use
+            :attr:`policy` for the resolved instance.
     """
 
     name: str
@@ -140,10 +153,25 @@ class Workload:
     duration: float
     seed: int
     tags: dict = field(default_factory=dict)
+    mode: JoinMode = JoinMode.INNER
+    window_policy: "WindowPolicy | str | None" = None
 
     @property
     def m(self) -> int:
         return len(self.traces)
+
+    @property
+    def policy(self) -> WindowPolicy:
+        """The resolved :class:`WindowPolicy` instance."""
+        return resolve_policy(self.window_policy)
+
+    @property
+    def plain(self) -> bool:
+        """True for the paper's home turf: inner mode, sliding windows.
+
+        Gates the differential rows that are only proven there (columnar
+        fast path, sharded/procs plans, GrubJoin shedding)."""
+        return self.mode is JoinMode.INNER and self.policy.is_sliding
 
     @property
     def window_sizes(self) -> list[float]:
@@ -174,6 +202,47 @@ class Workload:
             duration=half,
             seed=self.seed,
             tags=dict(self.tags),
+            mode=self.mode,
+            window_policy=self.window_policy,
+        )
+
+    def dropped_stream(self, index: int) -> "Workload":
+        """The workload without stream ``index`` — the property runner's
+        stream-count shrink step.  Remaining traces are re-indexed to
+        keep streams contiguous (the engines require ``0..m-1``).
+        Requires ``m > 2``; a 2-way join cannot lose a stream.
+        """
+        if self.m <= 2:
+            raise ValueError("cannot drop a stream from a 2-way join")
+        if not 0 <= index < self.m:
+            raise ValueError(f"stream index {index} out of 0..{self.m - 1}")
+        traces = []
+        for trace in self.traces:
+            if trace.stream == index:
+                continue
+            new_stream = (
+                trace.stream if trace.stream < index else trace.stream - 1
+            )
+            traces.append(
+                TraceSource(
+                    new_stream,
+                    [
+                        replace(t, stream=new_stream)
+                        for t in trace.tuples
+                    ],
+                )
+            )
+        return Workload(
+            name=f"{self.name}-drop{index}",
+            traces=traces,
+            predicate=self.predicate,
+            window=self.window,
+            basic=self.basic,
+            duration=self.duration,
+            seed=self.seed,
+            tags=dict(self.tags),
+            mode=self.mode,
+            window_policy=self.window_policy,
         )
 
 
@@ -214,9 +283,12 @@ def key_workload(
     window: float = 4.0,
     basic: float = 1.0,
     n_keys: int = 30,
+    poisson: bool = False,
 ) -> Workload:
     """A frozen equi-join workload over uniform integer keys."""
-    sources = key_sources(m=m, rate=rate, n_keys=n_keys, seed=seed)
+    sources = key_sources(
+        m=m, rate=rate, n_keys=n_keys, seed=seed, poisson=poisson
+    )
     return Workload(
         name=f"keys-m{m}-r{rate:g}-s{seed}",
         traces=freeze(sources, duration),
@@ -281,6 +353,126 @@ def mixed_key_workload(
         seed=seed,
         tags={"kind": "keys", "n_keys": n_keys, "mixed": True},
     )
+
+
+# ----------------------------------------------------------------------
+# declarative scenario library: the mode x window x predicate grid
+# ----------------------------------------------------------------------
+
+#: scenario name -> zero-argument frozen-workload builder
+_SCENARIOS: dict[str, Callable[[], Workload]] = {}
+
+
+def register_scenario(
+    name: str, builder: Callable[[], Workload]
+) -> None:
+    """Add a named scenario to the grid.
+
+    ``builder`` must be deterministic (seeded) and return a frozen
+    :class:`Workload`; the returned workload's ``name`` is forced to the
+    scenario name so verdict rows stay stable.  Later ROADMAP items
+    (multi-tenant serving, disorder handling) register their scenarios
+    through this same hook.
+    """
+    if not name or any(c.isspace() for c in name):
+        raise ValueError(f"bad scenario name {name!r}")
+    if name in _SCENARIOS:
+        raise ValueError(f"scenario {name!r} already registered")
+    _SCENARIOS[name] = builder
+
+
+def scenario_names() -> list[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_SCENARIOS)
+
+
+def scenario_workload(name: str) -> Workload:
+    """Build one scenario's frozen workload by name."""
+    try:
+        builder = _SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {scenario_names()}"
+        ) from None
+    workload = builder()
+    workload.name = name
+    return workload
+
+
+def build_scenarios(patterns: Sequence[str] = ("*",)) -> list[Workload]:
+    """Build every scenario matching any of the fnmatch ``patterns``
+    (sorted by name).  Raises if a pattern matches nothing — a silently
+    empty selection would make a green CI run vacuous.
+    """
+    selected: list[str] = []
+    for pattern in patterns:
+        hits = [n for n in scenario_names() if fnmatchcase(n, pattern)]
+        if not hits:
+            raise ValueError(
+                f"scenario pattern {pattern!r} matches nothing; "
+                f"known: {scenario_names()}"
+            )
+        selected.extend(h for h in hits if h not in selected)
+    return [scenario_workload(name) for name in sorted(selected)]
+
+
+def _grid_scenario(
+    mode: str, policy: str, kind: str, seed: int
+) -> Callable[[], Workload]:
+    """One cell of the mode x window x predicate grid.
+
+    Sliding/tumbling cells run the standard constant-rate builders;
+    session cells switch to low-rate Poisson arrivals (constant-rate
+    gaps never exceed the session gap, so sessions would never close)
+    with a gap chosen as an integral multiple of ``b`` below the
+    effective horizon (plan rule P132's sound region).
+    """
+    policy_spec = "session:1.5" if policy == "session" else policy
+
+    def build() -> Workload:
+        if policy == "session":
+            if kind == "drift":
+                workload = drift_workload(
+                    seed, rate=1.5, duration=12.0, basic=0.5,
+                    epsilon=2.0, lags=[0.1 * i for i in range(3)],
+                    poisson=True,
+                )
+            else:
+                workload = key_workload(
+                    seed, rate=1.5, duration=12.0, basic=0.5,
+                    n_keys=8, poisson=True,
+                )
+        elif kind == "drift":
+            workload = drift_workload(seed)
+        else:
+            workload = key_workload(seed)
+        workload.mode = JoinMode(mode)
+        workload.window_policy = policy_spec
+        workload.tags = {
+            **workload.tags, "mode": mode, "window": policy,
+        }
+        return workload
+
+    return build
+
+
+def _register_grid() -> None:
+    """The ~12 frozen grid scenarios: every mode x window cell, with the
+    predicate kind alternating so both drift (interval) and keys (equi)
+    appear in every mode row and every window column."""
+    kinds = ("drift", "keys")
+    seed = 41
+    for mi, mode in enumerate(("inner", "semi", "anti", "outer")):
+        for wi, policy in enumerate(("sliding", "tumbling", "session")):
+            kind = kinds[(mi + wi) % 2]
+            register_scenario(
+                f"sc-{mode}-{policy}-{kind}",
+                _grid_scenario(mode, policy, kind, seed),
+            )
+            seed += 1
+
+
+_register_grid()
 
 
 def default_workloads(seeds: Sequence[int] = (1, 2, 3)) -> list[Workload]:

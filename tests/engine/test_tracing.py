@@ -95,7 +95,10 @@ class TestObservedOperator:
         grub = GrubJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0, rng=0)
         observed = ObservedOperator(grub, obs)
         run_wrapped(observed, capacity=2e4, duration=6.0)
-        adaptations = obs.registry.get("grubjoin_adaptations_total")
+        adaptations = obs.registry.get(
+            "grubjoin_adaptations_total",
+            mode="inner", window_policy="sliding",
+        )
         assert adaptations is not None and adaptations.value == 3
 
     def test_describe(self):

@@ -1,0 +1,122 @@
+"""Tests for join-mode variants (inner/semi/anti/outer) and ModeState."""
+
+import pytest
+
+from repro.joins import EpsilonJoin, IndexedMJoin, MJoinOperator
+from repro.joins.variants import SHEDDABLE_MODES, JoinMode, ModeState
+from repro.streams.tuples import JoinResult, StreamTuple
+
+
+def tup(stream, seq, ts, value=0.0):
+    return StreamTuple(value=value, timestamp=ts, stream=stream, seq=seq)
+
+
+def ids(results):
+    return sorted(
+        (t.stream, t.seq) for r in results for t in r.constituents
+    )
+
+
+class TestJoinMode:
+    def test_string_coercion(self):
+        assert JoinMode("semi") is JoinMode.SEMI
+        assert JoinMode(JoinMode.ANTI) is JoinMode.ANTI
+        with pytest.raises(ValueError):
+            JoinMode("full")
+
+    def test_values_are_labels(self):
+        assert [m.value for m in JoinMode] == [
+            "inner", "semi", "anti", "outer",
+        ]
+
+    def test_sheddable_modes(self):
+        assert SHEDDABLE_MODES == (JoinMode.INNER, JoinMode.SEMI)
+
+
+class TestModeState:
+    def test_inner_rejected(self):
+        with pytest.raises(ValueError):
+            ModeState(JoinMode.INNER, [4.0, 4.0])
+
+    def test_semi_emits_each_identity_once(self):
+        ms = ModeState("semi", [4.0, 4.0])
+        a, b = tup(0, 0, 1.0), tup(1, 0, 1.2)
+        out = ms.observe(b, [JoinResult((a, b))], now=1.2)
+        assert all(len(r.constituents) == 1 for r in out)
+        assert ids(out) == [(0, 0), (1, 0)]
+        # the same identities matching again add nothing
+        assert ms.observe(b, [JoinResult((a, b))], now=1.3) == []
+
+    def test_anti_emits_at_expiry_only(self):
+        ms = ModeState("anti", [2.0, 2.0])
+        a = tup(0, 0, 1.0)
+        assert ms.observe(a, [], now=1.0) == []  # still matchable
+        # a's matchable lifetime ends at 3.0; the next probe after that
+        # instant triggers its survivor emission
+        out = ms.observe(tup(1, 0, 3.5), [], now=3.5)
+        assert ids(out) == [(0, 0)]
+
+    def test_anti_matched_tuples_never_surface(self):
+        ms = ModeState("anti", [2.0, 2.0])
+        a, b = tup(0, 0, 1.0), tup(1, 0, 1.2)
+        assert ms.observe(b, [JoinResult((a, b))], now=1.2) == []
+        assert ms.flush(10.0) == []
+
+    def test_flush_drains_unexpired_survivors(self):
+        ms = ModeState("anti", [2.0, 2.0])
+        ms.observe(tup(0, 0, 1.0), [], now=1.0)
+        ms.observe(tup(1, 0, 1.5), [], now=1.5)
+        out = ms.flush(3.2)  # 1.0 expired (3.0 <= 3.2), 1.5 not yet
+        assert ids(out) == [(0, 0), (1, 0)]
+        assert ms.flush(99.0) == []  # nothing left
+
+    def test_duplicate_delivery_is_idempotent(self):
+        ms = ModeState("anti", [2.0, 2.0])
+        a = tup(0, 0, 1.0)
+        ms.observe(a, [], now=1.0)
+        ms.observe(a, [], now=1.1)  # at-least-once redelivery
+        assert ids(ms.flush(10.0)) == [(0, 0)]
+
+    def test_outer_is_inner_plus_survivors(self):
+        ms = ModeState("outer", [2.0, 2.0])
+        a, b = tup(0, 0, 1.0), tup(1, 0, 1.2)
+        inner = [JoinResult((a, b))]
+        out = ms.observe(b, inner, now=1.2)
+        assert out == inner  # passthrough while everything matches
+        ms.observe(tup(0, 1, 2.0), [], now=2.0)
+        out = ms.flush(10.0)
+        assert ids(out) == [(0, 1)]  # only the unmatched survivor
+
+
+class TestOperatorIntegration:
+    def make(self, cls, **kwargs):
+        return cls(EpsilonJoin(1.0), [4.0] * 3, 1.0, **kwargs)
+
+    def test_fastpath_rejected_off_home_turf(self):
+        with pytest.raises(ValueError, match="inner-mode sliding"):
+            self.make(MJoinOperator, mode="anti", fastpath=True)
+        with pytest.raises(ValueError, match="inner-mode sliding"):
+            self.make(MJoinOperator, window_policy="tumbling",
+                      fastpath=True)
+
+    def test_profile_reports_mode_and_policy(self):
+        for cls in (MJoinOperator, IndexedMJoin):
+            op = self.make(cls, mode="semi",
+                           window_policy="session:1.5")
+            profile = op.testkit_profile()
+            assert profile["mode"] == "semi"
+            assert profile["window_policy"] == "session"
+
+    def test_inner_default_has_no_mode_state(self):
+        for cls in (MJoinOperator, IndexedMJoin):
+            op = self.make(cls)
+            assert op.mode is JoinMode.INNER
+            assert op.window_policy.is_sliding
+            assert op.on_finish(10.0) == []
+
+    def test_anti_operator_flushes_on_finish(self):
+        op = self.make(MJoinOperator, mode="anti")
+        t = tup(0, 0, 1.0, value=100.0)
+        op.process(t, now=1.0)
+        flushed = op.on_finish(10.0)
+        assert ids(flushed) == [(0, 0)]

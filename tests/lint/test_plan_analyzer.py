@@ -360,3 +360,136 @@ class TestRouterFanout:
             "duplicat" in d.message
             for d in report.errors if d.code == "P111"
         )
+
+
+class TestModeAndPolicyRules:
+    """P130/P131/P132: join modes and window policies."""
+
+    def make(self, mode="inner", policy=None, shedding="grubjoin",
+             window=10.0, basic=1.0):
+        return (
+            Query()
+            .streams(*make_sources())
+            .window(window, basic=basic, policy=policy)
+            .join(EpsilonJoin(1.0), shedding=shedding, mode=mode)
+        )
+
+    def test_anti_and_outer_queries_rejected(self):
+        for mode in ("anti", "outer"):
+            report = analyze_query(self.make(mode=mode, shedding="none"))
+            assert "P130" in error_codes(report), mode
+
+    def test_anti_and_outer_build_raises(self):
+        for mode in ("anti", "outer"):
+            with pytest.raises(ValueError, match="P130"):
+                self.make(mode=mode, shedding="none").build(capacity=10.0)
+
+    def test_shedding_with_anti_join_is_unsound(self):
+        report = analyze_query(self.make(mode="anti",
+                                         shedding="randomdrop"))
+        codes = error_codes(report)
+        assert "P131" in codes
+        assert "P130" in codes  # the mode itself is also unrunnable here
+        assert any(
+            "invent" in d.message
+            for d in report.errors if d.code == "P131"
+        )
+
+    def test_grubjoin_limited_to_inner_sliding(self):
+        # semi mode and non-sliding policies each push grubjoin off the
+        # turf its harvest model was derived on
+        for query in (self.make(mode="semi"),
+                      self.make(policy="tumbling")):
+            report = analyze_query(query)
+            assert "P131" in error_codes(report)
+
+    def test_grubjoin_off_turf_build_raises(self):
+        with pytest.raises(ValueError, match="P131"):
+            self.make(mode="semi").build(capacity=10.0)
+
+    def test_semi_with_randomdrop_validates(self):
+        report = analyze_query(self.make(mode="semi",
+                                         shedding="randomdrop"))
+        assert report.ok, report.render()
+
+    def test_session_gap_off_grid_warns(self):
+        # gap 1.3 is not a multiple of b=1: session boundaries land
+        # mid-slice and expiry quantizes to the next slice edge
+        report = analyze_query(self.make(policy="session:1.3",
+                                         shedding="none"))
+        assert report.ok, report.render()
+        warnings = [
+            d for d in report.diagnostics
+            if d.code == "P132" and d.severity is Severity.WARNING
+        ]
+        assert warnings and "mid-slice" in warnings[0].message
+
+    def test_session_gap_at_horizon_warns_degenerate(self):
+        report = analyze_query(self.make(policy="session:12",
+                                         shedding="none"))
+        messages = [
+            d.message for d in report.diagnostics if d.code == "P132"
+        ]
+        assert any("degenerates" in m for m in messages)
+
+    def test_aligned_session_gap_is_clean(self):
+        report = analyze_query(self.make(policy="session:2",
+                                         shedding="none"))
+        assert not [
+            d for d in report.diagnostics if d.code == "P132"
+        ], report.render()
+
+    def test_graph_anti_node_rejected(self):
+        g = DataflowGraph()
+        join = MJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0,
+                             mode="anti")
+        g.add_node("join", join)
+        for i, src in enumerate(make_sources()):
+            g.add_source("join", i, src)
+        report = analyze_graph(g)
+        assert "P130" in error_codes(report)
+        assert any(
+            "Simulation runtime" in d.message
+            for d in report.errors if d.code == "P130"
+        )
+
+    def test_graph_session_node_warns_on_ragged_gap(self):
+        from repro.streams.windows import SessionWindow
+
+        g = DataflowGraph()
+        join = MJoinOperator(EpsilonJoin(1.0), [10.0] * 3, 1.0,
+                             window_policy=SessionWindow(gap=1.3))
+        g.add_node("join", join)
+        for i, src in enumerate(make_sources()):
+            g.add_source("join", i, src)
+        report = analyze_graph(g)
+        assert report.ok, report.render()
+        assert any(d.code == "P132" for d in report.diagnostics)
+
+    def test_shard_targets_off_turf_rejected(self):
+        from repro.joins import EquiJoin
+        from repro.parallel import build_sharded_graph
+
+        def make_semi_shard(_k):
+            return MJoinOperator(EquiJoin(), [10.0] * 3, 1.0,
+                                 mode="semi")
+
+        plan = build_sharded_graph(make_sources(), make_semi_shard, 2)
+        report = analyze_graph(plan.graph)
+        assert "P130" in error_codes(report)
+        assert any(
+            "inner-mode sliding-window" in d.message
+            for d in report.errors if d.code == "P130"
+        )
+
+    def test_tumbling_shard_targets_rejected(self):
+        from repro.joins import EquiJoin
+        from repro.parallel import build_sharded_graph
+
+        def make_shard(_k):
+            return MJoinOperator(EquiJoin(), [10.0] * 3, 1.0,
+                                 window_policy="tumbling")
+
+        plan = build_sharded_graph(make_sources(), make_shard, 2)
+        report = analyze_graph(plan.graph)
+        assert "P130" in error_codes(report)

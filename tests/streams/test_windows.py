@@ -1,0 +1,114 @@
+"""Tests for the pluggable window-membership policies."""
+
+import pytest
+
+from repro.streams.windows import (
+    SLIDING,
+    SessionWindow,
+    SlidingWindow,
+    TumblingWindow,
+    WindowPolicy,
+    resolve_policy,
+)
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+
+class TestSliding:
+    def test_keeps_everything_retained(self):
+        assert SLIDING.live_from(4.0, [1.0, 2.0, 3.0], 3.5) == NEG_INF
+        assert SLIDING.live_from(4.0, [], 3.5) == NEG_INF
+
+    def test_flags(self):
+        assert SLIDING.is_sliding
+        assert SLIDING.name == "sliding"
+        assert SLIDING.describe() == "sliding"
+
+    def test_singleton_equals_fresh_instance(self):
+        assert SLIDING == SlidingWindow()
+
+
+class TestTumbling:
+    def test_epoch_lower_bound(self):
+        p = TumblingWindow()
+        # now=5.5 with horizon 2 -> epoch [4, 6): cut at 4
+        assert p.live_from(2.0, [4.2, 5.0], 5.5) == 4.0
+
+    def test_exact_boundary_starts_new_epoch(self):
+        p = TumblingWindow()
+        # at now == 6.0 the epoch [6, 8) has just begun: everything
+        # before 6.0 is out, a tuple stamped exactly 6.0 is live
+        assert p.live_from(2.0, [4.2, 5.9], 6.0) == 6.0
+
+    def test_origin_shifts_epochs(self):
+        p = TumblingWindow(origin=0.5)
+        assert p.live_from(2.0, [1.0], 2.0) == 0.5
+        assert p.live_from(2.0, [1.0], 2.6) == 2.5
+
+    def test_negative_now_before_origin(self):
+        # floor division keeps epochs aligned below the origin too
+        assert TumblingWindow().live_from(2.0, [], -0.5) == -2.0
+
+    def test_rejects_nonpositive_horizon(self):
+        with pytest.raises(ValueError):
+            TumblingWindow().live_from(0.0, [], 1.0)
+
+
+class TestSession:
+    def test_open_session_spans_chained_gaps(self):
+        p = SessionWindow(gap=1.0)
+        # 0.0 .. 0.8 .. 1.5 .. 2.3 all chained within gap
+        assert p.live_from(10.0, [0.0, 0.8, 1.5, 2.3], 2.9) == 0.0
+
+    def test_break_in_chain_cuts_older_session(self):
+        p = SessionWindow(gap=1.0)
+        # 3.1 - 1.5 > gap: the live session starts at 3.1
+        assert p.live_from(10.0, [0.0, 0.8, 1.5, 3.1, 3.9], 4.2) == 3.1
+
+    def test_closed_session_is_empty(self):
+        p = SessionWindow(gap=1.0)
+        # newest tuple is 1.6 s old: the session has expired
+        assert p.live_from(10.0, [0.0, 0.8], 2.4) == POS_INF
+
+    def test_empty_window_is_empty(self):
+        assert SessionWindow(gap=1.0).live_from(10.0, [], 5.0) == POS_INF
+
+    def test_boundary_gap_is_inclusive(self):
+        p = SessionWindow(gap=1.0)
+        # consecutive difference exactly == gap keeps the chain alive,
+        # and now - newest exactly == gap keeps the session open
+        assert p.live_from(10.0, [0.0, 1.0, 2.0], 3.0) == 0.0
+
+    def test_rejects_nonpositive_gap(self):
+        with pytest.raises(ValueError):
+            SessionWindow(gap=0.0)
+
+    def test_describe(self):
+        assert SessionWindow(gap=1.5).describe() == "session(gap=1.5)"
+
+
+class TestResolvePolicy:
+    def test_none_and_sliding_resolve_to_shared_default(self):
+        assert resolve_policy(None) is SLIDING
+        assert resolve_policy("sliding") is SLIDING
+
+    def test_instance_passthrough(self):
+        p = SessionWindow(gap=2.0)
+        assert resolve_policy(p) is p
+
+    def test_string_specs(self):
+        assert resolve_policy("tumbling") == TumblingWindow()
+        assert resolve_policy("session:1.5") == SessionWindow(gap=1.5)
+
+    def test_bad_specs_raise(self):
+        with pytest.raises(ValueError):
+            resolve_policy("hopping")
+        with pytest.raises(ValueError):
+            resolve_policy("session:wat")
+        with pytest.raises(ValueError):
+            resolve_policy(42)
+
+    def test_policies_are_window_policies(self):
+        for spec in (None, "sliding", "tumbling", "session:1.0"):
+            assert isinstance(resolve_policy(spec), WindowPolicy)

@@ -167,7 +167,7 @@ class TestMatrix:
         keys_checks = verdict["workloads"][keys3.name]["checks"]
         assert set(drift_checks) == {
             "mjoin", "mjoin_fast", "indexed",
-            "grubjoin_z1", "grubjoin_z1_fast",
+            "grubjoin_z1", "grubjoin_z1_warm", "grubjoin_z1_fast",
             "sharded_k1", "sharded_k1_fast",
             "grubjoin_z0.5",
         }

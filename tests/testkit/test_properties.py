@@ -8,6 +8,7 @@ from repro.testkit.properties import (
     check_full_join_matches_oracle,
     default_shrink,
     describe_case,
+    random_scenario_workload,
     random_workload,
 )
 from repro.testkit.workloads import Workload, drift_workload
@@ -58,7 +59,8 @@ class TestShrinking:
     def test_shrinks_to_smaller_failing_case(self):
         def check(case):
             # fails whenever the workload spans more than 1.5 s: the
-            # halving shrinker can cut 4.0 -> 2.0 but 1.0 passes
+            # halving shrinker can cut 4.0 -> 2.0 but 1.0 passes; the
+            # stream axis then drops 3 -> 2 (duration is unaffected)
             assert case.duration <= 1.5, (
                 f"too long: {case.duration}"
             )
@@ -68,13 +70,18 @@ class TestShrinking:
         )
         assert not outcome.ok
         failure = outcome.failures[0]
-        assert failure.shrink_steps == 1
+        assert failure.shrink_steps == 2
         assert "duration=2" in failure.shrunk
+        assert "m=2" in failure.shrunk
         assert "duration=4" in failure.case
+        assert "m=3" in failure.case
 
     def test_shrink_keeps_original_when_halves_pass(self):
         def check(case):
-            assert case.duration < 4.0  # only the full case fails
+            # only the full 3-way, full-length case fails: the halved
+            # variant (duration 2) and every dropped-stream variant
+            # (m=2) pass, so no shrink step can land
+            assert case.duration < 4.0 or case.m < 3
 
         outcome = run_property(
             "full-only", make_workload, check, seed=3, examples=1
@@ -83,12 +90,37 @@ class TestShrinking:
         assert failure.shrink_steps == 0
         assert failure.case == failure.shrunk
 
+    def test_shrink_minimizes_stream_count(self):
+        # regression: a failure seeded on a 5-way join must shrink down
+        # the stream axis, not stall at m=5 once halving is exhausted
+        def make_wide(rng):
+            return drift_workload(
+                int(rng.integers(1 << 20)), m=5, duration=2.0
+            )
+
+        def check(case):
+            assert case.m <= 2, f"too many streams: {case.m}"
+
+        outcome = run_property(
+            "narrow-join", make_wide, check, seed=5, examples=1,
+            max_shrink_steps=16,
+        )
+        failure = outcome.failures[0]
+        assert "m=5" in failure.case
+        assert "m=3" in failure.shrunk  # minimal: m=2 variants pass
+        assert failure.shrink_steps >= 2
+
     def test_default_shrink_stops_when_halving_removes_nothing(self):
-        # one tuple per stream at t~0: halving the span can't shrink it
+        # one tuple per stream at t~0: halving the span can't shrink it,
+        # so only the stream-drop variants remain (each m=3 -> m=2)
         workload = drift_workload(1, duration=0.05)
         half = workload.halved()
         assert half.tuple_count() == workload.tuple_count()
-        assert list(default_shrink(workload)) == []
+        variants = list(default_shrink(workload))
+        assert [v.m for v in variants] == [2, 2, 2]
+        # and a 2-way join has no shrink moves left at all
+        two_way = variants[0]
+        assert list(default_shrink(two_way)) == []
 
     def test_default_shrink_ignores_foreign_cases(self):
         assert list(default_shrink(42)) == []
@@ -113,12 +145,25 @@ class TestGeneratorSpace:
         assert kinds == {"drift", "keys"}
         assert ms == {3, 4}
 
+    def test_random_scenario_workloads_cover_variant_space(self):
+        modes, policies = set(), set()
+        for i in range(24):
+            workload = random_scenario_workload(
+                np.random.default_rng([7, i])
+            )
+            assert isinstance(workload, Workload)
+            modes.add(workload.mode.value)
+            policies.add(workload.policy.name)
+        assert modes == {"inner", "semi", "anti", "outer"}
+        assert policies == {"sliding", "tumbling", "session"}
+
 
 class TestBuiltins:
     def test_builtin_names(self):
-        assert [name for name, _ in BUILTIN_PROPERTIES] == [
+        assert [name for name, _, _ in BUILTIN_PROPERTIES] == [
             "full_join_matches_oracle",
             "shedding_is_subset",
+            "variants_match_oracle",
         ]
 
     def test_oracle_property_passes_on_real_cases(self):
