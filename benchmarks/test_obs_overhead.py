@@ -10,6 +10,12 @@ Two invariants protect the simulator's measurements:
    (the enabled run does strictly more Python work; if *disabled* ever
    gets close to 1x of *enabled* times a generous margin, the guards
    have rotted into unconditional work).
+
+The same pair of invariants is enforced for the **process-parallel
+telemetry plane**: a ``run_procs`` fleet shipping per-worker deltas
+over the ack pipes must merge the identical result identity set as the
+telemetry-off run, and the telemetry-off transport must not pay for
+the shipping machinery it isn't using.
 """
 
 import time
@@ -89,3 +95,88 @@ def test_obs_overhead(benchmark, show_table):
     # 3. off means off: the disabled run must not cost more than the
     #    enabled one (which does strictly more work) plus generous noise
     assert disabled < enabled * 1.25
+
+
+# -- process-parallel leg -------------------------------------------------
+
+PROCS_SEED = 13
+PROCS_DURATION = 6.0
+PROCS_WORKERS = 2
+
+
+def run_procs_once(obs=None):
+    from repro.core.throttle import FixedThrottle
+    from repro.parallel import run_procs
+    from repro.testkit import key_workload
+    from repro.testkit.differential import DRAIN_TAIL
+
+    workload = key_workload(seed=PROCS_SEED, duration=PROCS_DURATION)
+
+    def make_shard(worker_id: int):
+        op = GrubJoinOperator(
+            workload.predicate,
+            list(workload.window_sizes),
+            workload.basic,
+            rng=PROCS_SEED * 1000 + worker_id,
+        )
+        op.throttle = FixedThrottle(0.5)
+        return op
+
+    start = time.perf_counter()
+    result = run_procs(
+        workload.traces,
+        make_shard,
+        PROCS_WORKERS,
+        duration=workload.duration + DRAIN_TAIL,
+        adaptation_interval=2.0,
+        obs=obs,
+    )
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def run_procs_bench():
+    disabled = enabled = float("inf")
+    for _ in range(3):
+        _, t_off = run_procs_once(obs=None)
+        _, t_on = run_procs_once(obs=Obs())
+        disabled = min(disabled, t_off)
+        enabled = min(enabled, t_on)
+
+    res_off, _ = run_procs_once(obs=None)
+    obs = Obs()
+    res_on, _ = run_procs_once(obs=obs)
+
+    table = ExperimentTable(
+        title=f"Procs telemetry overhead — GrubJoin x{PROCS_WORKERS}, "
+              f"{PROCS_DURATION:g} s trace",
+        headers=["mode", "wall s", "merged", "metrics", "spans"],
+    )
+    table.add("obs disabled", disabled, res_off.merged_count, 0, 0)
+    table.add("obs enabled", enabled, res_on.merged_count,
+              len(obs.registry), len(obs.spans))
+    return table, res_off, res_on, obs, disabled, enabled
+
+
+def test_procs_obs_overhead(benchmark, show_table):
+    (table, res_off, res_on, obs,
+     disabled, enabled) = benchmark.pedantic(
+        run_procs_bench, rounds=1, iterations=1
+    )
+    show_table(table)
+    # 1. the telemetry plane never changes results: identical identity
+    #    sets and per-worker accounting, shipped deltas or not
+    assert res_on.merged_ids == res_off.merged_ids
+    assert res_on.routed_per_worker == res_off.routed_per_worker
+    assert res_on.comparisons_per_worker == res_off.comparisons_per_worker
+    # 2. the fleet actually shipped telemetry when enabled: spans and
+    #    decisions from every worker arrived at the supervisor
+    assert len(obs.spans) > 0
+    assert {d.worker for d in obs.decisions} == set(
+        range(PROCS_WORKERS)
+    )
+    # 3. off means off: a telemetry-free transport must not pay for the
+    #    delta machinery (enabled collects, pickles and merges deltas —
+    #    strictly more work) beyond process-spawn noise
+    assert disabled < enabled * 1.5
+

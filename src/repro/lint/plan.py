@@ -64,6 +64,13 @@ P125   Worker entry (process runtime): an operator about to be forked
        do not cross the process boundary) and the shard factory must
        return a fresh instance per worker id — see
        :func:`check_worker_entry`.
+P126   Worker telemetry (process runtime): worker telemetry is
+       constructed *post-fork* and stays private to its worker — no
+       telemetry-plane object (``Obs``, registry, instrument,
+       span/flight recorder, delta shipper) may be reachable anywhere
+       in a to-be-forked operator's state graph, and no two worker
+       probes may reach the same telemetry object (cross-worker
+       sharing) — see :func:`check_worker_telemetry`.
 P130   Mode/runtime compatibility: anti and outer joins defer emission
        to window expiry plus an end-of-run flush; the graph runtime has
        no flush, so those modes may not appear in a dataflow graph (or
@@ -541,6 +548,65 @@ def check_worker_entry(shard_ops: Sequence[Any]) -> PlanReport:
                 "across the process boundary)",
                 node=f"shard{k}",
             )
+    return report
+
+
+def check_worker_telemetry(shard_ops: Sequence[Any]) -> PlanReport:
+    """P126 — worker telemetry is constructed post-fork and private.
+
+    The cross-process telemetry plane builds each worker's
+    :class:`~repro.obs.Obs` *inside the forked child* and ships
+    incremental deltas back over the pipe (write-only from the shard —
+    P122 polices the entry paths); the supervisor-side aggregator is
+    the only reader.  That design holds only if the operators about to
+    be forked carry no telemetry at all:
+
+    * any reachable telemetry-plane object (an ``Obs``, a registry or
+      instrument, a span or flight recorder, a delta shipper) was
+      necessarily constructed *pre-fork* — the forked copy would record
+      into dead supervisor-side state instead of the worker's own
+      post-fork plane;
+    * one telemetry object reachable from two worker probes is
+      cross-worker sharing: after the fork it silently becomes K
+      divergent copies no runtime check can see across.
+
+    Deepens P125 (which spots the directly bound ``op.obs`` handle) to
+    the operator's whole reachable state graph, *including* the
+    ``obs``/``_obs*`` roots the P124 aliasing walk deliberately skips.
+    Called next to :func:`check_worker_entry` by
+    ``certify_shard_operators(..., worker_entry=True)``.
+    """
+    from .stategraph import is_telemetry_object, iter_state
+
+    report = PlanReport()
+    owners: dict[int, tuple[int, str]] = {}
+    for k, op in enumerate(shard_ops):
+        for node in iter_state(op, include_telemetry=True):
+            if not is_telemetry_object(node.obj):
+                continue
+            type_name = type(node.obj).__qualname__
+            prior = owners.get(id(node.obj))
+            if prior is None:
+                owners[id(node.obj)] = (k, node.path)
+                report.add(
+                    "P126",
+                    f"worker operator shard{k} "
+                    f"({type(op).__qualname__}) reaches telemetry "
+                    f"object {type_name} at {node.path!r} before the "
+                    "fork; worker telemetry must be constructed inside "
+                    "the child (the procs runtime builds each worker's "
+                    "Obs post-fork and ships deltas back)",
+                    node=f"shard{k}",
+                )
+            elif prior[0] != k:
+                report.add(
+                    "P126",
+                    f"telemetry object {type_name} is reachable from "
+                    f"worker probes {prior[0]} (at {prior[1]!r}) and "
+                    f"{k} (at {node.path!r}) — cross-worker telemetry "
+                    "sharing",
+                    node=f"shard{k}",
+                )
     return report
 
 

@@ -119,9 +119,16 @@ def _sorted_items(d: dict) -> list[tuple[Any, Any]]:
         return list(d.items())
 
 
-def iter_state(operator: Any) -> Iterator[StateNode]:
+def iter_state(operator: Any,
+               include_telemetry: bool = False) -> Iterator[StateNode]:
     """Yield every reachable object of the operator's state graph,
-    depth-first, each exactly once (first path wins)."""
+    depth-first, each exactly once (first path wins).
+
+    ``include_telemetry`` also walks the ``obs``/``_obs*`` (and other
+    excluded) roots the aliasing rules deliberately skip — rule P126
+    uses it to certify that a worker-bound operator reaches *no*
+    telemetry object at all before the fork.
+    """
     seen: set[int] = set()
 
     def walk(obj: Any, path: str, root: str,
@@ -158,12 +165,25 @@ def iter_state(operator: Any) -> Iterator[StateNode]:
         inner = _instance_attrs(obj)
         if inner:
             for name, value in _sorted_items(inner):
-                if path == "" or not is_excluded_root(name):
+                if include_telemetry or not is_excluded_root(name):
                     yield from walk(value, f"{path}.{name}", root,
                                     depth + 1)
 
-    for name, value in sorted(state_roots(operator).items()):
+    roots = (
+        _instance_attrs(operator)
+        if include_telemetry
+        else state_roots(operator)
+    )
+    for name, value in sorted(roots.items()):
         yield from walk(value, name, name, 0)
+
+
+def is_telemetry_object(obj: Any) -> bool:
+    """Whether ``obj`` belongs to the telemetry plane — any instance of
+    a class defined in the ``repro.obs`` package (``Obs``, registries,
+    instruments, span/flight recorders, delta shippers...)."""
+    module = type(obj).__module__
+    return module == "repro.obs" or module.startswith("repro.obs.")
 
 
 @dataclass

@@ -24,7 +24,15 @@ The pieces:
   :mod:`repro.engine`, which itself imports this package).
 """
 
-from .dashboard import render_dashboard, render_report
+from .aggregate import (
+    ClockMap,
+    DeltaShipper,
+    TelemetryAggregator,
+    TelemetryDelta,
+    merge_recordings,
+    reference_aggregate,
+)
+from .dashboard import render_dashboard, render_fleet, render_report
 from .explainer import (
     REASON_BUDGET,
     REASON_FRACTIONAL,
@@ -35,7 +43,13 @@ from .explainer import (
     WindowDecision,
     explain_adaptation,
 )
-from .export import jsonl_lines, prometheus_snapshot, write_jsonl
+from .export import (
+    jsonl_lines,
+    prometheus_snapshot,
+    worker_scoped,
+    write_jsonl,
+)
+from .flight import FlightRecorder
 from .hub import Obs
 from .inspect import (
     RecordedHistogram,
@@ -57,8 +71,11 @@ from .spans import ActiveSpan, SpanRecord, SpanRecorder
 __all__ = [
     "ActiveSpan",
     "AdaptationExplanation",
+    "ClockMap",
     "Counter",
+    "DeltaShipper",
     "DirectionDecision",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LOG2_BOUNDS",
@@ -75,14 +92,20 @@ __all__ = [
     "Series",
     "SpanRecord",
     "SpanRecorder",
+    "TelemetryAggregator",
+    "TelemetryDelta",
     "WindowDecision",
     "explain_adaptation",
     "jsonl_lines",
     "load_recording",
+    "merge_recordings",
     "parse_lines",
     "prometheus_snapshot",
+    "reference_aggregate",
     "render_dashboard",
+    "render_fleet",
     "render_report",
+    "worker_scoped",
     "write_jsonl",
 ]
 

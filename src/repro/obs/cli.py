@@ -8,17 +8,28 @@ Two subcommands:
     write the JSONL event log.  The workload, the simulator, and the
     exporter are all deterministic, so the same seed always produces a
     byte-identical file — CI records a slice and diffs it against the
-    committed golden copy.
+    committed golden copy.  ``--procs K`` records the *process-parallel*
+    slice instead: GrubJoin shards with a pinned throttle on ``K``
+    forked workers, their telemetry shipped back and merged under
+    ``worker=<id>`` labels; only the worker-scoped (deterministic)
+    records are exported, so this too is byte-stable and CI-diffable.
 
 ``report``
     Replay a recorded JSONL log and print the inspection report:
     throttle trajectory, per-direction harvest heat map, top-k most
     expensive services, latency summary, per-stream accounting.
+    ``--merge`` unifies several per-worker dumps first (deterministic:
+    same files, same order, same output; ``-o`` saves the merged
+    JSONL), and ``--fleet`` renders the fleet dashboard instead of the
+    single-run report.
 
 Examples::
 
     python -m repro.obs record -o /tmp/slice.jsonl
+    python -m repro.obs record --procs 2 -o /tmp/procs.jsonl
     python -m repro.obs report /tmp/slice.jsonl --top 3
+    python -m repro.obs report --merge a.jsonl b.jsonl -o merged.jsonl
+    python -m repro.obs report /tmp/procs.jsonl --fleet
 """
 
 from __future__ import annotations
@@ -27,10 +38,11 @@ import argparse
 import sys
 from typing import IO, Sequence
 
-from .dashboard import render_dashboard, render_report
-from .export import write_jsonl
+from .aggregate import merge_recordings
+from .dashboard import render_dashboard, render_fleet, render_report
+from .export import jsonl_lines, worker_scoped, write_jsonl
 from .hub import Obs
-from .inspect import load_recording
+from .inspect import load_recording, parse_lines
 
 #: the recorded slice's stepped input rates (a scaled-down Fig. 10
 #: scenario: rate steps every 4 virtual seconds, cycling)
@@ -102,7 +114,77 @@ def record_slice(
     return obs
 
 
+#: pinned throttle for the procs slice — z < 1 keeps the per-worker
+#: solver running (rich, deterministic shedding telemetry)
+PROCS_THROTTLE_Z = 0.5
+
+PROCS_DURATION = 10.0
+
+
+def record_procs_slice(
+    seed: int = DEFAULT_SEED,
+    workers: int = 2,
+    throttle_z: float = PROCS_THROTTLE_Z,
+) -> Obs:
+    """Run the pinned process-parallel ``procs_k{K}`` slice.
+
+    GrubJoin shards with a :class:`~repro.core.throttle.FixedThrottle`
+    replay a frozen keyed workload on ``K`` forked workers; every
+    worker ships its telemetry back over the ack pipe and the returned
+    supervisor ``Obs`` holds the merged fleet.  With scaling pinned and
+    the throttle fixed, the worker-scoped export
+    (``jsonl_lines(obs, select=worker_scoped)``) is byte-identical
+    across reruns — the CI aggregated-golden slice depends on it.
+    """
+    # imported here so `repro.obs report` works without pulling the
+    # whole simulator in
+    from repro.core import GrubJoinOperator
+    from repro.core.throttle import FixedThrottle
+    from repro.parallel import run_procs
+    from repro.testkit import key_workload
+    from repro.testkit.differential import DRAIN_TAIL
+    from repro.timing import ManualTimer
+
+    workload = key_workload(seed=seed, duration=PROCS_DURATION)
+
+    def make_shard(worker_id: int):
+        operator = GrubJoinOperator(
+            workload.predicate,
+            list(workload.window_sizes),
+            workload.basic,
+            rng=seed * 1000 + worker_id,
+        )
+        operator.throttle = FixedThrottle(throttle_z)
+        return operator
+
+    obs = Obs()
+    run_procs(
+        workload.traces,
+        make_shard,
+        workers,
+        duration=workload.duration + DRAIN_TAIL,
+        adaptation_interval=2.0,
+        obs=obs,
+        meta={
+            "workload": f"procs-k{workers}-{workload.name}",
+            "seed": seed,
+            "throttle_z": throttle_z,
+        },
+        timer=ManualTimer(),
+    )
+    return obs
+
+
 def _cmd_record(args: argparse.Namespace, out: IO[str]) -> int:
+    if args.procs:
+        obs = record_procs_slice(seed=args.seed, workers=args.procs)
+        # only worker-provenance records are deterministic; the
+        # supervisor's wall-relative transport counters are not
+        lines = write_jsonl(obs, args.output, select=worker_scoped)
+        out.write(f"wrote {lines} records to {args.output}\n")
+        if args.dashboard:
+            out.write(render_fleet(obs) + "\n")
+        return 0
     obs = record_slice(seed=args.seed, duration=args.duration,
                        capacity=args.capacity)
     lines = write_jsonl(obs, args.output)
@@ -113,8 +195,24 @@ def _cmd_record(args: argparse.Namespace, out: IO[str]) -> int:
 
 
 def _cmd_report(args: argparse.Namespace, out: IO[str]) -> int:
-    rec = load_recording(args.path)
-    out.write(render_report(rec, top=args.top) + "\n")
+    if len(args.path) > 1 and not args.merge:
+        out.write("error: several input files need --merge\n")
+        return 2
+    recordings = [load_recording(p) for p in args.path]
+    if args.merge:
+        merged = merge_recordings(recordings)
+        if args.output:
+            lines = write_jsonl(merged, args.output)
+            out.write(
+                f"wrote {lines} merged records to {args.output}\n"
+            )
+        rec = parse_lines(jsonl_lines(merged))
+    else:
+        rec = recordings[0]
+    if args.fleet:
+        out.write(render_fleet(rec) + "\n")
+    else:
+        out.write(render_report(rec, top=args.top) + "\n")
     return 0
 
 
@@ -135,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="virtual seconds to simulate")
     rec.add_argument("--capacity", type=float, default=DEFAULT_CAPACITY,
                      help="CPU capacity in comparisons/sec")
+    rec.add_argument("--procs", type=int, default=0, metavar="K",
+                     help="record the process-parallel slice on K "
+                          "forked workers instead (worker-scoped "
+                          "export: deterministic, CI-diffable)")
     rec.add_argument("--dashboard", action="store_true",
                      help="print the live dashboard after recording")
     rec.add_argument("--top", type=int, default=5,
@@ -142,7 +244,17 @@ def build_parser() -> argparse.ArgumentParser:
     rec.set_defaults(func=_cmd_record)
 
     rep = sub.add_parser("report", help="replay a recorded JSONL log")
-    rep.add_argument("path", help="JSONL file written by `record`")
+    rep.add_argument("path", nargs="+",
+                     help="JSONL file(s) written by `record`")
+    rep.add_argument("--merge", action="store_true",
+                     help="merge several recordings (deterministic: "
+                          "counters add, histograms merge exactly, "
+                          "series merge-sort by time)")
+    rep.add_argument("-o", "--output", default=None,
+                     help="with --merge: also write the merged JSONL")
+    rep.add_argument("--fleet", action="store_true",
+                     help="render the fleet dashboard instead of the "
+                          "single-run report")
     rep.add_argument("--top", type=int, default=5,
                      help="top-k services in the report")
     rep.set_defaults(func=_cmd_report)

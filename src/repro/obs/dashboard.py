@@ -18,12 +18,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.analysis.ascii_plots import bar_chart, series_plot
+from repro.analysis.ascii_plots import bar_chart, series_plot, sparkline
 
 from .explainer import AdaptationExplanation
 from .hub import Obs
 from .inspect import RunRecording
-from .registry import Histogram, Series
+from .registry import Counter, Gauge, Histogram, Series
 from .spans import SpanRecord
 
 #: heat levels for harvest fractions 0.0 .. 1.0 (space = fully shed)
@@ -159,6 +159,150 @@ def render_report(rec: RunRecording, top: int = 5) -> str:
             rows.append(f"  stream {stream}: arrived={arrived:g} "
                         f"admitted={admitted:g} dropped={dropped:g}")
         lines.append(_section("per-stream accounting", "\n".join(rows)))
+    return "\n".join(lines)
+
+
+def _fleet_instruments(source: Obs | RunRecording):
+    """Normalize an ``Obs`` or a ``RunRecording`` into flat instrument
+    lists ``(counters, gauges, series)`` of ``(name, labels, ...)``
+    tuples, each sorted by ``(name, labels)``."""
+    if isinstance(source, RunRecording):
+        counters = [
+            (k[0], dict(k[1]), v)
+            for k, v in sorted(source.counters.items())
+        ]
+        gauges = [
+            (k[0], dict(k[1]), v)
+            for k, v in sorted(source.gauges.items())
+        ]
+        series = [
+            (k[0], dict(k[1]), s.times, s.values)
+            for k, s in sorted(source.series.items())
+        ]
+        return counters, gauges, series
+    counters, gauges, series = [], [], []
+    for instrument in source.registry.collect():  # already sorted
+        labels = instrument.label_dict()
+        if isinstance(instrument, Counter):
+            counters.append((instrument.name, labels, instrument.value))
+        elif isinstance(instrument, Gauge):
+            gauges.append((instrument.name, labels, instrument.value))
+        elif isinstance(instrument, Series):
+            series.append((instrument.name, labels,
+                           instrument.times, instrument.values))
+    return counters, gauges, series
+
+
+def render_fleet(source: Obs | RunRecording, width: int = 24) -> str:
+    """Fleet view of a process-parallel run: one timeline, per worker.
+
+    Works over the live supervisor ``Obs`` (the procs runtime calls
+    this on every control tick when a ``dashboard=`` sink is given) or
+    over a loaded recording (``python -m repro.obs report --fleet``).
+    Shows, per worker: routed/merged totals, the backlog trajectory as
+    a sparkline, shipped comparison counts, and the latest harvest
+    fractions ``z[i,j]`` as heat cells; below, the fleet-size timeline
+    and the autoscaler event counters.  Deterministic for a finalized
+    recording (sections sort by worker id).
+    """
+    counters, gauges, series = _fleet_instruments(source)
+    decisions = (
+        source.adaptations
+        if isinstance(source, RunRecording)
+        else source.decisions
+    )
+
+    def counter_sum(name: str, **match) -> float:
+        return sum(
+            v for n, labels, v in counters
+            if n == name and all(
+                labels.get(k) == val for k, val in match.items()
+            )
+        )
+
+    workers: set[str] = set()
+    for n, labels, _v in counters:
+        if n == "merger_merged_total" and "shard" in labels:
+            workers.add(labels["shard"])
+        if "worker" in labels:
+            workers.add(labels["worker"])
+    for row in list(gauges) + [(n, l, None) for n, l, _t, _v in series]:
+        if "worker" in row[1]:
+            workers.add(row[1]["worker"])
+
+    lines: list[str] = []
+    workload = source.meta.get("workload", "run")
+    elapsed = 0.0
+    for _n, _labels, times, _values in series:
+        if times:
+            elapsed = max(elapsed, times[-1])
+    if not isinstance(source, RunRecording):
+        elapsed = max(elapsed, source.now())
+    merged_total = counter_sum("merger_merged_total")
+    header = f"== fleet dashboard: {workload} (t={elapsed:g}s"
+    if elapsed > 0.0:
+        header += f", merged={merged_total:g}" \
+                  f" ~{merged_total / elapsed:.1f}/s"
+    lines.append(header + ") ==")
+
+    rows = []
+    for wid in sorted(workers, key=lambda w: (len(w), w)):
+        routed = counter_sum("router_routed_total", shard=wid)
+        merged = counter_sum("merger_merged_total", shard=wid)
+        comparisons = counter_sum(
+            "direction_comparisons_total", worker=wid
+        )
+        backlog = next(
+            ((times, values) for n, labels, times, values in series
+             if n == "autoscaler_backlog"
+             and labels.get("worker") == wid and times),
+            None,
+        )
+        row = (f"  worker {wid}  routed={routed:g} merged={merged:g} "
+               f"comparisons={comparisons:g}")
+        if backlog is not None:
+            tail = backlog[1][-width:]
+            row += (f"  backlog {sparkline(tail)} "
+                    f"(last={backlog[1][-1]:g})")
+        z_cells = sorted(
+            ((labels.get("direction", "?"), labels.get("hop", "?"), v)
+             for n, labels, v in gauges
+             if n == "harvest_fraction" and labels.get("worker") == wid),
+        )
+        if z_cells:
+            row += "  z=" + "".join(heat_char(v) for _d, _h, v in z_cells)
+        rows.append(row)
+    lines.append(_section(
+        "workers", "\n".join(rows) if rows else "  (no workers yet)"
+    ))
+
+    fleet = next(
+        ((times, values) for n, _labels, times, values in series
+         if n == "autoscaler_workers" and times),
+        None,
+    )
+    if fleet is not None:
+        lines.append(_section(
+            "fleet size",
+            series_plot(fleet[0], fleet[1], label="  workers"),
+        ))
+    ticks = counter_sum("autoscaler_ticks_total")
+    if ticks:
+        lines.append(_section(
+            "autoscaler",
+            f"  ticks={ticks:g} "
+            f"scale_ups={counter_sum('autoscaler_scale_ups_total'):g} "
+            f"scale_downs="
+            f"{counter_sum('autoscaler_scale_downs_total'):g}",
+        ))
+    worker_decisions = [d for d in decisions if d.worker is not None]
+    for wid in sorted({d.worker for d in worker_decisions}):
+        lines.append(_section(
+            f"harvest heat map (worker {wid})",
+            harvest_heatmap(
+                [d for d in worker_decisions if d.worker == wid]
+            ),
+        ))
     return "\n".join(lines)
 
 

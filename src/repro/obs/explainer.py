@@ -108,6 +108,10 @@ class AdaptationExplanation:
         steps: solver steps applied (0 when no solve ran).
         evaluations: candidate settings the solver evaluated.
         directions: per-(direction, hop) decisions.
+        worker: originating worker id when the record was shipped from a
+            process-parallel shard (``None`` for single-process runs —
+            omitted from the export, so existing recordings are
+            unchanged).
     """
 
     time: float
@@ -121,6 +125,7 @@ class AdaptationExplanation:
     steps: int
     evaluations: int
     directions: tuple[DirectionDecision, ...] = field(default_factory=tuple)
+    worker: int | None = None
 
     def decision(self, direction: int, hop: int) -> DirectionDecision:
         """The decision record for one ``(direction, hop)`` pair."""
@@ -138,7 +143,9 @@ class AdaptationExplanation:
     def to_dict(self) -> dict:
         """Plain-data form for the JSONL exporter (stable key order is
         applied by the exporter's ``sort_keys``)."""
+        provenance = {} if self.worker is None else {"worker": self.worker}
         return {
+            **provenance,
             "time": self.time,
             "z": self.z,
             "beta": self.beta,
@@ -210,6 +217,7 @@ class AdaptationExplanation:
             steps=data["steps"],
             evaluations=data["evaluations"],
             directions=directions,
+            worker=data.get("worker"),
         )
 
 

@@ -44,11 +44,39 @@ def _dumps(obj: dict) -> str:
                       separators=(",", ":"))
 
 
-def jsonl_lines(obs: Obs) -> Iterator[str]:
-    """The run's JSONL event log, line by line (no trailing newlines)."""
-    yield _dumps({"type": "meta", **obs.meta})
+def worker_scoped(record: dict) -> bool:
+    """Export filter keeping only worker-provenance records (plus meta).
+
+    A process-parallel run's :class:`Obs` holds two clock domains: the
+    *worker-side* telemetry merged by the aggregator (virtual-time,
+    deterministic under pinned scaling — every record carries a
+    ``worker`` label or field) and the *supervisor-side* transport and
+    autoscaler families (wall-relative, load-dependent).  The
+    aggregated-golden CI slice exports through this filter so only the
+    deterministic domain is diffed.
+    """
+    kind = record.get("type")
+    if kind == "meta":
+        return True
+    if kind == "adaptation":
+        return record.get("worker") is not None
+    return "worker" in record.get("labels", {})
+
+
+def jsonl_lines(obs: Obs, select=None) -> Iterator[str]:
+    """The run's JSONL event log, line by line (no trailing newlines).
+
+    ``select`` optionally filters records: a predicate over the plain
+    record dict (before serialization), e.g. :func:`worker_scoped`.
+    """
+
+    def emit(record: dict) -> Iterator[str]:
+        if select is None or select(record):
+            yield _dumps(record)
+
+    yield from emit({"type": "meta", **obs.meta})
     for record in obs.spans.records:
-        yield _dumps({
+        yield from emit({
             "type": "span",
             "id": record.span_id,
             "parent": record.parent_id,
@@ -59,12 +87,14 @@ def jsonl_lines(obs: Obs) -> Iterator[str]:
             "attrs": record.attrs,
         })
     if obs.spans.dropped:
-        yield _dumps({"type": "spans-dropped", "count": obs.spans.dropped})
+        yield from emit(
+            {"type": "spans-dropped", "count": obs.spans.dropped}
+        )
     for explanation in obs.decisions:
-        yield _dumps({"type": "adaptation", **explanation.to_dict()})
+        yield from emit({"type": "adaptation", **explanation.to_dict()})
     for instrument in obs.registry.collect():
         if isinstance(instrument, Series):
-            yield _dumps({
+            yield from emit({
                 "type": "series",
                 "name": instrument.name,
                 "labels": instrument.label_dict(),
@@ -75,21 +105,21 @@ def jsonl_lines(obs: Obs) -> Iterator[str]:
             })
     for instrument in obs.registry.collect():
         if isinstance(instrument, Counter):
-            yield _dumps({
+            yield from emit({
                 "type": "counter",
                 "name": instrument.name,
                 "labels": instrument.label_dict(),
                 "value": instrument.value,
             })
         elif isinstance(instrument, Gauge):
-            yield _dumps({
+            yield from emit({
                 "type": "gauge",
                 "name": instrument.name,
                 "labels": instrument.label_dict(),
                 "value": instrument.value,
             })
         elif isinstance(instrument, Histogram):
-            yield _dumps({
+            yield from emit({
                 "type": "histogram",
                 "name": instrument.name,
                 "labels": instrument.label_dict(),
@@ -104,19 +134,20 @@ def jsonl_lines(obs: Obs) -> Iterator[str]:
             })
 
 
-def write_jsonl(obs: Obs, target: str | IO[str]) -> int:
+def write_jsonl(obs: Obs, target: str | IO[str], select=None) -> int:
     """Write the JSONL event log to a path or text file object.
 
-    Returns the number of lines written.
+    ``select`` filters records as in :func:`jsonl_lines`.  Returns the
+    number of lines written.
     """
     lines = 0
     if isinstance(target, str):
         with open(target, "w", encoding="utf-8", newline="\n") as fh:
-            for line in jsonl_lines(obs):
+            for line in jsonl_lines(obs, select=select):
                 fh.write(line + "\n")
                 lines += 1
     else:
-        for line in jsonl_lines(obs):
+        for line in jsonl_lines(obs, select=select):
             target.write(line + "\n")
             lines += 1
     return lines

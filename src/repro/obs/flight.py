@@ -1,0 +1,78 @@
+"""Crash flight recorder: a bounded ring buffer of recent events.
+
+Each process-parallel shard worker keeps one of these next to its
+``Obs``.  Every notable event — batch received, tuples processed,
+adaptation tick, delta shipped — is :meth:`FlightRecorder.note` d with
+the worker's virtual time; the buffer holds only the last ``capacity``
+entries, so memory stays bounded no matter how long the worker runs.
+
+When a worker crashes, the supervisor's ``RuntimeError`` post-mortem
+appends :meth:`FlightRecorder.render_tail` — the last things the worker
+did, in order, with worker provenance — turning "shard worker 1
+crashed" plus a traceback into an actionable sequence of events.  Like
+everything in :mod:`repro.obs`, timestamps are whatever clock the
+caller passes (virtual delivery time in the procs runtime); no wall
+clocks (R001).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class FlightRecorder:
+    """Bounded ring buffer of ``(time, event)`` entries.
+
+    Args:
+        capacity: maximum entries retained; older entries are evicted
+            as new ones arrive.  Evictions are counted in
+            :attr:`evicted` so the post-mortem can say how much history
+            scrolled off.
+    """
+
+    __slots__ = ("capacity", "_entries", "evicted", "recorded")
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: deque[tuple[float, str]] = deque(maxlen=capacity)
+        self.evicted = 0
+        self.recorded = 0
+
+    def note(self, time: float, event: str) -> None:
+        """Append one event at the given (virtual) time."""
+        if len(self._entries) == self.capacity:
+            self.evicted += 1
+        self._entries.append((float(time), event))
+        self.recorded += 1
+
+    def tail(self, limit: int | None = None) -> list[tuple[float, str]]:
+        """The most recent entries, oldest first (all by default)."""
+        entries = list(self._entries)
+        if limit is not None and limit < len(entries):
+            entries = entries[-limit:]
+        return entries
+
+    def render_tail(self, limit: int | None = None) -> str:
+        """Human-readable tail for the crash post-mortem.
+
+        One ``[t=...] event`` line per entry, oldest first, preceded by
+        a header noting how many earlier entries were evicted.
+        """
+        entries = self.tail(limit)
+        if not entries:
+            return "flight recorder: empty"
+        hidden = self.recorded - len(entries)
+        header = f"flight recorder (last {len(entries)} of " \
+                 f"{self.recorded} events):"
+        lines = [header]
+        if hidden:
+            lines.append(f"  ... {hidden} earlier event(s) not shown")
+        lines.extend(
+            f"  [t={time:g}] {event}" for time, event in entries
+        )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._entries)

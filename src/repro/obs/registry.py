@@ -22,7 +22,7 @@ Design notes:
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Iterator
+from typing import Iterator, Sequence
 
 #: fixed log2 bucket exponents: upper bounds 2**-20 .. 2**40 cover
 #: sub-microsecond latencies up to ~1e12 work units
@@ -138,6 +138,38 @@ class Histogram(Instrument):
             self.min = value
         if value > self.max:
             self.max = value
+
+    def merge(
+        self,
+        bucket_deltas: "Sequence[tuple[int, int]]",
+        count: int,
+        total: float,
+        lo: float,
+        hi: float,
+    ) -> None:
+        """Fold another histogram's (partial) fills into this one.
+
+        Exact-merge primitive for the distributed telemetry plane: the
+        bucket edges are fixed powers of two shared by every histogram,
+        so bucket-wise addition loses nothing — merging K per-worker
+        histograms reproduces the histogram a single process observing
+        all K streams of values would have built.
+
+        Args:
+            bucket_deltas: sparse ``(bucket_index, fill)`` pairs to add.
+            count: observation count to add.
+            total: value sum to add.
+            lo / hi: the source's min/max (folded via min/max; pass
+                ``+inf``/``-inf`` for an empty source).
+        """
+        for index, fill in bucket_deltas:
+            self.counts[index] += fill
+        self.count += count
+        self.sum += total
+        if lo < self.min:
+            self.min = lo
+        if hi > self.max:
+            self.max = hi
 
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0

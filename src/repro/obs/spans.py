@@ -22,7 +22,7 @@ old API remains as a deprecation shim on top of it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 
 @dataclass(frozen=True, slots=True)
@@ -180,6 +180,47 @@ class SpanRecorder:
             self.dropped += 1
             return
         self.records.append(record)
+
+    def extend_remapped(
+        self,
+        records: "Sequence[SpanRecord]",
+        extra_labels: dict | None = None,
+    ) -> None:
+        """Adopt spans recorded by *another* recorder (a worker's).
+
+        Ids are reassigned from this recorder's counter while the
+        parent/child structure is preserved: the incoming batch is
+        scanned once to allocate a fresh id per record (spans finish
+        child-before-parent, so parent ids are forward references within
+        the batch), then appended with parents remapped.  A parent that
+        never finished (still open when the source was snapshotted)
+        maps to ``None`` — its children become roots here.
+
+        ``extra_labels`` (e.g. ``{"worker": "1"}``) are stamped onto
+        every adopted span without overwriting existing keys.
+        """
+        id_map: dict[int, int] = {}
+        for record in records:
+            id_map[record.span_id] = self._next_id
+            self._next_id += 1
+        for record in records:
+            labels = dict(record.labels)
+            if extra_labels:
+                for key, value in extra_labels.items():
+                    labels.setdefault(key, value)
+            self._append(SpanRecord(
+                span_id=id_map[record.span_id],
+                parent_id=(
+                    id_map.get(record.parent_id)
+                    if record.parent_id is not None
+                    else None
+                ),
+                name=record.name,
+                start=record.start,
+                end=record.end,
+                labels=labels,
+                attrs=dict(record.attrs),
+            ))
 
     # -- queries --------------------------------------------------------
 

@@ -39,12 +39,24 @@ router and the merger:
   with autoscaling enabled may legitimately diverge from the pinned
   oracle (documented in ``docs/PARALLEL.md``).
 
-Telemetry: pass ``obs=`` to export ``procs_*`` transport counters and
-the ``autoscaler_*`` counter/series families (see
-``docs/OBSERVABILITY.md``); the obs clock is bound to wall seconds since
-the run started, read through the injected ``timer`` (the sanctioned
-seam from :mod:`repro.timing` — this module never touches the wall
-clock directly).
+Telemetry: pass ``obs=`` to turn on the **cross-process telemetry
+plane**.  The supervisor exports its own ``procs_*`` transport counters
+and ``autoscaler_*`` families on a wall-relative clock (read through
+the injected ``timer`` — the sanctioned seam from :mod:`repro.timing`;
+this module never touches the wall clock directly), and every worker
+builds its own :class:`~repro.obs.Obs` *inside the forked child* (P125
+stays satisfied), binds it to the shard operator, and piggybacks
+incremental :class:`~repro.obs.TelemetryDelta` snapshots on its batch
+acks plus a final flush on the drain "bye".  A supervisor-side
+:class:`~repro.obs.TelemetryAggregator` merges them — exactly, under a
+``worker=<id>`` label — into the run's ``Obs``, so the JSONL/
+Prometheus/ascii exporters and the golden-slice machinery see the
+whole fleet unchanged.  Each worker also keeps a bounded
+:class:`~repro.obs.FlightRecorder`; a crashing worker's post-mortem
+``RuntimeError`` carries its traceback *and* the flight-recorder tail.
+Pass ``dashboard=`` for the live fleet view
+(:func:`repro.obs.render_fleet`, refreshed every control tick).
+Telemetry never changes results (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -54,7 +66,12 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as _conn_wait
 from typing import Any, Callable, Sequence
 
+from repro.engine.buffers import BufferStats
 from repro.engine.operator import StreamOperator
+from repro.obs.aggregate import DeltaShipper, TelemetryAggregator
+from repro.obs.dashboard import render_fleet
+from repro.obs.flight import FlightRecorder
+from repro.obs.hub import Obs
 from repro.streams.tuples import StreamTuple
 from repro.timing import Timer, wall_clock_timer
 
@@ -70,51 +87,105 @@ DEFAULT_MAX_INFLIGHT = 4
 #: tuples per pickled batch (amortizes pickling + syscall overhead)
 DEFAULT_BATCH_SIZE = 64
 
+#: events each worker's crash flight recorder retains (ring buffer)
+DEFAULT_FLIGHT_CAPACITY = 64
+
 
 def _worker_main(
     conn,
     make_shard: Callable[[int], StreamOperator],
     worker_id: int,
     adaptation_interval: float | None,
+    telemetry: bool,
+    flight_capacity: int,
 ) -> None:
     """Worker entry path: build the shard, replay batches, ack results.
 
     Runs in the forked child.  The operator is constructed *here* so
     its state never crosses the process boundary; only plain
-    :class:`StreamTuple` batches come in and result identity keys go
-    out.  Virtual time inside the worker is each tuple's delivery time,
-    and adaptation ticks are replayed at the same multiples of
-    ``adaptation_interval`` the simulator would fire (with empty buffer
-    statistics — there are no simulator buffers here).
+    :class:`StreamTuple` batches come in and result identity keys (plus
+    telemetry deltas) go out.  Virtual time inside the worker is each
+    tuple's delivery time, and adaptation ticks are replayed at the
+    same multiples of ``adaptation_interval`` the simulator would fire.
+    Tick buffer statistics are synthesized from the arrival counts
+    since the previous tick (everything routed here was delivered:
+    ``pushed == popped``, nothing dropped, no standing queue) — enough
+    for rate-driven adaptive operators, and ignored by operators that
+    don't adapt, so results never depend on telemetry being on.
+
+    With ``telemetry`` the worker builds its own :class:`Obs` *here*,
+    post-fork (P125/P126: telemetry is constructed inside the child and
+    only written, never shared), binds it to the operator on a clock
+    that follows replayed virtual time, and ships incremental
+    :class:`TelemetryDelta` snapshots on every ack plus a final one
+    with the "bye".  A bounded :class:`FlightRecorder` always runs; its
+    tail travels with the crash report.
     """
+    flight = FlightRecorder(capacity=flight_capacity)
+    clock = [0.0]
+    shipper = None
     try:
         operator = make_shard(worker_id)
+        if telemetry:
+            obs = Obs()
+            obs.bind_clock(lambda: clock[0])
+            operator.bind_obs(obs)
+            shipper = DeltaShipper(obs, worker_id)
         next_adapt = (
             adaptation_interval if adaptation_interval else None
         )
+        arrivals = [0] * operator.num_streams
         while True:
             msg = conn.recv()
             if msg[0] == "batch":
                 _, seq, batch = msg
+                flight.note(
+                    clock[0], f"recv batch seq={seq} n={len(batch)}"
+                )
                 keys: list = []
                 comparisons = 0
                 for tup in batch:
                     now = tup.delivery_time
                     if next_adapt is not None:
                         while now >= next_adapt:
+                            clock[0] = next_adapt
+                            stats = [
+                                BufferStats(pushed=c, popped=c,
+                                            dropped=0, depth=0)
+                                for c in arrivals
+                            ]
                             operator.on_adapt(
-                                next_adapt, [], adaptation_interval
+                                next_adapt, stats, adaptation_interval
                             )
+                            flight.note(
+                                next_adapt,
+                                f"adapt tick t={next_adapt:g}",
+                            )
+                            arrivals = [0] * operator.num_streams
                             next_adapt += adaptation_interval
+                    clock[0] = now
+                    arrivals[tup.stream] += 1
                     receipt = operator.process(tup, now)
                     comparisons += receipt.comparisons
                     keys.extend(r.key() for r in receipt.outputs)
+                flight.note(
+                    clock[0],
+                    f"ack seq={seq} results={len(keys)} "
+                    f"comparisons={comparisons}",
+                )
+                delta = (
+                    shipper.collect() if shipper is not None else None
+                )
                 conn.send(
                     ("ack", worker_id, seq, len(batch), keys,
-                     comparisons)
+                     comparisons, delta)
                 )
             elif msg[0] == "stop":
-                conn.send(("bye", worker_id))
+                flight.note(clock[0], "stop received")
+                delta = (
+                    shipper.collect() if shipper is not None else None
+                )
+                conn.send(("bye", worker_id, delta))
                 return
     except EOFError:
         return
@@ -122,7 +193,19 @@ def _worker_main(
         import traceback
 
         try:
-            conn.send(("error", worker_id, traceback.format_exc()))
+            delta = None
+            if shipper is not None:
+                try:  # best effort: telemetry up to the crash
+                    delta = shipper.collect()
+                except Exception:
+                    delta = None
+            conn.send((
+                "error",
+                worker_id,
+                traceback.format_exc(),
+                f"worker {worker_id} " + flight.render_tail(),
+                delta,
+            ))
         except Exception:
             pass
     finally:
@@ -208,6 +291,9 @@ class _Supervisor:
         autoscale: AutoscalerConfig | None,
         control_interval: int,
         obs,
+        meta: dict | None,
+        dashboard: Callable[[str], None] | None,
+        flight_capacity: int,
         timer: Timer,
         start_method: str,
     ) -> None:
@@ -251,10 +337,32 @@ class _Supervisor:
         self.merged_ids: set = set()
         self.workers_retired = 0
         self.obs = obs
+        self.dashboard = dashboard
+        self.flight_capacity = int(flight_capacity)
+        self.aggregator = (
+            TelemetryAggregator(obs) if obs is not None else None
+        )
         self._obs_backlog: dict[int, Any] = {}
         if obs is not None:
             origin = timer()
             obs.bind_clock(lambda: timer() - origin)
+            obs.meta.setdefault("runtime", "procs")
+            obs.meta.setdefault("num_shards", num_shards)
+            if adaptation_interval:
+                obs.meta.setdefault(
+                    "adaptation_interval", float(adaptation_interval)
+                )
+            if autoscale is not None:
+                obs.meta.setdefault("autoscale", {
+                    "min_workers": autoscale.min_workers,
+                    "max_workers": autoscale.max_workers,
+                    "high_watermark": autoscale.high_watermark,
+                    "low_watermark": autoscale.low_watermark,
+                    "sustain_ticks": autoscale.sustain_ticks,
+                    "cooldown_ticks": autoscale.cooldown_ticks,
+                })
+            if meta:
+                obs.meta.update(meta)
             self.router.bind_obs(obs, node="router")
             self.merger.bind_obs(obs, node="merger")
             self._obs_batches = obs.counter("procs_batches_total")
@@ -273,7 +381,8 @@ class _Supervisor:
         process = self.ctx.Process(
             target=_worker_main,
             args=(child_conn, self.make_shard, worker_id,
-                  self.adaptation_interval),
+                  self.adaptation_interval, self.obs is not None,
+                  self.flight_capacity),
             daemon=True,
             name=f"repro-shard-{worker_id}",
         )
@@ -286,6 +395,9 @@ class _Supervisor:
             self._obs_backlog[worker_id] = self.obs.series(
                 "autoscaler_backlog", worker=worker_id
             )
+            # workers replay on the shared virtual delivery-time clock,
+            # so the identity clock map is exact
+            self.aggregator.register_worker(worker_id)
         return worker
 
     def active_ids(self) -> list[int]:
@@ -295,10 +407,14 @@ class _Supervisor:
 
     # -- transport -----------------------------------------------------
 
+    def _absorb(self, delta) -> None:
+        if delta is not None and self.aggregator is not None:
+            self.aggregator.absorb(delta)
+
     def _handle(self, msg: tuple) -> None:
         kind = msg[0]
         if kind == "ack":
-            _, wid, _seq, n, keys, comparisons = msg
+            _, wid, _seq, n, keys, comparisons, delta = msg
             worker = self.workers[wid]
             worker.acked += n
             worker.batches_acked += 1
@@ -312,14 +428,20 @@ class _Supervisor:
                     ),
                     0.0,
                 )
+            self._absorb(delta)
         elif kind == "bye":
-            worker = self.workers[msg[1]]
-            worker.done = True
+            _, wid, delta = msg
+            self.workers[wid].done = True
+            self._absorb(delta)
         elif kind == "error":
-            _, wid, trace = msg
+            _, wid, trace, flight_tail, delta = msg
+            try:  # salvage the dying worker's last telemetry
+                self._absorb(delta)
+            except Exception:
+                pass
             self.shutdown(force=True)
             raise RuntimeError(
-                f"shard worker {wid} crashed:\n{trace}"
+                f"shard worker {wid} crashed:\n{trace}\n{flight_tail}"
             )
         else:  # pragma: no cover - protocol guard
             raise RuntimeError(f"unknown worker message {msg!r}")
@@ -381,8 +503,10 @@ class _Supervisor:
 
     def control_tick(self) -> None:
         self.drain(0.0)
-        if self.autoscaler is None and \
-                self.router.rebalance_threshold is None:
+        scaling = (self.autoscaler is not None
+                   or self.router.rebalance_threshold is not None)
+        live = self.dashboard is not None and self.obs is not None
+        if not scaling and not live:
             return
         now_rel = None
         depths = {
@@ -394,6 +518,10 @@ class _Supervisor:
             now_rel = self.obs.now()
             for wid, depth in depths.items():
                 self._obs_backlog[wid].observe(now_rel, depth)
+        if live:
+            self.dashboard(render_fleet(self.obs))
+        if not scaling:
+            return
         if self.router.rebalance_threshold is not None:
             dense = [depths.get(k, 0)
                      for k in range(self.router.num_shards)]
@@ -475,6 +603,13 @@ class _Supervisor:
                 self.drain(0.1)
         finally:
             self.shutdown()
+        if self.aggregator is not None:
+            # every final delta rode a "bye"; install buffered spans and
+            # decisions in worker order (ack arrival order is racy, the
+            # finalized export is not)
+            self.aggregator.finalize()
+            if self.dashboard is not None:
+                self.dashboard(render_fleet(self.obs))
         wall = self.timer() - started
         order = sorted(self.workers)
         return ProcsResult(
@@ -518,6 +653,9 @@ def run_procs(
     control_interval: int = 4,
     certify: bool = True,
     obs=None,
+    meta: dict | None = None,
+    dashboard: Callable[[str], None] | None = None,
+    flight_capacity: int = DEFAULT_FLIGHT_CAPACITY,
     timer: Timer = wall_clock_timer,
     start_method: str = "fork",
 ) -> ProcsResult:
@@ -550,8 +688,22 @@ def run_procs(
         certify: run the P120-series shard-safety gate over probe
             operators built from ``make_shard`` before forking,
             including the worker-entry checks (P125).
-        obs: optional :class:`repro.obs.Obs` sink (supervisor-side
-            only; worker operators must not carry one — P125).
+        obs: optional :class:`repro.obs.Obs` sink.  Supervisor-side
+            transport/autoscaler telemetry lands in it directly; in
+            addition each worker builds its *own* ``Obs`` post-fork
+            (P125/P126 stay satisfied), and its shipped deltas are
+            merged in under a ``worker=<id>`` label — exporters see
+            the whole fleet.  Telemetry never changes results.
+        meta: run metadata merged into ``obs.meta`` (seed, workload
+            name...) so aggregated exports are self-describing; the
+            runtime adds ``runtime``/``num_shards``/
+            ``adaptation_interval``/``autoscale`` keys itself.
+        dashboard: optional sink for the live fleet view — called with
+            the rendered :func:`repro.obs.render_fleet` text on every
+            control tick (and once after the fleet drains).  Requires
+            ``obs``.
+        flight_capacity: events each worker's crash flight recorder
+            retains; the tail rides the crash post-mortem.
         timer: injectable wall-clock (tests pass a
             :class:`repro.timing.ManualTimer`).
         start_method: multiprocessing start method; ``fork`` is
@@ -564,6 +716,12 @@ def run_procs(
         to the virtual-time plan's
         :meth:`~repro.parallel.sharded.ShardedPlan.merged_result_ids`.
     """
+    if dashboard is not None and obs is None:
+        raise ValueError(
+            "the live fleet dashboard renders telemetry; pass obs="
+        )
+    if flight_capacity < 1:
+        raise ValueError("flight_capacity must be >= 1")
     if certify:
         from .sharded import certify_shard_operators
 
@@ -590,6 +748,9 @@ def run_procs(
         autoscale=autoscale,
         control_interval=control_interval,
         obs=obs,
+        meta=meta,
+        dashboard=dashboard,
+        flight_capacity=flight_capacity,
         timer=timer,
         start_method=start_method,
     )

@@ -59,20 +59,32 @@ def certify_shard_operators(
     :class:`repro.lint.plan.PlanValidationError` naming every problem
     at once.
 
-    ``worker_entry=True`` additionally runs the P125 worker-entry
-    checks (:func:`repro.lint.plan.check_worker_entry`): the process
+    ``worker_entry=True`` additionally runs the P125 worker-entry and
+    P126 worker-telemetry checks
+    (:func:`repro.lint.plan.check_worker_entry`,
+    :func:`repro.lint.plan.check_worker_telemetry`): the process
     runtime is about to fork these operators, so none may carry a
-    bound obs sink and no two worker ids may share an instance.
+    bound obs sink, no two worker ids may share an instance, and no
+    telemetry object may be reachable anywhere in their state graphs
+    (worker telemetry is constructed post-fork and shipped back as
+    deltas — see :mod:`repro.obs.aggregate`).
     """
     from repro.lint.baseline import load_baseline
     from repro.lint.effects import SHARDABLE, classify_class
-    from repro.lint.plan import PlanReport, check_worker_entry
+    from repro.lint.plan import (
+        PlanReport,
+        check_worker_entry,
+        check_worker_telemetry,
+    )
     from repro.lint.stategraph import shared_mutable_objects
 
     report = PlanReport()
     if worker_entry:
         report.diagnostics.extend(
             check_worker_entry(shard_ops).diagnostics
+        )
+        report.diagnostics.extend(
+            check_worker_telemetry(shard_ops).diagnostics
         )
     baseline = load_baseline()
     certificates = [classify_class(type(op)) for op in shard_ops]

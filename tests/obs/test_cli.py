@@ -1,12 +1,20 @@
-"""CLI record/report behaviour and the committed golden slice.
+"""CLI record/report behaviour and the committed golden slices.
 
-The golden file pins the full JSONL export of the default
-``python -m repro.obs record`` run (seed 7, 16 s, 8e3 capacity).  The
-workload, the simulator, and the exporter are all deterministic, so any
-byte of drift means a behaviour change in the engine, GrubJoin, or the
-exporters — regenerate with::
+Two golden files pin deterministic JSONL exports:
+
+* ``fig10_slice.jsonl`` — the full export of the default
+  ``python -m repro.obs record`` run (seed 7, 16 s, 8e3 capacity).
+* ``procs_k2_slice.jsonl`` — the *worker-scoped* export of
+  ``python -m repro.obs record --procs 2``: GrubJoin shards on two
+  real forked workers, telemetry shipped back over the ack pipes and
+  merged.  Drift here means the delta protocol, the aggregator, or a
+  worker-side operator changed behaviour.
+
+The workloads, the runtimes, and the exporters are all deterministic,
+so any byte of drift is a behaviour change — regenerate with::
 
     PYTHONPATH=src python -m repro.obs record -o tests/obs/golden/fig10_slice.jsonl
+    PYTHONPATH=src python -m repro.obs record --procs 2 -o tests/obs/golden/procs_k2_slice.jsonl
 
 and review the diff before committing it.
 """
@@ -16,10 +24,13 @@ import pathlib
 
 import pytest
 
-from repro.obs import jsonl_lines, load_recording
-from repro.obs.cli import main, record_slice
+from repro.obs import jsonl_lines, load_recording, worker_scoped
+from repro.obs.cli import main, record_procs_slice, record_slice
 
 GOLDEN = pathlib.Path(__file__).parent / "golden" / "fig10_slice.jsonl"
+PROCS_GOLDEN = (
+    pathlib.Path(__file__).parent / "golden" / "procs_k2_slice.jsonl"
+)
 
 
 @pytest.fixture(scope="module")
@@ -76,3 +87,77 @@ class TestCli:
         assert main(["record", "-o", str(tmp_path / "r.jsonl"),
                      "--duration", "6", "--dashboard"], out=out) == 0
         assert "obs dashboard" in out.getvalue()
+
+
+class TestProcsGolden:
+    def test_matches_committed_procs_golden(self):
+        # a real two-worker procs run, aggregated over the ack pipes,
+        # must reproduce the committed worker-scoped export byte for
+        # byte — this is the cross-process determinism contract the CI
+        # aggregated-golden step also enforces
+        obs = record_procs_slice()
+        expected = PROCS_GOLDEN.read_text(encoding="utf-8").splitlines()
+        actual = list(jsonl_lines(obs, select=worker_scoped))
+        assert actual == expected
+
+    def test_procs_golden_has_fleet_telemetry(self):
+        rec = load_recording(str(PROCS_GOLDEN))
+        assert rec.meta["runtime"] == "procs"
+        assert rec.meta["num_shards"] == 2
+        assert rec.meta["workload"].startswith("procs-k2-")
+        # both workers shed under the pinned throttle and shipped their
+        # decisions and solver spans back
+        assert {a.worker for a in rec.adaptations} == {0, 1}
+        span_workers = {
+            s.labels.get("worker") for s in rec.spans_named("solver.greedy")
+        }
+        assert span_workers == {"0", "1"}
+
+
+class TestProcsCli:
+    def test_record_procs_writes_worker_scoped_export(self, tmp_path):
+        path = tmp_path / "procs.jsonl"
+        out = io.StringIO()
+        assert main(["record", "--procs", "2", "-o", str(path)],
+                    out=out) == 0
+        assert "wrote" in out.getvalue()
+        assert path.read_text(
+            encoding="utf-8"
+        ) == PROCS_GOLDEN.read_text(encoding="utf-8")
+
+    def test_report_fleet_renders_dashboard(self, tmp_path):
+        out = io.StringIO()
+        assert main(["report", str(PROCS_GOLDEN), "--fleet"],
+                    out=out) == 0
+        text = out.getvalue()
+        assert "fleet dashboard" in text
+        assert "worker 0" in text and "worker 1" in text
+
+    def test_report_merge_unifies_recordings(self, tmp_path):
+        merged_path = tmp_path / "merged.jsonl"
+        out = io.StringIO()
+        assert main([
+            "report", str(PROCS_GOLDEN), str(PROCS_GOLDEN),
+            "--merge", "-o", str(merged_path),
+        ], out=out) == 0
+        assert "merged records" in out.getvalue()
+        merged = load_recording(str(merged_path))
+        single = load_recording(str(PROCS_GOLDEN))
+        # counters add across the merged inputs
+        key = next(iter(single.counters))
+        assert merged.counters[key] == 2 * single.counters[key]
+
+    def test_report_merge_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path in (a, b):
+            assert main([
+                "report", str(PROCS_GOLDEN), str(PROCS_GOLDEN),
+                "--merge", "-o", str(path),
+            ], out=io.StringIO()) == 0
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_report_multiple_paths_need_merge(self):
+        out = io.StringIO()
+        assert main(["report", str(PROCS_GOLDEN), str(PROCS_GOLDEN)],
+                    out=out) == 2
+        assert "--merge" in out.getvalue()

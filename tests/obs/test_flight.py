@@ -1,0 +1,66 @@
+"""Unit tests for the crash flight recorder ring buffer."""
+
+import pytest
+
+from repro.obs import FlightRecorder
+
+
+class TestRingBuffer:
+    def test_records_in_order(self):
+        flight = FlightRecorder(capacity=8)
+        for i in range(3):
+            flight.note(float(i), f"event {i}")
+        assert len(flight) == 3
+        assert flight.recorded == 3
+        assert flight.evicted == 0
+        assert [event for _t, event in flight.tail()] == [
+            "event 0", "event 1", "event 2"
+        ]
+
+    def test_eviction_keeps_newest_and_counts(self):
+        flight = FlightRecorder(capacity=4)
+        for i in range(10):
+            flight.note(float(i), f"event {i}")
+        assert len(flight) == 4
+        assert flight.recorded == 10
+        assert flight.evicted == 6
+        assert [event for _t, event in flight.tail()] == [
+            "event 6", "event 7", "event 8", "event 9"
+        ]
+
+    def test_tail_limit_returns_newest_oldest_first(self):
+        flight = FlightRecorder(capacity=8)
+        for i in range(5):
+            flight.note(float(i), f"event {i}")
+        assert [event for _t, event in flight.tail(limit=2)] == [
+            "event 3", "event 4"
+        ]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestRenderTail:
+    def test_render_includes_header_times_and_events(self):
+        flight = FlightRecorder(capacity=8)
+        flight.note(1.5, "batch seq=3 n=17")
+        flight.note(2.0, "adapt tick")
+        text = flight.render_tail()
+        lines = text.splitlines()
+        assert lines[0] == "flight recorder (last 2 of 2 events):"
+        assert lines[1] == "  [t=1.5] batch seq=3 n=17"
+        assert lines[2] == "  [t=2] adapt tick"
+
+    def test_render_notes_hidden_earlier_events(self):
+        flight = FlightRecorder(capacity=2)
+        for i in range(5):
+            flight.note(float(i), f"event {i}")
+        text = flight.render_tail()
+        assert "last 2 of 5 events" in text
+        assert "3 earlier event(s) not shown" in text
+        assert "event 4" in text
+        assert "event 0" not in text
+
+    def test_render_empty(self):
+        assert FlightRecorder().render_tail() == "flight recorder: empty"
