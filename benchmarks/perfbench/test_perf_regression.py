@@ -36,19 +36,41 @@ def _doc(metrics: dict) -> dict:
 
 
 class TestGateLogic:
-    GOOD = {"macro3_speedup_x": 2.5, "fig10_solver_time_ratio": 0.5}
+    GOOD = {
+        "macro3_speedup_x": 2.5,
+        "macro3_skew_speedup_x": 4.0,
+        "fig10_solver_time_ratio": 0.5,
+    }
 
     def test_identical_run_passes(self):
         assert check_against_baseline(_doc(self.GOOD), _doc(self.GOOD)) == []
 
     def test_improvement_never_fails(self):
-        better = {"macro3_speedup_x": 9.0, "fig10_solver_time_ratio": 0.1}
+        better = {
+            "macro3_speedup_x": 9.0,
+            "macro3_skew_speedup_x": 9.0,
+            "fig10_solver_time_ratio": 0.1,
+        }
         assert check_against_baseline(_doc(better), _doc(self.GOOD)) == []
 
     def test_speedup_regression_fails(self):
         worse = dict(self.GOOD, macro3_speedup_x=2.5 * 0.8)
         failures = check_against_baseline(_doc(worse), _doc(self.GOOD))
         assert any("macro3_speedup_x" in f for f in failures)
+
+    def test_skew_speedup_regression_fails(self):
+        worse = dict(self.GOOD, macro3_skew_speedup_x=4.0 * 0.8)
+        failures = check_against_baseline(_doc(worse), _doc(self.GOOD))
+        assert any("macro3_skew_speedup_x" in f for f in failures)
+
+    def test_skew_floor_fires_even_with_matching_baseline(self):
+        # both runs agree at 2.8x — within tolerance of each other but
+        # below the promised 3x index-speedup floor
+        low = dict(self.GOOD, macro3_skew_speedup_x=2.8)
+        failures = check_against_baseline(_doc(low), _doc(low))
+        assert any(
+            "macro3_skew_speedup_x" in f and "floor" in f for f in failures
+        )
 
     def test_solver_ratio_regression_fails(self):
         worse = dict(self.GOOD, fig10_solver_time_ratio=0.5 * 1.3)
@@ -73,12 +95,15 @@ class TestGateLogic:
 class TestCommittedBaseline:
     def test_baseline_exists_and_meets_promises(self):
         """The committed BENCH_PERF.json upholds the reproduction's
-        acceptance criteria: >= 2x on macro3, >= 30% solver time drop."""
+        acceptance criteria: >= 2x on macro3, >= 3x hash-index speedup
+        on the skewed macro, >= 30% solver time drop."""
         doc = json.loads(BASELINE.read_text())
         gates = doc["gate_metrics"]
         assert gates["macro3_speedup_x"] >= 2.0
+        assert gates["macro3_skew_speedup_x"] >= 3.0
         assert gates["fig10_solver_time_ratio"] <= 0.7
         assert doc["benchmarks"]["macro3"]["identical"] is True
+        assert doc["benchmarks"]["macro3_skew"]["identical"] is True
         assert doc["benchmarks"]["macro5"]["identical"] is True
         assert doc["benchmarks"]["sharded_k4"]["identical"] is True
 

@@ -26,6 +26,13 @@ from .scores import rank_scores, scores_from_histograms, scores_from_pdf
 from .shredding import shred_slices_for_hop, shredded_slices
 from .solver_result import SolverResult
 from .throttle import FixedThrottle, ThrottleController
+from .windex import (
+    PartitionTable,
+    WindexTelemetry,
+    WindowIndexState,
+    check_index_compat,
+    make_index_states,
+)
 
 __all__ = [
     "AggregateResult",
@@ -37,16 +44,21 @@ __all__ = [
     "HarvestConfiguration",
     "JoinProfile",
     "Metric",
+    "PartitionTable",
     "PartitionedWindow",
     "SCALAR",
     "SolverResult",
     "ThrottleController",
     "ThrottledAggregateOperator",
     "VECTOR",
+    "WindexTelemetry",
+    "WindowIndexState",
     "WindowSlice",
+    "check_index_compat",
     "greedy_double_sided",
     "greedy_pick",
     "greedy_reverse",
+    "make_index_states",
     "rank_scores",
     "scores_from_histograms",
     "scores_from_pdf",

@@ -47,7 +47,10 @@ class BasicWindow:
     tuple list.
     """
 
-    __slots__ = ("mode", "dim", "tuples", "_ts", "_vals", "_count", "version")
+    __slots__ = (
+        "mode", "dim", "tuples", "_ts", "_vals", "_count", "version",
+        "windex",
+    )
 
     def __init__(self, mode: str = SCALAR, dim: int | None = None) -> None:
         if mode not in _MODES:
@@ -69,6 +72,10 @@ class BasicWindow:
         self._count = 0
         #: bumped on every mutation; lets external indexes detect staleness
         self.version = 0
+        #: shared per-stream partition-index state
+        #: (:class:`repro.core.windex.WindowIndexState`) attached by the
+        #: owning :class:`PartitionedWindow`; ``None`` keeps the flat path
+        self.windex = None
 
     def __len__(self) -> int:
         return self._count
@@ -137,7 +144,10 @@ class BasicWindow:
             self._vals[pos] = np.asarray(tup.value, dtype=np.float64)
         self.tuples.insert(pos, tup)
         self._count += 1
-        self.version += 1
+        # bump twice: a shift moves existing rows, so version advancing
+        # faster than the row count tells append-only consumers (the
+        # partition-index delta reuse) their cached row mapping is stale
+        self.version += 2
 
     def _grow(self) -> None:
         new_cap = len(self._ts) * 2
@@ -224,7 +234,7 @@ class PartitionedWindow:
 
     __slots__ = (
         "window_size", "basic_window_size", "n", "mode", "policy", "_ring",
-        "_epoch_start", "rotations", "version",
+        "_epoch_start", "rotations", "version", "windex",
         "_fs_key", "_fs_prefix", "_fs_now", "_fs_full",
     )
 
@@ -236,6 +246,7 @@ class PartitionedWindow:
         dim: int | None = None,
         start_time: float = 0.0,
         policy: "WindowPolicy | str | None" = None,
+        index=None,
     ) -> None:
         if window_size <= 0:
             raise ValueError("window_size must be positive")
@@ -243,15 +254,25 @@ class PartitionedWindow:
             raise ValueError("basic_window_size must be positive")
         if basic_window_size > window_size:
             raise ValueError("basic window cannot exceed the join window")
+        if index is not None and mode != SCALAR:
+            raise ValueError("partition indexes require scalar storage")
         self.window_size = float(window_size)
         self.basic_window_size = float(basic_window_size)
         self.n = math.ceil(window_size / basic_window_size)
         self.mode = mode
         self.policy = resolve_policy(policy)
+        #: shared per-stream partition-index state
+        #: (:class:`repro.core.windex.WindowIndexState` or ``None``);
+        #: ring windows are recycled, never replaced, so attaching the
+        #: state once here covers every future rotation
+        self.windex = index
         #: physical basic windows, index 0 = newest (currently filling)
         self._ring: deque[BasicWindow] = deque(
             BasicWindow(mode, dim) for _ in range(self.n + 1)
         )
+        if index is not None:
+            for bw in self._ring:
+                bw.windex = index
         self._epoch_start = float(start_time)
         #: rotation-epoch counter: increments once per basic-window rotation
         self.rotations = 0
@@ -294,6 +315,13 @@ class PartitionedWindow:
             self._ring.appendleft(oldest)
             self._epoch_start += b
             self.rotations += 1
+            if self.windex is not None:
+                # the previously filling window just froze: drop its
+                # cached partition table so the next probe rebuilds it
+                # once more, with a zero delta tail, and the append-only
+                # reuse rule then holds that table for the window's
+                # whole remaining lifetime
+                self.windex.mark_frozen(self._ring[1])
 
     # ------------------------------------------------------------------
     # insertion
@@ -324,6 +352,8 @@ class PartitionedWindow:
         else:
             target.append(tup)
         self.version += 1
+        if self.windex is not None and self.windex.needs_sensor:
+            self.windex.observe(tup.value)
 
     # ------------------------------------------------------------------
     # views

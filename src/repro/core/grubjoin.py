@@ -30,7 +30,7 @@ from repro.joins.join_order import (
     low_selectivity_first,
     validate_order,
 )
-from repro.joins.columnar import select_kernel
+from repro.joins.columnar import select_kernel, supports_columnar
 from repro.joins.pipeline import merge_slices, run_pipeline
 from repro.joins.selectivity import SelectivityEstimator
 from repro.joins.variants import JoinMode
@@ -38,7 +38,7 @@ from repro.obs.explainer import explain_adaptation
 from repro.streams.tuples import JoinResult, StreamTuple
 from repro.streams.windows import SlidingWindow
 
-from .basic_windows import PartitionedWindow
+from .basic_windows import SCALAR, PartitionedWindow
 from .cost_model import JoinProfile
 from .greedy import Metric, greedy_double_sided, greedy_pick
 from .harvesting import HarvestConfiguration
@@ -46,6 +46,7 @@ from .histograms import EquiWidthHistogram
 from .scores import scores_from_histograms
 from .shredding import shred_slices_for_hop
 from .throttle import ThrottleController
+from .windex import WindexTelemetry, check_index_compat, make_index_states
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.joins.predicates import JoinPredicate
@@ -137,6 +138,7 @@ class GrubJoinOperator(StreamOperator):
         solver_timer: Callable[[], float] | None = None,
         fastpath: bool | None = None,
         warm_start: bool = False,
+        index: str | None = None,
     ) -> None:
         m = len(window_sizes)
         if m < 2:
@@ -157,14 +159,30 @@ class GrubJoinOperator(StreamOperator):
         # them for obs labels and plan-analyzer introspection
         self.mode = JoinMode.INNER
         self.window_policy = SlidingWindow()
+        radius = getattr(predicate, "interval_radius", None)
+        self.index_spec = check_index_compat(
+            index,
+            columnar_ok=supports_columnar(predicate),
+            radius=radius,
+            fastpath=fastpath,
+        )
+        self.windex_states = make_index_states(self.index_spec, m, radius)
+        # a pinned "flat" spec is valid for *any* predicate (it is
+        # inert), but only scalar windows can carry index state
+        ring_states = (
+            self.windex_states
+            if predicate.storage_mode == SCALAR
+            else None
+        )
         self.windows = [
             PartitionedWindow(
                 w,
                 basic_window_size,
                 mode=predicate.storage_mode,
                 dim=predicate.dim,
+                index=None if ring_states is None else ring_states[i],
             )
-            for w in self.window_sizes
+            for i, w in enumerate(self.window_sizes)
         ]
         self.segments = [w.n for w in self.windows]
         if orders is None:
@@ -231,6 +249,7 @@ class GrubJoinOperator(StreamOperator):
         self.z_history: list[tuple[float, float]] = []
         # cached obs instrument handles (populated by _obs_setup)
         self._obs_handles = None
+        self._obs_windex = None
 
     # ------------------------------------------------------------------
     # telemetry
@@ -292,6 +311,7 @@ class GrubJoinOperator(StreamOperator):
         for i in range(m):
             for j in range(m - 1):
                 self._obs_handles["fraction"][i][j].set(1.0)
+        self._obs_windex = WindexTelemetry(obs, labels, m)
 
     def _obs_record_harvest(self, counts) -> None:
         """Update the per-direction harvest-fraction gauges z_{i,j}."""
@@ -412,6 +432,11 @@ class GrubJoinOperator(StreamOperator):
                 self._rates[s] = rate
         if self.adapt_orders:
             self.orders = low_selectivity_first(self.selectivity.matrix())
+        if self.windex_states is not None:
+            for state in self.windex_states:
+                state.tick()
+        if self._obs_windex is not None:
+            self._obs_windex.record(self.windex_states)
         self._reconfigure_harvesting(now, z)
         self.adaptations += 1
         if self._obs_handles is not None:
@@ -587,6 +612,12 @@ class GrubJoinOperator(StreamOperator):
             self.tuples_evicted += self.windows[l].evict_older_than(
                 horizon, now
             )
+
+    def on_finish(self, now: float) -> list[JoinResult]:
+        """Flush the final index-telemetry deltas at end-of-run."""
+        if self._obs_windex is not None:
+            self._obs_windex.record(self.windex_states)
+        return []
 
     def testkit_profile(self) -> dict:
         """Join semantics for the correctness oracle: the ideal (no

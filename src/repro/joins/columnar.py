@@ -37,6 +37,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.basic_windows import SCALAR, WindowSlice
+from repro.core.windex import HASH
 from repro.streams.tuples import JoinResult, StreamTuple
 
 from .pipeline import HopStats, PipelineResult, run_pipeline
@@ -104,7 +105,7 @@ def run_pipeline_columnar(
     vmin = np.array([v0], dtype=np.float64)
     vmax = np.array([v0], dtype=np.float64)
     # per-hop slice pools and back-pointer chains for final materialization
-    hop_pools: list[tuple[Sequence[WindowSlice], np.ndarray]] = []
+    hop_pools: list[tuple[Sequence[WindowSlice], Sequence[int]]] = []
     parents_chain: list[np.ndarray] = []
     rows_chain: list[np.ndarray] = []
     completed = True
@@ -114,20 +115,38 @@ def run_pipeline_columnar(
         lens = [len(s) for s in slices]
         total = sum(lens)
         num_partials = len(vmin)
-        stats.scanned = num_partials * total
-        result.comparisons += stats.scanned
         if total == 0:
             completed = False
             break
-        if len(slices) == 1:
-            pool = np.asarray(slices[0].values, dtype=np.float64)
+        # at radius 0 the probe interval is [vmax, vmin] itself; alias
+        # instead of allocating (IEEE: the only value changed by -/+ 0.0
+        # is the sign of a zero, which compares equal either way)
+        if radius == 0.0:
+            lo, hi = vmax, vmin
         else:
-            pool = np.concatenate(
-                [np.asarray(s.values, dtype=np.float64) for s in slices]
-            )
-        lo = vmax - radius
-        hi = vmin + radius
-        max_rows = max(1, _CHUNK_ELEMS // total)
+            lo = vmax - radius
+            hi = vmin + radius
+        state = slices[0].window.windex
+        sel: np.ndarray | None = None
+        if state is not None and state.is_active:
+            pool, sel = _indexed_pool(state, slices, lens, lo, hi, v0)
+            eff_total = len(pool)
+            state.rows_scanned += eff_total
+            state.rows_pruned += total - eff_total
+            if eff_total == 0:
+                completed = False
+                break
+        else:
+            if len(slices) == 1:
+                pool = np.asarray(slices[0].values, dtype=np.float64)
+            else:
+                pool = np.concatenate(
+                    [np.asarray(s.values, dtype=np.float64) for s in slices]
+                )
+            eff_total = total
+        stats.scanned = num_partials * eff_total
+        result.comparisons += stats.scanned
+        max_rows = max(1, _CHUNK_ELEMS // eff_total)
         if num_partials <= max_rows:
             mask = (pool >= lo[:, None]) & (pool <= hi[:, None])
             prow, pcol = np.nonzero(mask)
@@ -151,11 +170,15 @@ def run_pipeline_columnar(
         candidates = pool[pcol]
         vmin = np.minimum(vmin[prow], candidates)
         vmax = np.maximum(vmax[prow], candidates)
-        offsets = np.zeros(len(lens) + 1, dtype=np.intp)
-        np.cumsum(lens, out=offsets[1:])
-        hop_pools.append((slices, offsets))
+        # slice offsets are only needed to resolve hits at the final
+        # materialization, which runs once per completed probe — far
+        # less often than this per-hop path
+        hop_pools.append((slices, lens))
         parents_chain.append(prow)
-        rows_chain.append(pcol)
+        # with an indexed pool, map pruned-pool hits back to their
+        # positions in the full (unpruned) pool so materialization is
+        # oblivious to pruning
+        rows_chain.append(pcol if sel is None else sel[pcol])
     if completed:
         result.outputs = _materialize(
             tup, order, hop_pools, parents_chain, rows_chain
@@ -163,10 +186,172 @@ def run_pipeline_columnar(
     return result
 
 
+_EMPTY_F64 = np.empty(0, dtype=np.float64)
+_EMPTY_IDX = np.empty(0, dtype=np.intp)
+
+
+def _indexed_pool(
+    state,
+    slices: Sequence[WindowSlice],
+    lens: Sequence[int],
+    lo: np.ndarray,
+    hi: np.ndarray,
+    v0: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Partition-pruned candidate pool for one hop.
+
+    Returns ``(pool, sel)`` where ``pool`` holds the candidate values
+    and ``sel`` their positions in the full concatenated pool the flat
+    path would build.  Candidates come back in ascending full-pool
+    position (ascending rows within each slice, slices in order), so
+    ``np.nonzero`` over the pruned mask enumerates hits in exactly the
+    flat scan's order.  Pruning is lossless: the per-slice candidates
+    are a superset of every row whose value falls in the union probe
+    envelope ``[min(lo), max(hi)]`` (for hash indexes, of every row
+    whose value equals the probe key — exact equi probes only,
+    enforced at construction via ``check_index_compat``).
+    """
+    if state.active == HASH:
+        # radius == 0 here, so lo == vmax and hi == vmin: every partial
+        # contains the probing tuple, and a partial only survives a hop
+        # by extending with an exactly-equal value — so every live
+        # partial's values all equal v0, the only possible probe key is
+        # v0 itself, and its bucket can be resolved once.  The sole
+        # degenerate case is a NaN probe value (no interval is ever
+        # nonempty), caught by the self-inequality test.
+        if v0 != v0:
+            return _EMPTY_F64, _EMPTY_IDX
+        return _hash_pool(state, slices, lens, v0)
+    glo = float(lo.min())
+    ghi = float(hi.max())
+    parts = state.probe_parts(glo, ghi)
+    pool_parts = []
+    sel_parts = []
+    pos = 0
+    for s, ln in zip(slices, lens):
+        if ln:
+            rows = state.candidate_rows(s, glo, ghi, parts=parts)
+            if rows is None:
+                # window too small to index: the whole slice competes
+                pool_parts.append(
+                    np.asarray(s.values, dtype=np.float64)
+                )
+                sel_parts.append(np.arange(pos, pos + ln, dtype=np.intp))
+            elif len(rows):
+                pool_parts.append(s.window.values[rows])
+                if s.step == 1:
+                    sel_parts.append(pos + rows - s.lo)
+                else:
+                    sel_parts.append(pos + (rows - s.lo) // s.step)
+        pos += ln
+    if not pool_parts:
+        return _EMPTY_F64, _EMPTY_IDX
+    if len(pool_parts) == 1:
+        return pool_parts[0], sel_parts[0]
+    return np.concatenate(pool_parts), np.concatenate(sel_parts)
+
+
+def _hash_pool(
+    state,
+    slices: Sequence[WindowSlice],
+    lens: Sequence[int],
+    key: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single-bucket candidate pool for an exact equi probe.
+
+    The hot path of the hash index: the key's partition is resolved
+    once, and each indexed slice contributes its bucket segment as two
+    array *views* (``ovals``/``order`` are laid out in partition
+    order), so per-slice work is a table lookup plus pointer
+    arithmetic — no gathers, no sorts.
+    """
+    part = state.hash_part(key)
+    parts = None  # lazily materialized for the strided general path
+    pool_parts = []
+    sel_parts = []
+    pos = 0
+    scanned = pruned = 0
+    table_for = state.table_for
+    for s, ln in zip(slices, lens):
+        if ln and s.step == 1:
+            t = table_for(s.window)
+            if t is None:
+                # window too small to index: the whole slice competes
+                pool_parts.append(
+                    np.asarray(s.values, dtype=np.float64)
+                )
+                sel_parts.append(np.arange(pos, pos + ln, dtype=np.intp))
+                pos += ln
+                continue
+            starts = t.starts
+            a = starts[part]
+            b = starts[part + 1]
+            bn = t.build_n
+            s_lo, s_hi = s.lo, s.hi
+            if b > a:
+                # no (min, max)-summary test here: thousands of keys
+                # share each bucket, so a nonempty bucket's value span
+                # practically always covers the probe key and the test
+                # would only add two scalar reads per slice
+                scanned += 1
+                pruned += t.nonempty_parts - 1
+                rows = t.order[a:b]
+                vals = t.ovals[a:b]
+                if s_lo > 0 or s_hi < bn:
+                    lo_pos = int(np.searchsorted(rows, s_lo, "left"))
+                    hi_pos = int(np.searchsorted(
+                        rows, min(s_hi, bn), "left"
+                    ))
+                    rows = rows[lo_pos:hi_pos]
+                    vals = vals[lo_pos:hi_pos]
+                if len(rows):
+                    pool_parts.append(vals)
+                    sel_parts.append(
+                        rows if pos == s_lo else (pos - s_lo) + rows
+                    )
+            else:
+                pruned += t.nonempty_parts
+            tail_lo = max(s_lo, bn)
+            if tail_lo < s_hi:
+                # rows appended after the table build are always
+                # candidates; they are contiguous, so views again
+                pool_parts.append(s.window.values[tail_lo:s_hi])
+                sel_parts.append(np.arange(
+                    pos + tail_lo - s_lo, pos + s_hi - s_lo,
+                    dtype=np.intp,
+                ))
+        elif ln:
+            # strided (shredded) slice: general path
+            if parts is None:
+                parts = np.array([part], dtype=np.intp)
+            rows = state.candidate_rows(
+                s, key, key, parts=parts
+            )
+            if rows is None:
+                pool_parts.append(
+                    np.asarray(s.values, dtype=np.float64)
+                )
+                sel_parts.append(np.arange(pos, pos + ln, dtype=np.intp))
+            elif len(rows):
+                pool_parts.append(s.window.values[rows])
+                sel_parts.append(pos + (rows - s.lo) // s.step)
+        pos += ln
+    state.partitions_scanned += scanned
+    state.partitions_pruned += pruned
+    if not pool_parts:
+        return _EMPTY_F64, _EMPTY_IDX
+    if len(pool_parts) == 1:
+        sel = sel_parts[0]
+        return pool_parts[0], (
+            sel if sel.dtype == np.intp else sel.astype(np.intp)
+        )
+    return np.concatenate(pool_parts), np.concatenate(sel_parts)
+
+
 def _materialize(
     tup: StreamTuple,
     order: Sequence[int],
-    hop_pools: list[tuple[Sequence[WindowSlice], np.ndarray]],
+    hop_pools: list[tuple[Sequence[WindowSlice], Sequence[int]]],
     parents_chain: list[np.ndarray],
     rows_chain: list[np.ndarray],
 ) -> list[JoinResult]:
@@ -184,7 +369,9 @@ def _materialize(
     idxs = np.arange(count, dtype=np.intp)
     levels: list[list[StreamTuple]] = []
     for h in range(hops - 1, -1, -1):
-        slices, offsets = hop_pools[h]
+        slices, lens = hop_pools[h]
+        offsets = np.zeros(len(lens) + 1, dtype=np.intp)
+        np.cumsum(lens, out=offsets[1:])
         cols = rows_chain[h][idxs]
         slice_ids = np.searchsorted(offsets, cols, side="right") - 1
         within = cols - offsets[slice_ids]

@@ -15,18 +15,74 @@ NLJ — and, conversely, how much CPU pressure remains even with indexes
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
-from repro.core.basic_windows import SCALAR, PartitionedWindow
+import numpy as np
+
+from repro.core.basic_windows import SCALAR, PartitionedWindow, WindowSlice
 from repro.core.indexing import SortedWindowIndex
+from repro.core.windex import (
+    HASH,
+    WindexTelemetry,
+    WindowIndexState,
+    check_index_compat,
+    make_index_states,
+)
 from repro.engine.buffers import BufferStats
 from repro.engine.operator import ProcessReceipt, StreamOperator
 from repro.streams.tuples import JoinResult, StreamTuple
 from repro.streams.windows import WindowPolicy, resolve_policy
 
+from .columnar import supports_columnar
 from .join_order import default_orders, validate_order
 from .predicates import JoinPredicate
 from .variants import JoinMode, ModeState
+
+_EMPTY = np.empty(0, dtype=np.intp)
+_NO_KEYS = np.empty(0, dtype=np.float64)
+
+
+def _partition_probe(
+    state: WindowIndexState,
+    window_slice: WindowSlice,
+    low: float,
+    high: float,
+) -> tuple[np.ndarray, int]:
+    """Partition-narrowed range probe over one slice.
+
+    Returns the same hit set as :meth:`repro.core.indexing
+    .SortedWindowIndex.range_probe` (slice-relative indices of values
+    in ``[low, high]``) but enumerated in ascending row order, plus the
+    work units charged — partition lookup priced like a binary search
+    over the basic window, then one comparison per candidate row.
+    """
+    if low > high:
+        return _EMPTY, 1
+    window = window_slice.window
+    if len(window) == 0:
+        return _EMPTY, 1
+    if state.active == HASH:
+        # hash indexing requires an exact equi probe (radius 0), so a
+        # nonempty interval collapses to the single key low == high
+        keys = np.array([low]) if low == high else _NO_KEYS
+    else:
+        keys = None
+    rows = state.candidate_rows(window_slice, low, high, keys)
+    if rows is None:
+        # window too small to index: flat-scan the slice's value block
+        vals = np.asarray(window_slice.values, dtype=np.float64)
+        cost = max(1, len(vals))
+        hits = np.flatnonzero((vals >= low) & (vals <= high))
+        return hits.astype(np.intp), cost
+    cost = max(1, math.ceil(math.log2(max(len(window), 2)))) + len(rows)
+    if len(rows) == 0:
+        return _EMPTY, cost
+    vals = window.values[rows]
+    hits = rows[(vals >= low) & (vals <= high)] - window_slice.lo
+    if window_slice.step != 1:
+        hits //= window_slice.step
+    return hits.astype(np.intp), cost
 
 
 class IndexedMJoin(StreamOperator):
@@ -55,6 +111,7 @@ class IndexedMJoin(StreamOperator):
         output_cost: float = 2.0,
         mode: "JoinMode | str" = JoinMode.INNER,
         window_policy: "WindowPolicy | str | None" = None,
+        index: str | None = None,
     ) -> None:
         if predicate.storage_mode != SCALAR:
             raise ValueError(
@@ -68,12 +125,24 @@ class IndexedMJoin(StreamOperator):
         self.predicate = predicate
         self.mode = JoinMode(mode)
         self.window_policy = resolve_policy(window_policy)
+        radius = getattr(predicate, "interval_radius", None)
+        self.index_spec = check_index_compat(
+            index,
+            columnar_ok=supports_columnar(predicate),
+            radius=radius,
+        )
+        self.windex_states = make_index_states(self.index_spec, m, radius)
         self.windows = [
             PartitionedWindow(
                 w, basic_window_size, mode=SCALAR,
                 policy=self.window_policy,
+                index=(
+                    None
+                    if self.windex_states is None
+                    else self.windex_states[i]
+                ),
             )
-            for w in window_sizes
+            for i, w in enumerate(window_sizes)
         ]
         self._modes = (
             None
@@ -95,6 +164,7 @@ class IndexedMJoin(StreamOperator):
         self.work_total = 0
         # cached obs instrument handles (populated by _obs_setup)
         self._obs_work = None
+        self._obs_windex = None
 
     def _obs_setup(self, obs, labels) -> None:
         """Cache per-(direction, hop) indexed-probe work counters."""
@@ -114,6 +184,7 @@ class IndexedMJoin(StreamOperator):
             ]
             for i in range(m)
         ]
+        self._obs_windex = WindexTelemetry(obs, labels, m)
 
     def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
         """Insert and probe via the indexes."""
@@ -127,6 +198,9 @@ class IndexedMJoin(StreamOperator):
         partials: list[list[StreamTuple]] = [[tup]]
         for hop, window_stream in enumerate(self.orders[tup.stream]):
             window = self.windows[window_stream]
+            state = window.windex
+            if state is not None and not state.is_active:
+                state = None
             slices = window.full_slices(now)
             next_partials: list[list[StreamTuple]] = []
             hop_work = 0
@@ -137,7 +211,10 @@ class IndexedMJoin(StreamOperator):
                     [t.value for t in partial]  # lint: disable=R007
                 )
                 for s in slices:
-                    hits, cost = self.index.range_probe(s, low, high)
+                    if state is not None:
+                        hits, cost = _partition_probe(state, s, low, high)
+                    else:
+                        hits, cost = self.index.range_probe(s, low, high)
                     hop_work += cost
                     for idx in hits:
                         next_partials.append(
@@ -169,10 +246,17 @@ class IndexedMJoin(StreamOperator):
     def on_adapt(
         self, now: float, stats: list[BufferStats], interval: float
     ) -> None:
-        """Nothing to adapt: the full join has no shedding knobs."""
+        """Tick the partition-index policy (no shedding knobs here)."""
+        if self.windex_states is not None:
+            for state in self.windex_states:
+                state.tick()
+        if self._obs_windex is not None:
+            self._obs_windex.record(self.windex_states)
 
     def on_finish(self, now: float) -> list[JoinResult]:
         """Release deferred anti/outer survivors at end-of-run."""
+        if self._obs_windex is not None:
+            self._obs_windex.record(self.windex_states)
         if self._modes is None:
             return []
         return self._modes.flush(now)

@@ -12,13 +12,18 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.basic_windows import PartitionedWindow
+from repro.core.basic_windows import SCALAR, PartitionedWindow
+from repro.core.windex import (
+    WindexTelemetry,
+    check_index_compat,
+    make_index_states,
+)
 from repro.engine.buffers import BufferStats
 from repro.engine.operator import ProcessReceipt, StreamOperator
 from repro.streams.tuples import JoinResult, StreamTuple
 from repro.streams.windows import WindowPolicy, resolve_policy
 
-from .columnar import select_kernel
+from .columnar import select_kernel, supports_columnar
 from .join_order import default_orders, low_selectivity_first, validate_order
 from .pipeline import run_pipeline
 from .predicates import JoinPredicate
@@ -70,6 +75,7 @@ class MJoinOperator(StreamOperator):
         fastpath: bool | None = None,
         mode: "JoinMode | str" = JoinMode.INNER,
         window_policy: "WindowPolicy | str | None" = None,
+        index: str | None = None,
     ) -> None:
         m = len(window_sizes)
         if m < 2:
@@ -93,6 +99,21 @@ class MJoinOperator(StreamOperator):
                     "inner-mode sliding-window joins"
                 )
             fastpath = False
+        radius = getattr(predicate, "interval_radius", None)
+        self.index_spec = check_index_compat(
+            index,
+            columnar_ok=supports_columnar(predicate),
+            radius=radius,
+            fastpath=fastpath,
+        )
+        self.windex_states = make_index_states(self.index_spec, m, radius)
+        # a pinned "flat" spec is valid for *any* predicate (it is
+        # inert), but only scalar windows can carry index state
+        ring_states = (
+            self.windex_states
+            if predicate.storage_mode == SCALAR
+            else None
+        )
         self.windows = [
             PartitionedWindow(
                 w,
@@ -100,8 +121,9 @@ class MJoinOperator(StreamOperator):
                 mode=predicate.storage_mode,
                 dim=predicate.dim,
                 policy=self.window_policy,
+                index=None if ring_states is None else ring_states[i],
             )
-            for w in self.window_sizes
+            for i, w in enumerate(self.window_sizes)
         ]
         self._modes = (
             None
@@ -126,6 +148,7 @@ class MJoinOperator(StreamOperator):
         self.comparisons_total = 0
         # cached obs instrument handles (populated by _obs_setup)
         self._obs_comparisons = None
+        self._obs_windex = None
 
     def _obs_setup(self, obs, labels) -> None:
         """Cache per-(direction, hop) comparison counters."""
@@ -145,6 +168,7 @@ class MJoinOperator(StreamOperator):
             ]
             for i in range(m)
         ]
+        self._obs_windex = WindexTelemetry(obs, labels, m)
 
     def process(self, tup: StreamTuple, now: float) -> ProcessReceipt:
         """Insert ``tup`` into its window and probe the others fully."""
@@ -184,9 +208,16 @@ class MJoinOperator(StreamOperator):
         self.selectivity.age()
         if self.adapt_orders:
             self.orders = low_selectivity_first(self.selectivity.matrix())
+        if self.windex_states is not None:
+            for state in self.windex_states:
+                state.tick()
+        if self._obs_windex is not None:
+            self._obs_windex.record(self.windex_states)
 
     def on_finish(self, now: float) -> list[JoinResult]:
         """Release deferred anti/outer survivors at end-of-run."""
+        if self._obs_windex is not None:
+            self._obs_windex.record(self.windex_states)
         if self._modes is None:
             return []
         return self._modes.flush(now)
@@ -204,4 +235,6 @@ class MJoinOperator(StreamOperator):
         }
 
     def describe(self) -> str:
+        if self.index_spec is not None:
+            return f"MJoin(m={self.num_streams}, index={self.index_spec})"
         return f"MJoin(m={self.num_streams})"

@@ -51,13 +51,24 @@ def merge_slices(slices: Sequence[WindowSlice]) -> list[WindowSlice]:
     Fast path: a singleton input, or contiguous slices over pairwise
     distinct basic windows (the shape ``full_slices`` produces), has
     nothing to merge and is returned as-is — the grouping/sorting below
-    would reproduce the input order exactly.
+    would reproduce the input order exactly.  A *prefix* of strided
+    slices (the shape harvesting's fractional window produces, and the
+    degenerate single-partition run) keeps the fast path: the slow path
+    fronts strided slices unchanged, so a strided-prefix input is
+    already in its output order.  A strided slice after the first
+    contiguous one would be reordered to the front, so it falls through.
     """
     if len(slices) <= 1:
         return list(slices)
     seen_windows: set[int] = set()
+    in_prefix = True
     for s in slices:
-        if s.step != 1 or id(s.window) in seen_windows:
+        if s.step != 1:
+            if in_prefix:
+                continue
+            break
+        in_prefix = False
+        if id(s.window) in seen_windows:
             break
         seen_windows.add(id(s.window))
     else:

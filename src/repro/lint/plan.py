@@ -88,6 +88,12 @@ P132   Session-gap geometry (warnings): a session gap that is not an
        ragged; a gap at or above the effective window horizon can
        never close a session inside the window, degenerating the
        policy to sliding.
+P133   Partition-index compatibility: an ``index=`` spec must agree
+       with the predicate's capabilities — the single contract of
+       :func:`repro.core.windex.check_index_compat` (columnar-capable
+       predicate; ``hash`` only for exact equi probes, radius 0; never
+       under ``fastpath=False``).  Also rejects a spec given through
+       both ``.index(...)`` and ``.join(index=...)``.
 
 The effect checks (P120-P124) run automatically whenever the graph
 contains a routed topology, and can be forced on or off with
@@ -676,7 +682,11 @@ def analyze_graph(
             )
 
     # P103 / P104 / P108 / P109 — per-operator window parameters
-    # P130 / P132 — join-mode runtime compatibility, session geometry
+    # P130 / P132 / P133 — join-mode runtime compatibility, session
+    # geometry, partition-index compatibility
+    from repro.core.windex import check_index_compat
+    from repro.joins.columnar import supports_columnar
+
     for name, op in nodes.items():
         window_sizes = getattr(op, "window_sizes", None)
         basic = getattr(op, "basic_window_size", None)
@@ -707,6 +717,21 @@ def analyze_graph(
         function = getattr(op, "function", None)
         if slide is not None and window is not None and function is not None:
             _check_aggregate(report, function, window, slide, name)
+        # P133 — a node's index spec must (still) agree with its
+        # predicate; constructors enforce this once, but the analyzer
+        # re-validates so post-construction attribute surgery is caught
+        spec = getattr(op, "index_spec", None)
+        op_predicate = getattr(op, "predicate", None)
+        if spec is not None and op_predicate is not None:
+            try:
+                check_index_compat(
+                    spec,
+                    columnar_ok=supports_columnar(op_predicate),
+                    radius=getattr(op_predicate, "interval_radius", None),
+                    fastpath=getattr(op, "fastpath", None),
+                )
+            except ValueError as exc:
+                report.add("P133", f"node {name!r}: {exc}", node=name)
 
     # P107 — starved inputs
     fed: set[tuple[str, int]] = set()
@@ -888,6 +913,34 @@ def analyze_query(
                 "shedding='randomdrop' or 'none'",
                 node="join",
             )
+
+    # P133 — partition-index / predicate compatibility (the same
+    # contract the operator constructor enforces at build time, but
+    # reported alongside everything else instead of raising first)
+    from repro.core.windex import check_index_compat
+    from repro.joins.columnar import supports_columnar
+
+    join_kwargs = getattr(query, "_join_kwargs", {})
+    index_spec = getattr(query, "_index", None)
+    kwargs_spec = join_kwargs.get("index")
+    if index_spec is not None and kwargs_spec is not None:
+        report.add(
+            "P133",
+            "index specified twice: both .index(...) and "
+            ".join(index=...) set a partition index; drop one",
+            node="join",
+        )
+    spec = index_spec if index_spec is not None else kwargs_spec
+    if spec is not None and predicate is not None:
+        try:
+            check_index_compat(
+                spec,
+                columnar_ok=supports_columnar(predicate),
+                radius=getattr(predicate, "interval_radius", None),
+                fastpath=join_kwargs.get("fastpath"),
+            )
+        except ValueError as exc:
+            report.add("P133", str(exc), node="join")
 
     # P103 — window divisibility
     m = len(sources)

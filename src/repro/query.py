@@ -87,6 +87,7 @@ class Query:
         self._mode = JoinMode.INNER
         self._policy = resolve_policy(None)
         self._join_kwargs: dict[str, Any] = {}
+        self._index: str | None = None
         self._stages: list[tuple[str, Any]] = []
         self._projection: Callable | None = None
 
@@ -143,6 +144,20 @@ class Query:
         self._join_kwargs = operator_kwargs
         return self
 
+    def index(self, spec: str | None) -> "Query":
+        """Request a partition index over the join windows.
+
+        ``spec``: ``None`` (no index, the default), ``"flat"`` (pin
+        today's flat scan), ``"hash"`` (equi predicates only),
+        ``"range"``, or ``"adaptive"`` (let the per-stream policy pick
+        at adaptation ticks).  Compatibility with the predicate is
+        checked statically by :meth:`validate` (P133) and again by the
+        operator constructor at :meth:`build` time — both through
+        :func:`repro.core.windex.check_index_compat`.
+        """
+        self._index = spec
+        return self
+
     # ---- downstream stages -------------------------------------------
 
     def project(self, fn: Callable[[Any], Any]) -> "Query":
@@ -185,6 +200,14 @@ class Query:
                 "(P130); run them through the Simulation runtime"
             )
         plain = self._mode is JoinMode.INNER and self._policy.is_sliding
+        join_kwargs = dict(self._join_kwargs)
+        if self._index is not None:
+            if "index" in join_kwargs:
+                raise ValueError(
+                    "index specified twice: pass it through .index(...) "
+                    "or .join(index=...), not both"
+                )
+            join_kwargs["index"] = self._index
         graph = DataflowGraph()
         shedder: RandomDropShedder | None = None
         if self._shedding == "grubjoin":
@@ -196,14 +219,14 @@ class Query:
                 )
             join_op: Any = GrubJoinOperator(
                 self._predicate, [self._window] * m, self._basic,
-                **self._join_kwargs,
+                **join_kwargs,
             )
             graph.add_node("join", join_op)
         else:
             join_op = MJoinOperator(
                 self._predicate, [self._window] * m, self._basic,
                 mode=self._mode, window_policy=self._policy,
-                **self._join_kwargs,
+                **join_kwargs,
             )
             if self._shedding == "randomdrop":
                 shedder = RandomDropShedder(join_op, capacity)

@@ -24,6 +24,7 @@ from .stochastic import (
     RandomWalkProcess,
     UniformProcess,
     ValueProcess,
+    ZipfKeyProcess,
 )
 from .trace import TraceSource, load_trace, record_trace, save_trace
 from .tuples import JoinResult, StreamTuple
@@ -64,6 +65,7 @@ __all__ = [
     "ValueProcess",
     "WindowPolicy",
     "WorldEvent",
+    "ZipfKeyProcess",
     "load_trace",
     "merge_sources",
     "numeric_schema",

@@ -142,6 +142,40 @@ class ConstantProcess(ValueProcess):
         return self.value
 
 
+class ZipfKeyProcess(ValueProcess):
+    """Integer-valued keys drawn i.i.d. from a zipf distribution.
+
+    ``P(k) ∝ 1 / (k + 1)^alpha`` over ``{0, .., n - 1}``: a handful of
+    hot keys carry most of the traffic while a long tail stays rare —
+    the skewed-key regime partition indexes (and skew-aware routing)
+    are built for.  Sampling inverts a precomputed CDF, so the process
+    is deterministic given its seed and costs one uniform draw plus a
+    binary search per tuple.  Values are returned as floats so the
+    scalar window storage and the equi predicate apply unchanged.
+    """
+
+    def __init__(
+        self,
+        n_keys: int,
+        alpha: float = 1.1,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if n_keys <= 0:
+            raise ValueError("n_keys must be positive")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.n_keys = int(n_keys)
+        self.alpha = float(alpha)
+        weights = np.arange(1, self.n_keys + 1, dtype=np.float64) ** -alpha
+        self._cdf = np.cumsum(weights / weights.sum())
+        self._rng = np.random.default_rng(rng)
+
+    def sample(self, timestamp: float) -> float:
+        return float(
+            np.searchsorted(self._cdf, self._rng.random(), side="right")
+        )
+
+
 class DiscreteUniformProcess(ValueProcess):
     """Integer-valued keys drawn i.i.d. uniform from ``{0, .., n - 1}``.
 

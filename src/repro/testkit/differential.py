@@ -99,12 +99,14 @@ def mjoin_ids(
     capacity: float = UNBOUNDED_CAPACITY,
     fastpath: bool | None = None,
     sanitize: bool = False,
+    index: str | None = None,
 ) -> set[IdVector]:
     """Run the plain nested-loop MJoin and return its identity set."""
     operator = MJoinOperator(
         workload.predicate, workload.window_sizes, workload.basic,
         fastpath=fastpath,
         mode=workload.mode, window_policy=workload.window_policy,
+        index=index,
     )
     return _simulate(workload, operator, capacity,
                      sanitizer=_make_sanitizer(sanitize))
@@ -501,7 +503,10 @@ def differential_matrix(
     Per workload: oracle ≡ MJoin ≡ IndexedMJoin ≡ GrubJoin(z=1) ≡
     ShardedPlan(K) for co-partitioning predicates — and, when the
     predicate has a columnar kernel, the same equalities again with the
-    fast path forced on (``*_fast`` rows) — plus subset for every
+    fast path forced on (``*_fast`` rows) and with partition indexes
+    under the kernel (``*_indexed`` rows: range always, hash at
+    interval radius zero, GrubJoin under the adaptive policy) — plus
+    subset for every
     shedding configuration (pinned z grid, feedback throttling under
     measured overload, RandomDrop under the same overload).  Equi-join
     workloads additionally run the wall-clock process-parallel rows
@@ -559,6 +564,7 @@ def differential_matrix(
                                 warm_start=True, sanitize=sanitize),
                    workload, "equal")
 
+        equi = workload.tags.get("kind") == "keys"
         fast = (
             plain
             and spec.include_fastpath
@@ -573,8 +579,25 @@ def differential_matrix(
                    grubjoin_ids(workload, pin_z=1.0, fastpath=True,
                                 sanitize=sanitize),
                    workload, "equal")
-
-        equi = workload.tags.get("kind") == "keys"
+            # partition-indexed probes must enumerate exactly the flat
+            # kernel's hit set: range indexes apply to any columnar
+            # predicate, hash indexes only at interval radius zero
+            _check(reports, renders, "mjoin_range_indexed", reference,
+                   mjoin_ids(workload, fastpath=True, index="range",
+                             sanitize=sanitize),
+                   workload, "equal")
+            radius = getattr(workload.predicate, "interval_radius",
+                             None)
+            if radius == 0:
+                _check(reports, renders, "mjoin_hash_indexed",
+                       reference,
+                       mjoin_ids(workload, fastpath=True, index="hash",
+                                 sanitize=sanitize),
+                       workload, "equal")
+            _check(reports, renders, "grubjoin_z1_indexed", reference,
+                   grubjoin_ids(workload, pin_z=1.0, fastpath=True,
+                                index="adaptive", sanitize=sanitize),
+                   workload, "equal")
         sharded_sets: dict[int, set[IdVector]] = {}
         for k in spec.shard_counts:
             if not plain or (k > 1 and not equi):

@@ -27,6 +27,7 @@ from repro.streams import (
     PoissonArrivals,
     StreamSource,
     TraceSource,
+    ZipfKeyProcess,
 )
 from repro.streams.windows import WindowPolicy, resolve_policy
 
@@ -301,6 +302,56 @@ def key_workload(
     )
 
 
+def zipf_sources(
+    m: int = 3,
+    rate: float = 12.0,
+    n_keys: int = 50,
+    alpha: float = 1.1,
+    seed: int = 0,
+    phase_step: float = 1e-3,
+) -> list[StreamSource]:
+    """Zipf-skewed integer-key streams: a few hot keys dominate while a
+    long tail stays rare — the distribution the adaptive partition
+    index (``repro.core.windex``) is built for, and the adversarial
+    case for uniform hash routing.  De-phased like :func:`key_sources`.
+    """
+    return [
+        StreamSource(
+            i,
+            ConstantRate(rate, phase=i * phase_step),
+            ZipfKeyProcess(n_keys, alpha=alpha, rng=seed + i),
+        )
+        for i in range(m)
+    ]
+
+
+def zipf_key_workload(
+    seed: int,
+    m: int = 3,
+    rate: float = 12.0,
+    duration: float = 10.0,
+    window: float = 4.0,
+    basic: float = 1.0,
+    n_keys: int = 50,
+    alpha: float = 1.1,
+) -> Workload:
+    """A frozen equi-join workload over zipf-skewed integer keys."""
+    sources = zipf_sources(
+        m=m, rate=rate, n_keys=n_keys, alpha=alpha, seed=seed
+    )
+    return Workload(
+        name=f"zipf-m{m}-r{rate:g}-s{seed}",
+        traces=freeze(sources, duration),
+        predicate=EquiJoin(),
+        window=window,
+        basic=basic,
+        duration=duration,
+        seed=seed,
+        tags={"kind": "keys", "n_keys": n_keys, "alpha": alpha,
+              "skewed": True},
+    )
+
+
 def _mixed_cast(value, kind: int):
     """Re-type an integer key per stream: ints / floats / bools."""
     if kind == 1:
@@ -477,12 +528,15 @@ _register_grid()
 
 def default_workloads(seeds: Sequence[int] = (1, 2, 3)) -> list[Workload]:
     """The differential matrix's standard workload set: for each seed, a
-    3-way drift epsilon-join, a 3-way sharded-friendly equi-join, and a
-    4-way drift join at lower rate (4-way blowup is combinatorial)."""
+    3-way drift epsilon-join, a 3-way sharded-friendly equi-join, a
+    3-way zipf-skewed equi-join (hot keys stress the partition
+    indexes), and a 4-way drift join at lower rate (4-way blowup is
+    combinatorial)."""
     workloads: list[Workload] = []
     for seed in seeds:
         workloads.append(drift_workload(seed))
         workloads.append(key_workload(seed))
+        workloads.append(zipf_key_workload(seed))
         # 4-way needs near-aligned lags: the drift slope is domain/period
         # = 20 units/s, so the default 2 s lag steps would push streams
         # ~40 units apart and the clique join would be vacuously empty

@@ -493,3 +493,107 @@ class TestModeAndPolicyRules:
         plan = build_sharded_graph(make_sources(), make_shard, 2)
         report = analyze_graph(plan.graph)
         assert "P130" in error_codes(report)
+
+
+class TestPartitionIndexRule:
+    """P133: the ``index=`` spec must agree with the predicate."""
+
+    def make(self, predicate, spec, shedding="none", **join_kwargs):
+        return (
+            Query()
+            .streams(*make_sources())
+            .window(10.0, basic=1.0)
+            .join(predicate, shedding=shedding, **join_kwargs)
+            .index(spec)
+        )
+
+    def test_hash_on_equi_is_clean(self):
+        from repro.joins import EquiJoin
+
+        report = analyze_query(self.make(EquiJoin(), "hash"))
+        assert report.ok, report.render()
+
+    def test_range_and_adaptive_on_band_are_clean(self):
+        for spec in ("range", "adaptive"):
+            report = analyze_query(self.make(EpsilonJoin(1.0), spec))
+            assert report.ok, report.render()
+
+    def test_flat_and_none_always_clean(self):
+        from repro.joins import JaccardJoin
+
+        assert analyze_query(self.make(JaccardJoin(0.5), "flat")).ok
+        assert analyze_query(self.make(JaccardJoin(0.5), None)).ok
+
+    def test_hash_on_band_predicate_rejected(self):
+        report = analyze_query(self.make(EpsilonJoin(1.0), "hash"))
+        assert "P133" in error_codes(report)
+        assert any(
+            "equi" in d.message
+            for d in report.errors if d.code == "P133"
+        )
+
+    def test_non_columnar_predicate_rejected(self):
+        from repro.joins import JaccardJoin
+
+        report = analyze_query(self.make(JaccardJoin(0.5), "adaptive"))
+        assert "P133" in error_codes(report)
+        assert any(
+            "columnar" in d.message
+            for d in report.errors if d.code == "P133"
+        )
+
+    def test_unknown_spec_rejected(self):
+        from repro.joins import EquiJoin
+
+        report = analyze_query(self.make(EquiJoin(), "btree"))
+        assert "P133" in error_codes(report)
+
+    def test_pinned_reference_pipeline_rejected(self):
+        from repro.joins import EquiJoin
+
+        report = analyze_query(
+            self.make(EquiJoin(), "hash", fastpath=False)
+        )
+        assert "P133" in error_codes(report)
+
+    def test_double_specification_rejected(self):
+        from repro.joins import EquiJoin
+
+        report = analyze_query(
+            self.make(EquiJoin(), "hash", index="hash")
+        )
+        assert "P133" in error_codes(report)
+        with pytest.raises(ValueError, match="twice"):
+            self.make(EquiJoin(), "hash", index="hash").build(
+                capacity=10.0
+            )
+
+    def test_build_threads_spec_into_operator(self):
+        from repro.joins import EquiJoin
+
+        _graph, placeholder = self.make(EquiJoin(), "adaptive").build(
+            capacity=10.0
+        )
+        assert placeholder.join_operator.index_spec == "adaptive"
+        assert placeholder.join_operator.windex_states is not None
+
+    def test_grubjoin_shedding_accepts_index(self):
+        from repro.joins import EquiJoin
+
+        query = self.make(EquiJoin(), "hash", shedding="grubjoin")
+        report = analyze_query(query)
+        assert report.ok, report.render()
+        _graph, placeholder = query.build(capacity=10.0)
+        assert placeholder.join_operator.index_spec == "hash"
+
+    def test_graph_level_mirror_catches_attribute_surgery(self):
+        # constructors validate once; the analyzer re-validates the
+        # *current* state of each node
+        from repro.joins import EquiJoin
+
+        graph, placeholder = self.make(EquiJoin(), "hash").build(
+            capacity=10.0
+        )
+        placeholder.join_operator.predicate = EpsilonJoin(1.0)
+        report = analyze_graph(graph)
+        assert "P133" in error_codes(report)

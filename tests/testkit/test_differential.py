@@ -168,12 +168,16 @@ class TestMatrix:
         assert set(drift_checks) == {
             "mjoin", "mjoin_fast", "indexed",
             "grubjoin_z1", "grubjoin_z1_warm", "grubjoin_z1_fast",
+            "mjoin_range_indexed", "grubjoin_z1_indexed",
             "sharded_k1", "sharded_k1_fast",
             "grubjoin_z0.5",
         }
         # K>1 sharding only asserted for co-partitioning predicates
         assert "sharded_k2" in keys_checks
         assert "sharded_k2_fast" in keys_checks
+        # hash indexes need interval radius zero: equi yes, epsilon no
+        assert "mjoin_hash_indexed" in keys_checks
+        assert "mjoin_hash_indexed" not in drift_checks
         assert all(row["ok"] for row in keys_checks.values())
 
     def test_matrix_flags_failures(self, drift3, monkeypatch):

@@ -79,9 +79,9 @@ class TestShrinking:
 
 
 class TestDefaultSet:
-    def test_three_workloads_per_seed(self):
+    def test_four_workloads_per_seed(self):
         workloads = default_workloads((1, 2))
-        assert len(workloads) == 6
+        assert len(workloads) == 8
         names = [w.name for w in workloads]
         assert len(names) == len(set(names))
 
@@ -89,6 +89,7 @@ class TestDefaultSet:
         workloads = default_workloads((1,))
         assert {w.m for w in workloads} == {3, 4}
         assert {w.tags["kind"] for w in workloads} == {"drift", "keys"}
+        assert any(w.tags.get("skewed") for w in workloads)
 
     def test_every_default_workload_produces_output(self):
         from repro.testkit import oracle_ids
